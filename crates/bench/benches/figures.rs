@@ -1,0 +1,42 @@
+//! Criterion benchmarks regenerating each *figure* of the paper at reduced
+//! scale. One benchmark per figure: `cargo bench -p mallacc-bench figures`
+//! re-times the full generation pipeline (trace synthesis, functional
+//! allocator, µop timing model, statistics) behind each plot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mallacc_bench::{figures, Scale};
+
+fn bench_scale() -> Scale {
+    Scale {
+        calls: 400,
+        warmup: 100,
+        trials: 2,
+    }
+}
+
+fn figure_benches(c: &mut Criterion) {
+    let s = bench_scale();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig1_perlbench_call_pdf", |b| {
+        b.iter(|| figures::fig1(s))
+    });
+    g.bench_function("fig2_malloc_time_cdf", |b| b.iter(|| figures::fig2(s)));
+    g.bench_function("fig4_fastpath_components", |b| b.iter(|| figures::fig4(s)));
+    g.bench_function("fig6_size_class_coverage", |b| b.iter(|| figures::fig6(s)));
+    g.bench_function("fig13_allocator_improvement", |b| {
+        b.iter(|| figures::fig13(s))
+    });
+    g.bench_function("fig14_malloc_improvement", |b| b.iter(|| figures::fig14(s)));
+    g.bench_function("fig15_xapian_pdfs", |b| b.iter(|| figures::fig15(s)));
+    g.bench_function("fig16_xalancbmk_pdfs", |b| b.iter(|| figures::fig16(s)));
+    g.bench_function("fig17_cache_size_sweep", |b| {
+        b.iter(|| figures::fig17(s, true))
+    });
+    g.bench_function("fig18_allocator_fraction", |b| b.iter(|| figures::fig18(s)));
+    g.bench_function("ablation_components", |b| b.iter(|| figures::ablation(s)));
+    g.finish();
+}
+
+criterion_group!(benches, figure_benches);
+criterion_main!(benches);

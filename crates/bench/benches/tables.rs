@@ -1,0 +1,27 @@
+//! Criterion benchmarks regenerating each *table* of the paper at reduced
+//! scale: the simulator-validation kernels (Table 1), the t-tested
+//! full-program speedups (Table 2) and the §6.4 area accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mallacc_bench::{tables, Scale};
+
+fn table_benches(c: &mut Criterion) {
+    let s = Scale {
+        calls: 400,
+        warmup: 100,
+        trials: 2,
+    };
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_simulator_validation", |b| {
+        b.iter(|| tables::table1(s))
+    });
+    g.bench_function("table2_full_program_speedup", |b| {
+        b.iter(|| tables::table2(s))
+    });
+    g.bench_function("area_model", |b| b.iter(tables::area));
+    g.finish();
+}
+
+criterion_group!(benches, table_benches);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! `repro` — regenerate every table and figure of the Mallacc paper.
+//!
+//! ```text
+//! repro <experiment> [--quick] [--calls N] [--trials N] [--no-index-opt]
+//!
+//! experiments:
+//!   fig1 fig2 fig4 fig6 fig13 fig14 fig15 fig16 fig17 fig18
+//!   table1 table2 area ablate all
+//! ```
+
+use mallacc_bench::{figures, tables, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig1|fig2|fig4|fig6|fig13|fig14|fig15|fig16|fig17|\
+         fig18|table1|table2|area|ablate|generality|resilience|sensitivity|sized-delete|cpi|all> [--quick] [--calls N] \
+         [--trials N] [--no-index-opt]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+
+    let mut scale = Scale::full();
+    let mut index_keying = true;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--no-index-opt" => index_keying = false,
+            "--calls" => {
+                i += 1;
+                scale.calls = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--trials" => {
+                i += 1;
+                scale.trials = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let run = |name: &str| -> Option<String> {
+        Some(match name {
+            "fig1" => figures::fig1(scale),
+            "fig2" => figures::fig2(scale),
+            "fig4" => figures::fig4(scale),
+            "fig6" => figures::fig6(scale),
+            "fig13" => figures::fig13(scale),
+            "fig14" => figures::fig14(scale),
+            "fig15" => figures::fig15(scale),
+            "fig16" => figures::fig16(scale),
+            "fig17" => figures::fig17(scale, index_keying),
+            "fig18" => figures::fig18(scale),
+            "table1" => tables::table1(scale),
+            "table2" => tables::table2(scale),
+            "area" => tables::area(),
+            "ablate" => figures::ablation(scale),
+            "generality" => figures::generality(scale),
+            "resilience" => figures::resilience(scale),
+            "sized-delete" => figures::sized_delete(scale),
+            "cpi" => figures::cpi(scale),
+            "sensitivity" => figures::sensitivity(scale),
+            _ => return None,
+        })
+    };
+
+    match cmd.as_str() {
+        "all" => {
+            for name in [
+                "fig1", "fig2", "fig4", "fig6", "table1", "fig13", "fig14",
+                "fig15", "fig16", "fig17", "fig18", "table2", "area", "ablate", "generality", "resilience",
+                "sensitivity", "sized-delete", "cpi",
+            ] {
+                println!("{}", run(name).expect("known experiment"));
+                println!();
+            }
+        }
+        other => match run(other) {
+            Some(s) => println!("{s}"),
+            None => usage(),
+        },
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared experiment runners: warm-up, measurement, and mode comparisons.
+
+use mallacc::{MallocSim, Mode};
+use mallacc_workloads::{MacroWorkload, Microbenchmark, RunStats, Trace};
+
+/// Experiment sizing. The defaults reproduce stable numbers in seconds per
+/// figure; `quick` is for smoke tests and the Criterion wrappers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// malloc calls per measured run.
+    pub calls: usize,
+    /// malloc calls of warm-up before measurement.
+    pub warmup: usize,
+    /// Independent trials (distinct seeds) for Table 2.
+    pub trials: usize,
+}
+
+impl Scale {
+    /// Full-size runs (the numbers recorded in EXPERIMENTS.md).
+    pub fn full() -> Self {
+        Self {
+            calls: 12_000,
+            warmup: 2_000,
+            trials: 5,
+        }
+    }
+
+    /// Small runs for tests and Criterion benches.
+    pub fn quick() -> Self {
+        Self {
+            calls: 1_500,
+            warmup: 300,
+            trials: 3,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Replays `warm`-sized prefix for warm-up, then measures a `calls`-sized
+/// trace, returning the measured statistics.
+pub fn run_trace(mode: Mode, warm: &Trace, measure: &Trace) -> RunStats {
+    let mut sim = MallocSim::new(mode);
+    warm.replay(&mut sim);
+    sim.reset_totals();
+    measure.replay(&mut sim)
+}
+
+/// Runs a macro workload under `mode`.
+pub fn run_macro(mode: Mode, w: &MacroWorkload, scale: Scale, seed: u64) -> RunStats {
+    let warm = w.trace(scale.warmup, seed);
+    let measure = w.trace(scale.calls, seed.wrapping_add(1));
+    run_trace(mode, &warm, &measure)
+}
+
+/// Runs a microbenchmark under `mode`.
+pub fn run_micro(mode: Mode, m: Microbenchmark, scale: Scale, seed: u64) -> RunStats {
+    let warm = m.trace(scale.warmup, seed);
+    let measure = m.trace(scale.calls, seed);
+    run_trace(mode, &warm, &measure)
+}
+
+/// Percentage improvement of `new` over `base` (positive = faster).
+pub fn improvement_pct(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        100.0 * (1.0 - new / base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        assert_eq!(improvement_pct(100.0, 50.0), 50.0);
+        assert!((improvement_pct(100.0, 120.0) - -20.0).abs() < 1e-9);
+        assert_eq!(improvement_pct(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn micro_runner_produces_measurements() {
+        let s = run_micro(
+            Mode::Baseline,
+            Microbenchmark::TpSmall,
+            Scale::quick(),
+            1,
+        );
+        assert_eq!(s.totals.malloc_calls as usize, Scale::quick().calls);
+        assert!(s.mean_malloc_cycles() > 0.0);
+    }
+
+    #[test]
+    fn macro_runner_produces_measurements() {
+        let w = MacroWorkload::by_name("400.perlbench").unwrap();
+        let s = run_macro(Mode::Baseline, &w, Scale::quick(), 1);
+        assert_eq!(s.totals.malloc_calls as usize, Scale::quick().calls);
+        assert!(s.totals.app_cycles > 0);
+    }
+}

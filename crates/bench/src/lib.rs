@@ -1,0 +1,33 @@
+//! The Mallacc reproduction harness.
+//!
+//! One generator per table and figure of the paper's evaluation (§6), each
+//! returning the rendered text that the `repro` binary prints:
+//!
+//! | paper artefact | generator |
+//! |---|---|
+//! | Figure 1 (per-call cost PDF, perlbench)      | [`figures::fig1`] |
+//! | Figure 2 (malloc time CDF, all workloads)    | [`figures::fig2`] |
+//! | Figure 4 (fast-path component costs)         | [`figures::fig4`] |
+//! | Figure 6 (size classes per workload)         | [`figures::fig6`] |
+//! | Table 1 (simulator validation)               | [`tables::table1`] |
+//! | Figure 13 (allocator time improvement)       | [`figures::fig13`] |
+//! | Figure 14 (malloc time improvement)          | [`figures::fig14`] |
+//! | Figure 15 (xapian call-duration PDFs)        | [`figures::fig15`] |
+//! | Figure 16 (xalancbmk call-duration PDFs)     | [`figures::fig16`] |
+//! | Figure 17 (cache-size sweep)                 | [`figures::fig17`] |
+//! | Figure 18 (time in allocator)                | [`figures::fig18`] |
+//! | Table 2 (full-program speedup, t-tested)     | [`tables::table2`] |
+//! | §6.4 (silicon area)                          | [`tables::area`] |
+//!
+//! Plus the [`figures::ablation`] study for the design choices DESIGN.md
+//! calls out (per-component accelerator configs, prefetch on/off, generic
+//! size keying).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod figures;
+pub mod tables;
+
+pub use experiments::Scale;

@@ -1,0 +1,402 @@
+//! A single set-associative cache with true-LRU replacement.
+
+use crate::Addr;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Cache line size in bytes (64 on Haswell).
+    pub line_bytes: u64,
+    /// Ways per set.
+    pub associativity: u32,
+    /// Load-to-use latency of a hit in this level, in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes, non-power-of-two
+    /// line/sets, or capacity not divisible by `line × ways`).
+    pub fn num_sets(&self) -> u64 {
+        assert!(self.size_bytes > 0 && self.line_bytes > 0 && self.associativity > 0);
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let lines = self.size_bytes / self.line_bytes;
+        assert_eq!(
+            lines * self.line_bytes,
+            self.size_bytes,
+            "capacity must be a whole number of lines"
+        );
+        let sets = lines / self.associativity as u64;
+        assert_eq!(
+            sets * self.associativity as u64,
+            lines,
+            "capacity must be a whole number of ways"
+        );
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// Hit/miss/eviction counters for one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Accesses that found their line resident.
+    pub hits: u64,
+    /// Accesses that did not.
+    pub misses: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+    /// Lines invalidated by the antagonist hook or a flush.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no accesses have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// Monotonic timestamp of last touch; smaller = older.
+    last_use: u64,
+}
+
+/// One set-associative, true-LRU cache level.
+///
+/// # Example
+///
+/// ```
+/// use mallacc_cache::{CacheConfig, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(CacheConfig {
+///     size_bytes: 1024,
+///     line_bytes: 64,
+///     associativity: 2,
+///     hit_latency: 4,
+/// });
+/// assert!(!c.probe(0));
+/// c.fill(0, false);
+/// assert!(c.probe(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    line_shift: u32,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent; see [`CacheConfig::num_sets`].
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.num_sets();
+        Self {
+            config,
+            sets: vec![vec![Line::default(); config.associativity as usize]; sets as usize],
+            set_mask: sets - 1,
+            line_shift: config.line_bytes.trailing_zeros(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the statistics (but not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn index_and_tag(&self, addr: Addr) -> (usize, u64) {
+        let block = addr >> self.line_shift;
+        ((block & self.set_mask) as usize, block >> self.set_mask.count_ones())
+    }
+
+    /// Looks up `addr`; on a hit, refreshes LRU state and returns `true`.
+    /// Counts a hit or a miss.
+    pub fn access(&mut self, addr: Addr, write: bool) -> bool {
+        self.clock += 1;
+        let (set_idx, tag) = self.index_and_tag(addr);
+        let clock = self.clock;
+        for line in &mut self.sets[set_idx] {
+            if line.valid && line.tag == tag {
+                line.last_use = clock;
+                line.dirty |= write;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Checks residency without perturbing LRU state or statistics.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let (set_idx, tag) = self.index_and_tag(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Installs the line containing `addr`, evicting the LRU way if the set
+    /// is full. Returns the evicted line's base address, if any.
+    pub fn fill(&mut self, addr: Addr, write: bool) -> Option<Addr> {
+        self.clock += 1;
+        let (set_idx, tag) = self.index_and_tag(addr);
+        let set_bits = self.set_mask.count_ones();
+        let line_shift = self.line_shift;
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+        // Prefer an invalid way; otherwise evict LRU.
+        let victim = set
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_use)
+                    .map(|(i, _)| i)
+                    .expect("associativity > 0")
+            });
+        let old = set[victim];
+        set[victim] = Line {
+            valid: true,
+            dirty: write,
+            tag,
+            last_use: clock,
+        };
+        if old.valid {
+            self.stats.evictions += 1;
+            let old_block = (old.tag << set_bits) | set_idx as u64;
+            Some(old_block << line_shift)
+        } else {
+            None
+        }
+    }
+
+    /// Invalidates `addr`'s line if resident. Returns whether it was.
+    pub fn invalidate(&mut self, addr: Addr) -> bool {
+        let (set_idx, tag) = self.index_and_tag(addr);
+        for line in &mut self.sets[set_idx] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                self.stats.invalidations += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates the least-recently-used `fraction` of ways in every set.
+    ///
+    /// This reproduces the paper's `antagonist` simulator callback, which
+    /// "evicts the less used half of each set" to mimic an application
+    /// striding through a large working set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn evict_lru_fraction(&mut self, fraction: f64) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction {fraction} outside [0, 1]");
+        let ways = self.config.associativity as usize;
+        // "The less used half of each set": in the paper's simulator the
+        // sets are full of application data, so evicting the LRU half kills
+        // every line that was not touched very recently. We model that by
+        // evicting the least-recently-used `fraction` of the *valid* lines
+        // in each set (rounded down — a set holding a single hot line keeps
+        // it, just as a just-touched line ranks in the kept half).
+        for set in &mut self.sets {
+            let mut order: Vec<usize> = (0..ways).filter(|&i| set[i].valid).collect();
+            let n_evict = ((order.len() as f64) * fraction).floor() as usize;
+            if n_evict == 0 {
+                continue;
+            }
+            order.sort_by_key(|&i| set[i].last_use);
+            for &i in order.iter().take(n_evict) {
+                set[i].valid = false;
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Invalidates everything (e.g. a context switch in the model).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                if line.valid {
+                    line.valid = false;
+                    self.stats.invalidations += 1;
+                }
+            }
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> u64 {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.valid)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            associativity: 2,
+            hit_latency: 4,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(tiny().config().num_sets(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_line() {
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 48,
+            associativity: 2,
+            hit_latency: 1,
+        });
+    }
+
+    #[test]
+    fn miss_then_hit_same_line() {
+        let mut c = tiny();
+        assert!(!c.access(100, false));
+        c.fill(100, false);
+        // Same 64-byte line.
+        assert!(c.access(127, false));
+        assert!(c.access(64, false));
+        // Next line misses.
+        assert!(!c.access(128, false));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three conflicting lines in set 0 (stride = sets * line = 256).
+        c.fill(0, false);
+        c.fill(256, false);
+        // Touch line 0 so 256 becomes LRU.
+        assert!(c.access(0, false));
+        let evicted = c.fill(512, false);
+        assert_eq!(evicted, Some(256));
+        assert!(c.probe(0));
+        assert!(!c.probe(256));
+        assert!(c.probe(512));
+    }
+
+    #[test]
+    fn fill_prefers_invalid_ways() {
+        let mut c = tiny();
+        c.fill(0, false);
+        assert_eq!(c.fill(256, false), None); // second way free
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn invalidate_specific_line() {
+        let mut c = tiny();
+        c.fill(0, false);
+        assert!(c.invalidate(0));
+        assert!(!c.invalidate(0));
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn antagonist_evicts_lru_half() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.fill(256, false);
+        c.access(256, false); // 0 is now LRU in set 0
+        c.evict_lru_fraction(0.5);
+        assert!(!c.probe(0), "LRU way should be evicted");
+        assert!(c.probe(256), "MRU way should survive");
+    }
+
+    #[test]
+    fn antagonist_zero_fraction_is_noop() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.evict_lru_fraction(0.0);
+        assert!(c.probe(0));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny();
+        for i in 0..8u64 {
+            c.fill(i * 64, false);
+        }
+        assert_eq!(c.resident_lines(), 8);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.fill(256, false);
+        // Probing 0 must NOT make it MRU.
+        assert!(c.probe(0));
+        let evicted = c.fill(512, false);
+        assert_eq!(evicted, Some(0));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        for i in 0..4u64 {
+            c.fill(i * 64, false);
+        }
+        for i in 0..4u64 {
+            assert!(c.probe(i * 64), "set {i} lost its line");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Silicon area model for Mallacc (§6.4).
+//!
+//! The paper sizes the malloc cache with CACTI 6.5 at 28 nm: three CAM
+//! arrays (index ranges, size classes, LRU state) plus one SRAM array
+//! (allocation size and the two 48-bit list pointers), with scaled
+//! shifter/adder area for the dedicated class-index hardware. CACTI itself
+//! is a large C++ cache-modelling tool we do not port; instead this module
+//! reproduces the paper's *bit accounting exactly* and converts bits to
+//! area with per-technology density constants calibrated so the 16-entry
+//! configuration lands on the paper's published numbers (873 µm² CAM,
+//! 346 µm² SRAM, 265 µm² index logic ⇒ ≈ 1484 µm² ≤ the 1500 µm² bound).
+
+/// Storage bit accounting for an `n`-entry malloc cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaBits {
+    /// Index-range CAM bits per entry (two 12-bit class indices).
+    pub index_cam_bits_per_entry: u32,
+    /// Size-class CAM bits per entry.
+    pub class_cam_bits_per_entry: u32,
+    /// LRU CAM bits per entry (`log2(n)`).
+    pub lru_cam_bits_per_entry: u32,
+    /// SRAM bits per entry (2 × 48-bit pointers + 20-bit size + valid).
+    pub sram_bits_per_entry: u32,
+    /// Number of entries.
+    pub entries: usize,
+}
+
+impl AreaBits {
+    /// Bit accounting for an `n`-entry cache, per §6.4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn for_entries(entries: usize) -> Self {
+        assert!(entries > 0, "cache must have at least one entry");
+        Self {
+            index_cam_bits_per_entry: 24,
+            class_cam_bits_per_entry: 8,
+            lru_cam_bits_per_entry: (entries as f64).log2().ceil() as u32,
+            sram_bits_per_entry: 2 * 48 + 20 + 1,
+            entries,
+        }
+    }
+
+    /// Total CAM bytes (the paper: 72 bytes at 16 entries).
+    pub fn cam_bytes(&self) -> u32 {
+        let bits = (self.index_cam_bits_per_entry
+            + self.class_cam_bits_per_entry
+            + self.lru_cam_bits_per_entry)
+            * self.entries as u32;
+        bits / 8
+    }
+
+    /// Total SRAM bytes (the paper: 234 bytes at 16 entries).
+    pub fn sram_bytes(&self) -> u32 {
+        self.sram_bits_per_entry * self.entries as u32 / 8
+    }
+}
+
+/// Area estimate, in square micrometres at 28 nm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaEstimate {
+    /// CAM array area.
+    pub cam_um2: f64,
+    /// SRAM array area.
+    pub sram_um2: f64,
+    /// Index-computation (shifter + adder) logic area.
+    pub index_logic_um2: f64,
+}
+
+/// CAM density calibrated to the paper's CACTI run: 873 µm² / 72 B.
+const CAM_UM2_PER_BYTE: f64 = 873.0 / 72.0;
+/// SRAM density calibrated to the paper's CACTI run: 346 µm² / 234 B.
+const SRAM_UM2_PER_BYTE: f64 = 346.0 / 234.0;
+/// Scaled shifter/adder area for the Figure 5 index computation.
+const INDEX_LOGIC_UM2: f64 = 265.0;
+/// Intel Haswell core area (mm², incl. L1/L2), the paper's yardstick.
+pub const HASWELL_CORE_MM2: f64 = 26.5;
+
+impl AreaEstimate {
+    /// Estimates the area of an `n`-entry malloc cache with the index
+    /// hardware included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn for_entries(entries: usize) -> Self {
+        let bits = AreaBits::for_entries(entries);
+        Self {
+            cam_um2: bits.cam_bytes() as f64 * CAM_UM2_PER_BYTE,
+            sram_um2: bits.sram_bytes() as f64 * SRAM_UM2_PER_BYTE,
+            index_logic_um2: INDEX_LOGIC_UM2,
+        }
+    }
+
+    /// Total area in µm².
+    pub fn total_um2(&self) -> f64 {
+        self.cam_um2 + self.sram_um2 + self.index_logic_um2
+    }
+
+    /// Fraction of a Haswell core this occupies.
+    pub fn core_fraction(&self) -> f64 {
+        self.total_um2() / (HASWELL_CORE_MM2 * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting_matches_paper_at_16_entries() {
+        let bits = AreaBits::for_entries(16);
+        assert_eq!(bits.cam_bytes(), 72);
+        assert_eq!(bits.sram_bytes(), 234);
+        assert_eq!(bits.sram_bits_per_entry, 117);
+        assert_eq!(bits.lru_cam_bits_per_entry, 4);
+    }
+
+    #[test]
+    fn area_matches_paper_at_16_entries() {
+        let a = AreaEstimate::for_entries(16);
+        assert!((a.cam_um2 - 873.0).abs() < 1.0);
+        assert!((a.sram_um2 - 346.0).abs() < 1.0);
+        let total = a.total_um2();
+        assert!(total < 1500.0, "total {total} exceeds the paper's bound");
+        assert!(total > 1400.0, "total {total} suspiciously small");
+    }
+
+    #[test]
+    fn core_fraction_is_tiny() {
+        let f = AreaEstimate::for_entries(16).core_fraction();
+        // The paper: "merely 0.006% of the core area".
+        assert!(f < 0.0001, "fraction {f}");
+        assert!((f - 0.000056).abs() < 0.00002);
+    }
+
+    #[test]
+    fn area_scales_with_entries() {
+        let a2 = AreaEstimate::for_entries(2).total_um2();
+        let a32 = AreaEstimate::for_entries(32).total_um2();
+        assert!(a32 > a2);
+        assert!(a32 < 16.0 * a2, "fixed logic term should damp scaling");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        AreaBits::for_entries(0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Simulation modes: baseline, Mallacc, and the paper's limit studies.
+
+use crate::malloc_cache::MallocCacheConfig;
+
+/// Which Mallacc optimisations are enabled (§4).
+///
+/// The paper's headline configuration enables all four; the per-component
+/// bars of Figure 4 and the ablations of §6.2 toggle subsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelConfig {
+    /// Malloc cache geometry.
+    pub cache: MallocCacheConfig,
+    /// `mcszlookup`/`mcszupdate`: accelerate size-class computation.
+    pub size_class_opt: bool,
+    /// `mchdpop`/`mchdpush`: cache the free-list head and next.
+    pub list_opt: bool,
+    /// Dedicate a performance counter to sampling (§4.2).
+    pub sampling_opt: bool,
+    /// Issue `mcnxtprefetch` after pops to keep `Next` warm.
+    pub prefetch: bool,
+}
+
+impl AccelConfig {
+    /// The paper's full configuration with the default 16-entry cache.
+    pub fn paper_default() -> Self {
+        Self {
+            cache: MallocCacheConfig::paper_default(),
+            size_class_opt: true,
+            list_opt: true,
+            sampling_opt: true,
+            prefetch: true,
+        }
+    }
+
+    /// Full configuration with an `entries`-entry malloc cache (the
+    /// Figure 17 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn with_entries(entries: usize) -> Self {
+        let mut c = Self::paper_default();
+        c.cache.entries = entries;
+        c
+    }
+
+    /// True when any optimisation needs malloc-cache entries to exist.
+    pub fn needs_cache(&self) -> bool {
+        self.size_class_opt || self.list_opt
+    }
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Which fast-path components a limit study removes from performance
+/// simulation (§5: "the instructions comprising the three steps from
+/// Section 3.3 are simply ignored").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LimitRemove {
+    /// Remove the size-class computation µops.
+    pub size_class: bool,
+    /// Remove the sampling µops.
+    pub sampling: bool,
+    /// Remove the free-list push/pop µops.
+    pub push_pop: bool,
+}
+
+impl LimitRemove {
+    /// Remove all three components — the paper's "Combined"/limit bars.
+    pub fn all() -> Self {
+        Self {
+            size_class: true,
+            sampling: true,
+            push_pop: true,
+        }
+    }
+}
+
+/// The simulated machine variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The unmodified out-of-order core running stock TCMalloc.
+    Baseline,
+    /// The core augmented with Mallacc.
+    Mallacc(AccelConfig),
+    /// An idealised upper bound: the selected component µops vanish.
+    Limit(LimitRemove),
+}
+
+impl Mode {
+    /// The paper's headline accelerated configuration.
+    pub fn mallacc_default() -> Self {
+        Mode::Mallacc(AccelConfig::paper_default())
+    }
+
+    /// The paper's full limit study.
+    pub fn limit_all() -> Self {
+        Mode::Limit(LimitRemove::all())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_everything() {
+        let a = AccelConfig::paper_default();
+        assert!(a.size_class_opt && a.list_opt && a.sampling_opt && a.prefetch);
+        assert_eq!(a.cache.entries, 16);
+        assert!(a.needs_cache());
+    }
+
+    #[test]
+    fn with_entries_overrides_only_size() {
+        let a = AccelConfig::with_entries(4);
+        assert_eq!(a.cache.entries, 4);
+        assert!(a.prefetch);
+    }
+
+    #[test]
+    fn limit_all_removes_all() {
+        let l = LimitRemove::all();
+        assert!(l.size_class && l.sampling && l.push_pop);
+        assert_eq!(LimitRemove::default(), LimitRemove {
+            size_class: false,
+            sampling: false,
+            push_pop: false
+        });
+    }
+}

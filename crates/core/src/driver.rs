@@ -1,0 +1,860 @@
+//! The per-call simulation driver.
+//!
+//! [`MallocSim`] owns the functional allocator, the out-of-order core (with
+//! its cache hierarchy) and the malloc cache, and simulates every
+//! `malloc`/`free` call in two phases:
+//!
+//! 1. **functional** — the TCMalloc model performs the request and reports
+//!    the path taken and the addresses touched;
+//! 2. **timing** — the corresponding µop program (baseline, Mallacc, or
+//!    limit-study, per [`Mode`]) is pushed through the core model, and the
+//!    call's duration is the retirement-time delta it produced.
+//!
+//! The accelerator is a *pure* performance optimisation (§4.1: the
+//! definitive free lists always live in memory), which is why functional-
+//! first simulation is exact: a malloc-cache hit or miss never changes the
+//! allocator's state transitions, only their latency. The driver
+//! `debug_assert`s that every malloc-cache hit returns exactly the block
+//! and next-head the functional allocator produced — the hardware
+//! consistency invariant of §4.1.
+
+use mallacc_cache::Addr;
+use mallacc_ooo::{CoreConfig, Engine, Reg, Uop};
+use mallacc_tcmalloc::{
+    layout, ClassId, FreePath, MallocOutcome, MallocPath, TcMalloc, TcMallocConfig,
+};
+
+use crate::config::{AccelConfig, LimitRemove, Mode};
+use crate::malloc_cache::{MallocCache, PopResult};
+use crate::programs as prog;
+
+/// Classification of a simulated call, for histograms and path accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallKind {
+    /// malloc served by a thread-cache hit (the fast path).
+    MallocFast,
+    /// malloc that refilled from the central free list.
+    MallocCentral,
+    /// malloc whose refill carved a new span.
+    MallocSpan,
+    /// malloc that had to grow the heap with an OS grant.
+    MallocOs,
+    /// malloc of a large (> 256 KiB) request.
+    MallocLarge,
+    /// free onto the thread-cache list.
+    FreeFast,
+    /// free that released a batch to the central list.
+    FreeRelease,
+    /// free of a large allocation.
+    FreeLarge,
+}
+
+impl CallKind {
+    /// True for malloc-side kinds.
+    pub fn is_malloc(self) -> bool {
+        matches!(
+            self,
+            CallKind::MallocFast
+                | CallKind::MallocCentral
+                | CallKind::MallocSpan
+                | CallKind::MallocOs
+                | CallKind::MallocLarge
+        )
+    }
+}
+
+/// One simulated allocator call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallRecord {
+    /// Duration in cycles (retirement-time delta).
+    pub cycles: u64,
+    /// Path classification.
+    pub kind: CallKind,
+    /// The pointer allocated or freed.
+    pub ptr: Addr,
+    /// Requested size (mallocs) or rounded block size (frees).
+    pub size: u64,
+    /// Raw size-class number, if small.
+    pub cls: Option<u16>,
+    /// Whether the sampler fired (mallocs only).
+    pub sampled: bool,
+}
+
+/// Aggregate cycle totals maintained by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimTotals {
+    /// malloc calls simulated.
+    pub malloc_calls: u64,
+    /// Cycles spent in malloc calls.
+    pub malloc_cycles: u64,
+    /// free calls simulated.
+    pub free_calls: u64,
+    /// Cycles spent in free calls.
+    pub free_cycles: u64,
+    /// Cycles of application (non-allocator) activity.
+    pub app_cycles: u64,
+}
+
+impl SimTotals {
+    /// Total allocator cycles (malloc + free).
+    pub fn allocator_cycles(&self) -> u64 {
+        self.malloc_cycles + self.free_cycles
+    }
+
+    /// Total program cycles (allocator + application).
+    pub fn program_cycles(&self) -> u64 {
+        self.allocator_cycles() + self.app_cycles
+    }
+
+    /// Fraction of program time spent in the allocator.
+    pub fn allocator_fraction(&self) -> f64 {
+        let total = self.program_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.allocator_cycles() as f64 / total as f64
+        }
+    }
+}
+
+/// The assembled simulator: functional allocator + timing models.
+///
+/// # Example
+///
+/// ```
+/// use mallacc::{MallocSim, Mode, CallKind};
+///
+/// let mut sim = MallocSim::new(Mode::mallacc_default());
+/// let warm = sim.malloc(64);
+/// sim.free(warm.ptr, true);
+/// let hit = sim.malloc(64);
+/// assert_eq!(hit.kind, CallKind::MallocFast);
+/// assert!(hit.cycles < warm.cycles);
+/// ```
+#[derive(Debug)]
+pub struct MallocSim {
+    mode: Mode,
+    alloc: TcMalloc,
+    cpu: Engine,
+    mc: MallocCache,
+    totals: SimTotals,
+    /// Branch predictor for the `mcszlookup` fallback branch.
+    lookup_bp: LocalPredictor,
+    /// Branch predictor for the `mchdpop` fallback branch.
+    pop_bp: LocalPredictor,
+}
+
+/// A small local-history branch predictor (6 bits of history indexing
+/// 2-bit saturating counters). The fallback branches after `mcszlookup` and
+/// `mchdpop` are perfectly predictable when the malloc cache steadily hits
+/// or steadily misses, learnable when it thrashes periodically, and
+/// mispredicted when hits and misses arrive randomly — which is what an
+/// undersized cache produces and why Figure 17's small configurations show
+/// net slowdown.
+#[derive(Debug, Clone)]
+struct LocalPredictor {
+    history: usize,
+    counters: [i8; 64],
+}
+
+impl LocalPredictor {
+    fn new() -> Self {
+        Self {
+            history: 0,
+            counters: [1; 64], // weakly taken = "hit"
+        }
+    }
+
+    /// Records the outcome; returns whether the branch mispredicted.
+    fn mispredicted(&mut self, taken: bool) -> bool {
+        let c = &mut self.counters[self.history];
+        let predicted = *c >= 0;
+        *c = (*c + if taken { 1 } else { -1 }).clamp(-2, 1);
+        self.history = ((self.history << 1) | usize::from(taken)) & 0x3F;
+        predicted != taken
+    }
+}
+
+/// Cycles for a prefetched line to travel from the cache hierarchy into
+/// the malloc cache (the senior-store-queue-style completion path of
+/// §4.1 "Core integration").
+const MC_TRANSFER_LATENCY: u64 = 20;
+
+/// Redirect penalty for the accelerator fallback branches: their targets
+/// are a few instructions away and resident in the µop cache, so a
+/// misprediction resteers in front-end-depth cycles, not the full pipeline.
+const FALLBACK_PENALTY: u32 = 6;
+
+impl MallocSim {
+    /// Creates a simulator with paper-default allocator and core
+    /// configurations.
+    pub fn new(mode: Mode) -> Self {
+        Self::with_configs(mode, TcMallocConfig::default(), CoreConfig::haswell())
+    }
+
+    /// Creates a simulator with explicit configurations.
+    pub fn with_configs(mode: Mode, alloc_cfg: TcMallocConfig, core_cfg: CoreConfig) -> Self {
+        let mc_cfg = match mode {
+            Mode::Mallacc(a) => a.cache,
+            _ => crate::malloc_cache::MallocCacheConfig::paper_default(),
+        };
+        Self {
+            mode,
+            alloc: TcMalloc::new(alloc_cfg),
+            cpu: Engine::new(core_cfg, mallacc_cache::Hierarchy::default()),
+            mc: MallocCache::new(mc_cfg),
+            totals: SimTotals::default(),
+            lookup_bp: LocalPredictor::new(),
+            pop_bp: LocalPredictor::new(),
+        }
+    }
+
+    /// The simulation mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The functional allocator (for statistics and inspection).
+    pub fn allocator(&self) -> &TcMalloc {
+        &self.alloc
+    }
+
+    /// The core model.
+    pub fn engine(&self) -> &Engine {
+        &self.cpu
+    }
+
+    /// The retirement-side CPI stack of everything simulated so far.
+    pub fn cpi_stack(&self) -> mallacc_ooo::CpiStack {
+        self.cpu.cpi_stack()
+    }
+
+    /// The malloc cache (meaningful in [`Mode::Mallacc`]).
+    pub fn malloc_cache(&self) -> &MallocCache {
+        &self.mc
+    }
+
+    /// Accumulated cycle totals.
+    pub fn totals(&self) -> SimTotals {
+        self.totals
+    }
+
+    /// Resets the cycle totals (e.g. after warm-up) without touching any
+    /// simulated state.
+    pub fn reset_totals(&mut self) {
+        self.totals = SimTotals::default();
+    }
+
+    fn accel(&self) -> Option<AccelConfig> {
+        match self.mode {
+            Mode::Mallacc(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn limit(&self) -> LimitRemove {
+        match self.mode {
+            Mode::Limit(l) => l,
+            _ => LimitRemove::default(),
+        }
+    }
+
+    /// Models application compute between allocator calls: `cycles` of
+    /// activity that neither touches the allocator's lines nor stalls.
+    pub fn app_run(&mut self, cycles: u64) {
+        let now = self.cpu.now();
+        self.cpu.skip_to_cycle(now + cycles);
+        self.totals.app_cycles += cycles;
+    }
+
+    /// Models application memory traffic: one load per address (this is
+    /// what organically evicts allocator structures in cache-heavy apps).
+    pub fn app_touch(&mut self, addrs: &[Addr]) {
+        let start = self.cpu.now();
+        for &a in addrs {
+            let d = self.cpu.alloc_reg();
+            self.cpu.push(Uop::load(a, d, &[]));
+        }
+        self.totals.app_cycles += self.cpu.now().saturating_sub(start);
+    }
+
+    /// The paper's antagonist callback: evict the LRU `fraction` of every
+    /// L1 and L2 set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn antagonize(&mut self, fraction: f64) {
+        self.cpu.mem_mut().evict_antagonist(fraction);
+    }
+
+    /// Models a context switch: the malloc cache is flushed wholesale
+    /// (§4.1 — it only holds copies, so no writebacks are needed and
+    /// correctness is unaffected), the other thread's footprint evicts the
+    /// LRU halves of L1/L2, and `quantum_cycles` of foreign execution pass.
+    pub fn context_switch(&mut self, quantum_cycles: u64) {
+        self.mc.flush();
+        self.cpu.mem_mut().evict_antagonist(0.5);
+        let now = self.cpu.now();
+        self.cpu.skip_to_cycle(now + quantum_cycles);
+        self.totals.app_cycles += quantum_cycles;
+    }
+
+    /// Simulates one malloc call.
+    pub fn malloc(&mut self, size: u64) -> CallRecord {
+        let outcome = self.alloc.malloc(size);
+        // Per-call time is attributed by retirement: the cycles between the
+        // previous call's last retired µop and this call's. Summed over a
+        // run this equals total wall-clock time, exactly how "time spent in
+        // the allocator" is accounted in the paper's figures.
+        let start = self.cpu.now();
+        self.call_boundary();
+        let kind = self.emit_malloc(&outcome);
+        self.call_boundary();
+        let end = self.cpu.now();
+        let cycles = end.saturating_sub(start);
+        self.totals.malloc_calls += 1;
+        self.totals.malloc_cycles += cycles;
+        CallRecord {
+            cycles,
+            kind,
+            ptr: outcome.ptr,
+            size,
+            cls: outcome.cls.map(|c| u16::from(c.as_u8())),
+            sampled: outcome.sampled,
+        }
+    }
+
+    /// Simulates one free call. `sized` selects C++14 sized deallocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid or double free.
+    pub fn free(&mut self, ptr: Addr, sized: bool) -> CallRecord {
+        let outcome = self.alloc.free(ptr, sized);
+        let start = self.cpu.now();
+        self.call_boundary();
+        let kind = self.emit_free(&outcome);
+        self.call_boundary();
+        let end = self.cpu.now();
+        let cycles = end.saturating_sub(start);
+        self.totals.free_calls += 1;
+        self.totals.free_cycles += cycles;
+        CallRecord {
+            cycles,
+            kind,
+            ptr,
+            size: outcome.alloc_size,
+            cls: outcome.cls.map(|c| u16::from(c.as_u8())),
+            sampled: false,
+        }
+    }
+
+    /// Pushes the `call`/`ret` control transfer at a call boundary: a
+    /// taken branch that ends the fetch group.
+    fn call_boundary(&mut self) {
+        self.cpu.push(Uop::jump(&[]));
+    }
+
+    // ----- µop emission ---------------------------------------------------
+
+    /// Emits the size-class component; returns `(cls_reg, alloc_size_reg)`.
+    fn emit_size_class(&mut self, size_reg: Reg, outcome: &MallocOutcome) -> (Reg, Reg) {
+        let cls = outcome.cls.expect("small path only");
+        let raw = u16::from(cls.as_u8());
+        let idx = outcome.class_index.expect("small path has an index");
+
+        if self.limit().size_class {
+            // Limit study: the µops vanish; dependencies resolve to the
+            // argument register.
+            return (size_reg, size_reg);
+        }
+        let Some(a) = self.accel() else {
+            return prog::emit_size_class_sw(&mut self.cpu, size_reg, idx, raw);
+        };
+        if !a.size_class_opt {
+            let regs = prog::emit_size_class_sw(&mut self.cpu, size_reg, idx, raw);
+            if a.needs_cache() {
+                // list_opt still needs entries to exist; software issues
+                // mcszupdate after its computation.
+                self.mc.update(outcome.requested, outcome.alloc_size, raw);
+                let d = self.cpu.alloc_reg();
+                self.cpu.push(Uop::alu(1, Some(d), &[regs.0]));
+            }
+            return regs;
+        }
+        // mcszlookup. The je-to-fallback branch predicts well in steady
+        // state but mispredicts when hits and misses alternate — exactly
+        // what a too-small, thrashing malloc cache produces (the paper's
+        // Figure 17 slowdowns).
+        let now = self.cpu.now();
+        let hit = self.mc.lookup(outcome.requested, now);
+        let lat = a.cache.lookup_latency();
+        let lk = self.cpu.alloc_reg();
+        self.cpu.push(Uop::alu(lat, Some(lk), &[size_reg]));
+        let miss = self.lookup_bp.mispredicted(hit.is_some());
+        self.cpu
+            .push(Uop::branch_penalized(miss, FALLBACK_PENALTY, &[lk]));
+        match hit {
+            Some(h) => {
+                debug_assert_eq!(h.size_class, raw, "size-class cache inconsistency");
+                debug_assert_eq!(h.alloc_size, outcome.alloc_size);
+                (lk, lk)
+            }
+            None => {
+                // Fallback software computation + mcszupdate.
+                let (cls_reg, sz_reg) = prog::emit_size_class_sw(&mut self.cpu, size_reg, idx, raw);
+                self.mc.update(outcome.requested, outcome.alloc_size, raw);
+                let d = self.cpu.alloc_reg();
+                self.cpu.push(Uop::alu(1, Some(d), &[cls_reg, sz_reg]));
+                (cls_reg, sz_reg)
+            }
+        }
+    }
+
+    fn emit_sampling(&mut self, alloc_size_reg: Reg, sampled: bool) {
+        if self.limit().sampling {
+            return;
+        }
+        if let Some(a) = self.accel() {
+            if a.sampling_opt {
+                // Dedicated performance counter: zero fast-path µops. When
+                // the counter *does* cross its threshold the PMU raises an
+                // interrupt and the perf_events path records the sample —
+                // that rare cost is charged so the comparison against the
+                // software sampler stays fair.
+                if sampled {
+                    prog::emit_pmu_sample_interrupt(&mut self.cpu);
+                }
+                return;
+            }
+        }
+        prog::emit_sampling_sw(&mut self.cpu, alloc_size_reg, sampled);
+    }
+
+    /// Emits the fast-path pop; returns the register carrying the result.
+    fn emit_fast_pop(
+        &mut self,
+        cls: ClassId,
+        cls_reg: Reg,
+        list: Addr,
+        block: Addr,
+        next: Option<Addr>,
+    ) -> Reg {
+        let raw = u16::from(cls.as_u8());
+        let la = prog::emit_list_addr(&mut self.cpu, cls_reg);
+        if self.limit().push_pop {
+            prog::emit_metadata(&mut self.cpu, list, la);
+            return la;
+        }
+        let Some(a) = self.accel().filter(|a| a.list_opt) else {
+            let head = prog::emit_pop_sw(&mut self.cpu, list, block, la);
+            prog::emit_metadata(&mut self.cpu, list, la);
+            return head;
+        };
+        // mchdpop, stalled by any outstanding prefetch on the entry. The
+        // stall is measured against the µop's own ready time (the cycle it
+        // would have executed), not the retirement watermark.
+        let blocked_until = self.mc.block_delay(raw, 0);
+        let pop_raw = self.cpu.alloc_reg();
+        let t = self.cpu.push(Uop::alu(1, Some(pop_raw), &[cls_reg]));
+        let result = self.mc.pop(raw, t.ready);
+        let pop = if blocked_until > t.ready {
+            let stalled = self.cpu.alloc_reg();
+            let wait = (blocked_until - t.ready) as u32;
+            self.cpu.push(Uop::alu(wait.max(1), Some(stalled), &[pop_raw]));
+            stalled
+        } else {
+            pop_raw
+        };
+        let pop_hit = matches!(result, PopResult::Hit { .. });
+        let miss = self.pop_bp.mispredicted(pop_hit);
+        self.cpu
+            .push(Uop::branch_penalized(miss, FALLBACK_PENALTY, &[pop]));
+        let head_reg = match result {
+            PopResult::Hit {
+                head,
+                next: cached_next,
+            } => {
+                debug_assert_eq!(head, block, "malloc cache returned the wrong block");
+                debug_assert_eq!(Some(cached_next), next, "cached next diverged from the list");
+                // Software still publishes the new head (store only — the
+                // two loads are gone).
+                self.cpu.push(Uop::store(list, &[pop, la]));
+                pop
+            }
+            PopResult::Miss => prog::emit_pop_sw(&mut self.cpu, list, block, la),
+        };
+        if a.prefetch {
+            if let Some(new_head) = next {
+                // mcnxtprefetch rax, QWORD PTR [new_head]: hardware learns
+                // (new_head, *new_head) and blocks the entry until arrival.
+                let value = self.alloc.list_next_after_head(cls);
+                let t = self.cpu.push(Uop::prefetch(new_head, &[head_reg]));
+                self.mc
+                    .prefetch(raw, new_head, value, t.data_arrival() + MC_TRANSFER_LATENCY);
+            }
+        }
+        prog::emit_metadata(&mut self.cpu, list, la);
+        head_reg
+    }
+
+    fn emit_malloc(&mut self, outcome: &MallocOutcome) -> CallKind {
+        prog::emit_overhead(&mut self.cpu, prog::PROLOGUE_UOPS);
+        let size_reg = self.cpu.alloc_reg();
+        self.cpu.push(Uop::alu(1, Some(size_reg), &[]));
+
+        let kind = match &outcome.path {
+            MallocPath::Large { pages, grew_heap } => {
+                let start_page = layout::addr_to_page(outcome.ptr);
+                prog::emit_large_path(&mut self.cpu, *pages, *grew_heap, start_page);
+                CallKind::MallocLarge
+            }
+            MallocPath::ThreadCacheHit { list, next } => {
+                let (cls_reg, sz_reg) = self.emit_size_class(size_reg, outcome);
+                self.emit_sampling(sz_reg, outcome.sampled);
+                let cls = outcome.cls.expect("small path");
+                self.emit_fast_pop(cls, cls_reg, *list, outcome.ptr, *next);
+                CallKind::MallocFast
+            }
+            MallocPath::CentralRefill {
+                list,
+                central,
+                batch,
+                populate,
+                next: _,
+            } => {
+                let (cls_reg, sz_reg) = self.emit_size_class(size_reg, outcome);
+                self.emit_sampling(sz_reg, outcome.sampled);
+                let cls = outcome.cls.expect("small path");
+                let raw = u16::from(cls.as_u8());
+                // The fast-path attempt finds an empty list: the emptiness
+                // branch mispredicts (rare event).
+                let la = prog::emit_list_addr(&mut self.cpu, cls_reg);
+                let head = self.cpu.alloc_reg();
+                self.cpu.push(Uop::load(*list, head, &[la]));
+                self.cpu.push(Uop::branch(true, &[head]));
+                if let Some(p) = populate {
+                    prog::emit_populate(&mut self.cpu, p);
+                }
+                prog::emit_refill(&mut self.cpu, *central, *list, batch);
+                prog::emit_pop_sw(&mut self.cpu, *list, outcome.ptr, la);
+                prog::emit_metadata(&mut self.cpu, *list, la);
+                if let Some(a) = self.accel() {
+                    if a.needs_cache() {
+                        // Software rebuilds the cached copy with
+                        // mchdpush-style updates as it relinks the list.
+                        self.mc.sync_list(
+                            raw,
+                            self.alloc.list_head(cls),
+                            self.alloc.list_next_after_head(cls),
+                        );
+                        let d = self.cpu.alloc_reg();
+                        self.cpu.push(Uop::alu(1, Some(d), &[cls_reg]));
+                    }
+                }
+                match populate {
+                    Some(p) if p.span.grew_heap => CallKind::MallocOs,
+                    Some(_) => CallKind::MallocSpan,
+                    None => CallKind::MallocCentral,
+                }
+            }
+        };
+        prog::emit_overhead(&mut self.cpu, prog::EPILOGUE_UOPS);
+        kind
+    }
+
+    fn emit_free(&mut self, outcome: &mallacc_tcmalloc::FreeOutcome) -> CallKind {
+        prog::emit_overhead(&mut self.cpu, prog::PROLOGUE_UOPS - 1);
+        let ptr_reg = self.cpu.alloc_reg();
+        self.cpu.push(Uop::alu(1, Some(ptr_reg), &[]));
+
+        let kind = match &outcome.path {
+            FreePath::Large { pages } => {
+                let start_page = layout::addr_to_page(outcome.ptr);
+                prog::emit_large_path(&mut self.cpu, *pages, false, start_page);
+                CallKind::FreeLarge
+            }
+            FreePath::ThreadCachePush {
+                list,
+                old_head: _,
+                released,
+            } => {
+                let cls = outcome.cls.expect("small free");
+                let raw = u16::from(cls.as_u8());
+                // Size-class resolution.
+                let cls_reg = if let Some(nodes) = outcome.pagemap_addrs {
+                    // Unsized delete: the poorly-caching radix walk.
+                    prog::emit_pagemap_walk(&mut self.cpu, nodes, ptr_reg)
+                } else if self.limit().size_class {
+                    ptr_reg
+                } else if let Some(a) = self.accel().filter(|a| a.size_class_opt) {
+                    // Sized delete through mcszlookup on the static size.
+                    let now = self.cpu.now();
+                    let hit = self.mc.lookup(outcome.alloc_size, now);
+                    let lk = self.cpu.alloc_reg();
+                    self.cpu
+                        .push(Uop::alu(a.cache.lookup_latency(), Some(lk), &[ptr_reg]));
+                    let miss = self.lookup_bp.mispredicted(hit.is_some());
+                    self.cpu
+                        .push(Uop::branch_penalized(miss, FALLBACK_PENALTY, &[lk]));
+                    match hit {
+                        Some(h) => {
+                            debug_assert_eq!(h.size_class, raw);
+                            lk
+                        }
+                        None => {
+                            let idx = mallacc_tcmalloc::class_index(outcome.alloc_size)
+                                .expect("small size");
+                            let (c, _) =
+                                prog::emit_size_class_sw(&mut self.cpu, ptr_reg, idx, raw);
+                            self.mc.update(outcome.alloc_size, outcome.alloc_size, raw);
+                            c
+                        }
+                    }
+                } else {
+                    let idx =
+                        mallacc_tcmalloc::class_index(outcome.alloc_size).expect("small size");
+                    let (c, _) = prog::emit_size_class_sw(&mut self.cpu, ptr_reg, idx, raw);
+                    c
+                };
+
+                // The push itself.
+                let la = prog::emit_list_addr(&mut self.cpu, cls_reg);
+                if !self.limit().push_pop {
+                    if self.accel().filter(|a| a.list_opt).is_some() {
+                        // mchdpush. Unlike a pop, a push produces no value:
+                        // it can retire into a store-buffer slot and drain
+                        // into the malloc cache once any outstanding
+                        // prefetch returns (the senior-store-queue argument
+                        // of §4.1), so it carries no pipeline stall.
+                        let d = self.cpu.alloc_reg();
+                        let t = self.cpu.push(Uop::alu(1, Some(d), &[cls_reg]));
+                        self.mc.push(raw, outcome.ptr, t.ready);
+                    }
+                    prog::emit_push_sw(&mut self.cpu, *list, outcome.ptr, la, ptr_reg);
+                }
+                prog::emit_metadata(&mut self.cpu, *list, la);
+
+                if let Some(moved) = released {
+                    prog::emit_release(
+                        &mut self.cpu,
+                        layout::central_list(cls),
+                        *list,
+                        moved,
+                    );
+                    if self.accel().map(|a| a.needs_cache()).unwrap_or(false) {
+                        self.mc.sync_list(
+                            raw,
+                            self.alloc.list_head(cls),
+                            self.alloc.list_next_after_head(cls),
+                        );
+                    }
+                    CallKind::FreeRelease
+                } else {
+                    CallKind::FreeFast
+                }
+            }
+        };
+        prog::emit_overhead(&mut self.cpu, prog::EPILOGUE_UOPS - 1);
+        kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warm_pair(sim: &mut MallocSim, size: u64, n: usize) {
+        for _ in 0..n {
+            let r = sim.malloc(size);
+            sim.free(r.ptr, true);
+        }
+    }
+
+    /// malloc/free pairs rotating over four size classes (like the paper's
+    /// tp_small) — back-to-back same-class pairs instead trigger the
+    /// intentional prefetch-blocking slowdown of Figure 17's tp.
+    fn warm_rotating(sim: &mut MallocSim, n: usize) {
+        for i in 0..n {
+            let r = sim.malloc(32 + (i as u64 % 4) * 32);
+            sim.free(r.ptr, true);
+        }
+    }
+
+    #[test]
+    fn baseline_fast_path_is_about_20_cycles() {
+        let mut sim = MallocSim::new(Mode::Baseline);
+        warm_pair(&mut sim, 64, 50);
+        sim.reset_totals();
+        warm_pair(&mut sim, 64, 200);
+        let t = sim.totals();
+        let per_malloc = t.malloc_cycles as f64 / t.malloc_calls as f64;
+        // Back-to-back pairs overlap in the window, so the retirement-
+        // attributed cost sits somewhat below the ~18-20 cycle isolated
+        // latency the paper quotes.
+        assert!(
+            (10.0..=26.0).contains(&per_malloc),
+            "baseline fast malloc = {per_malloc} cycles"
+        );
+    }
+
+    #[test]
+    fn mallacc_beats_baseline_on_warm_fast_path() {
+        let run = |mode: Mode| {
+            let mut sim = MallocSim::new(mode);
+            warm_rotating(&mut sim, 80);
+            sim.reset_totals();
+            warm_rotating(&mut sim, 500);
+            let t = sim.totals();
+            t.malloc_cycles as f64 / t.malloc_calls as f64
+        };
+        let base = run(Mode::Baseline);
+        let accel = run(Mode::mallacc_default());
+        let limit = run(Mode::limit_all());
+        assert!(accel < base, "mallacc {accel} !< baseline {base}");
+        assert!(limit <= accel + 1.0, "limit {limit} should bound mallacc {accel}");
+        assert!(
+            accel < base * 0.85,
+            "expected >15% fast-path gain, got {base} → {accel}"
+        );
+    }
+
+    #[test]
+    fn malloc_cache_hits_accumulate() {
+        let mut sim = MallocSim::new(Mode::mallacc_default());
+        warm_pair(&mut sim, 64, 100);
+        let s = sim.malloc_cache().stats();
+        assert!(s.lookup_hits > 150, "lookup hits: {}", s.lookup_hits);
+        assert!(s.pop_hits > 50, "pop hits: {}", s.pop_hits);
+        assert!(s.prefetches > 0);
+    }
+
+    #[test]
+    fn cold_first_call_is_slow() {
+        let mut sim = MallocSim::new(Mode::Baseline);
+        let r = sim.malloc(64);
+        assert_eq!(r.kind, CallKind::MallocOs);
+        assert!(r.cycles > 5000, "OS-path call took only {}", r.cycles);
+    }
+
+    #[test]
+    fn call_kind_sequence_matches_pools() {
+        let mut sim = MallocSim::new(Mode::Baseline);
+        let r1 = sim.malloc(64);
+        assert_eq!(r1.kind, CallKind::MallocOs);
+        let r2 = sim.malloc(64);
+        assert_eq!(r2.kind, CallKind::MallocFast);
+        // Exhaust the thread cache batch (32 for 64B) to force a central
+        // refill without a populate.
+        let mut last = r2.kind;
+        for _ in 0..64 {
+            last = sim.malloc(64).kind;
+            if last != CallKind::MallocFast {
+                break;
+            }
+        }
+        assert!(
+            matches!(last, CallKind::MallocCentral | CallKind::MallocSpan),
+            "expected a non-fast refill, got {last:?}"
+        );
+    }
+
+    #[test]
+    fn large_calls_are_classified() {
+        let mut sim = MallocSim::new(Mode::Baseline);
+        let r = sim.malloc(1 << 20);
+        assert_eq!(r.kind, CallKind::MallocLarge);
+        let f = sim.free(r.ptr, false);
+        assert_eq!(f.kind, CallKind::FreeLarge);
+    }
+
+    #[test]
+    fn unsized_free_pays_pagemap_walk() {
+        let run = |sized: bool| {
+            let mut sim = MallocSim::new(Mode::Baseline);
+            warm_pair(&mut sim, 64, 50);
+            sim.reset_totals();
+            for _ in 0..100 {
+                let r = sim.malloc(64);
+                sim.free(r.ptr, sized);
+            }
+            let t = sim.totals();
+            t.free_cycles as f64 / t.free_calls as f64
+        };
+        let sized_cost = run(true);
+        let unsized_cost = run(false);
+        assert!(
+            unsized_cost > sized_cost + 2.0,
+            "unsized {unsized_cost} !> sized {sized_cost}"
+        );
+    }
+
+    #[test]
+    fn antagonist_slows_fast_path() {
+        // A half-set antagonist spares just-touched (MRU) lines; a full-set
+        // one pushes everything to L3. Both behaviours matter: the former
+        // is why hot allocator metadata survives real applications, the
+        // latter is the worst case the paper's `antagonist` ubench stresses.
+        let run = |fraction: f64| {
+            let mut sim = MallocSim::new(Mode::Baseline);
+            warm_pair(&mut sim, 64, 50);
+            sim.reset_totals();
+            for _ in 0..200 {
+                let r = sim.malloc(64);
+                sim.free(r.ptr, true);
+                if fraction > 0.0 {
+                    sim.antagonize(fraction);
+                }
+            }
+            sim.totals().malloc_cycles as f64 / 200.0
+        };
+        let quiet = run(0.0);
+        let noisy = run(1.0);
+        assert!(noisy > quiet * 1.8, "antagonist: {quiet} → {noisy}");
+    }
+
+    #[test]
+    fn mallacc_isolates_fast_path_from_antagonist() {
+        let run = |mode: Mode| {
+            let mut sim = MallocSim::new(mode);
+            warm_rotating(&mut sim, 80);
+            sim.reset_totals();
+            for i in 0..200 {
+                let r = sim.malloc(32 + (i as u64 % 4) * 32);
+                sim.free(r.ptr, true);
+                sim.antagonize(1.0);
+            }
+            sim.totals().malloc_cycles as f64 / 200.0
+        };
+        let base = run(Mode::Baseline);
+        let accel = run(Mode::mallacc_default());
+        // Full-set eviction also wipes the (unaccelerated) metadata lines,
+        // so the gain here is smaller than under the paper's half-set
+        // antagonist, which spares hot metadata; that realistic case is
+        // exercised by the `antagonist` microbenchmark in the workloads
+        // crate.
+        assert!(
+            accel < base * 0.9,
+            "cache isolation should shine under antagonism: {base} → {accel}"
+        );
+    }
+
+    #[test]
+    fn app_run_counts_toward_program_time() {
+        let mut sim = MallocSim::new(Mode::Baseline);
+        sim.app_run(1000);
+        let t = sim.totals();
+        assert_eq!(t.app_cycles, 1000);
+        assert!(t.allocator_fraction() < 1e-9);
+    }
+
+    #[test]
+    fn totals_reset() {
+        let mut sim = MallocSim::new(Mode::Baseline);
+        let r = sim.malloc(64);
+        sim.free(r.ptr, true);
+        sim.reset_totals();
+        assert_eq!(sim.totals(), SimTotals::default());
+    }
+}

@@ -1,0 +1,587 @@
+//! The malloc cache: Mallacc's central hardware structure (§4.1).
+//!
+//! A tiny, fully-associative, LRU cache. Each entry learns the mapping from
+//! a *range of requested sizes* to its size class and rounded allocation
+//! size, and additionally caches copies of the first two elements (`Head`,
+//! `Next`) of that class's thread-cache free list (the paper's Figure 8).
+//!
+//! The cache is software-managed through five instructions whose semantics
+//! follow the paper's Figures 9 and 11:
+//!
+//! * [`MallocCache::lookup`] / [`MallocCache::update`] — `mcszlookup` /
+//!   `mcszupdate`, the size-class side;
+//! * [`MallocCache::pop`] / [`MallocCache::push`] — `mchdpop` / `mchdpush`,
+//!   the free-list side;
+//! * [`MallocCache::prefetch`] — `mcnxtprefetch`, which refills the `Next`
+//!   slot (or a whole empty entry) after a pop, and *blocks* the entry until
+//!   the prefetched line arrives — pops and pushes arriving earlier stall,
+//!   which is exactly the `tp` slowdown mechanism of Figure 17.
+//!
+//! One reproduction note on `mcnxtprefetch`: the instruction's memory
+//! operand (`QWORD PTR [rdx]` in Figure 12) gives the hardware both the
+//! *effective address* (`rdx`, the new list head on the fallback path) and
+//! the *loaded value* (`*rdx`, that head's next pointer). Filling an empty
+//! entry with `(address, value)` — rather than the value alone — is the
+//! only reading under which the cached `Head` always equals the
+//! architectural list head and the paper's "Head always points to Next"
+//! invariant survives an interleaved push; we implement that reading.
+
+use mallacc_cache::Addr;
+
+/// Key space used for the size-range CAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeKeying {
+    /// Key on the Figure 5 *class index* — the paper's TCMalloc-specific
+    /// optimisation. Dedicated hardware computes the index, adding one cycle
+    /// of lookup latency but learning ranges much faster.
+    ClassIndex,
+    /// Key on the raw requested size (the allocator-agnostic mode, enabled
+    /// by a configuration register in the paper).
+    RequestedSize,
+}
+
+/// Configuration of the malloc cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MallocCacheConfig {
+    /// Number of entries (the paper sweeps 2–32 and settles on 16).
+    pub entries: usize,
+    /// CAM keying mode.
+    pub keying: RangeKeying,
+}
+
+impl MallocCacheConfig {
+    /// The paper's recommended configuration: 16 entries, index keying.
+    pub fn paper_default() -> Self {
+        Self {
+            entries: 16,
+            keying: RangeKeying::ClassIndex,
+        }
+    }
+
+    /// Lookup latency in cycles: one for the CAM, plus one for the
+    /// dedicated index-computation hardware when enabled.
+    pub fn lookup_latency(&self) -> u32 {
+        match self.keying {
+            RangeKeying::ClassIndex => 2,
+            RangeKeying::RequestedSize => 1,
+        }
+    }
+}
+
+impl Default for MallocCacheConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Result of an `mcszlookup`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeLookup {
+    /// The cached size class.
+    pub size_class: u16,
+    /// The cached rounded allocation size.
+    pub alloc_size: u64,
+}
+
+/// Result of an `mchdpop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopResult {
+    /// Both list elements were cached: `head` is returned to the caller and
+    /// `next` becomes the new architectural head.
+    Hit {
+        /// The block to hand to the application.
+        head: Addr,
+        /// The new list head.
+        next: Addr,
+    },
+    /// The entry was absent or incomplete (the incomplete side is
+    /// invalidated, per Figure 11); software must run the fallback pop.
+    Miss,
+}
+
+/// Counters for every cache event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MallocCacheStats {
+    /// `mcszlookup` hits.
+    pub lookup_hits: u64,
+    /// `mcszlookup` misses.
+    pub lookup_misses: u64,
+    /// `mcszupdate` insertions of new entries.
+    pub inserts: u64,
+    /// `mcszupdate` range extensions of existing entries.
+    pub range_extends: u64,
+    /// LRU evictions caused by inserts.
+    pub evictions: u64,
+    /// `mchdpop` hits.
+    pub pop_hits: u64,
+    /// `mchdpop` misses.
+    pub pop_misses: u64,
+    /// `mchdpush` operations that found their entry.
+    pub push_hits: u64,
+    /// `mcnxtprefetch` operations accepted.
+    pub prefetches: u64,
+    /// Cycles spent stalled on prefetch-blocked entries.
+    pub blocked_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Inclusive key range (class indices or sizes, per keying mode).
+    range_lo: u64,
+    range_hi: u64,
+    size_class: u16,
+    alloc_size: u64,
+    head: Option<Addr>,
+    next: Option<Addr>,
+    /// LRU timestamp.
+    last_use: u64,
+    /// Entry is blocked until this cycle by an outstanding prefetch.
+    blocked_until: u64,
+}
+
+/// The malloc cache.
+///
+/// # Example
+///
+/// ```
+/// use mallacc::{MallocCache, MallocCacheConfig};
+///
+/// let mut mc = MallocCache::new(MallocCacheConfig::paper_default());
+/// // Cold: lookup misses, software computes and updates.
+/// assert!(mc.lookup(48, 0).is_none());
+/// mc.update(48, 48, 5);
+/// // Warm: later requests of nearby sizes hit.
+/// let hit = mc.lookup(44, 1).unwrap();
+/// assert_eq!(hit.size_class, 5);
+/// assert_eq!(hit.alloc_size, 48);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MallocCache {
+    config: MallocCacheConfig,
+    entries: Vec<Option<Entry>>,
+    clock: u64,
+    stats: MallocCacheStats,
+}
+
+impl MallocCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.entries` is zero.
+    pub fn new(config: MallocCacheConfig) -> Self {
+        assert!(config.entries > 0, "malloc cache needs at least one entry");
+        Self {
+            config,
+            entries: vec![None; config.entries],
+            clock: 0,
+            stats: MallocCacheStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MallocCacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MallocCacheStats {
+        self.stats
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// Flushes the whole cache (interrupt / context switch — always safe,
+    /// the cache only holds copies).
+    pub fn flush(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = None);
+    }
+
+    fn key_of(&self, requested: u64) -> u64 {
+        match self.config.keying {
+            RangeKeying::ClassIndex => {
+                mallacc_tcmalloc::class_index(requested).unwrap_or(u64::MAX)
+            }
+            RangeKeying::RequestedSize => requested,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn find_class(&self, size_class: u16) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| matches!(e, Some(e) if e.size_class == size_class))
+    }
+
+    /// `mcszlookup`: associatively matches `requested` against every
+    /// entry's key range. `now` is the cycle of the access (for LRU).
+    pub fn lookup(&mut self, requested: u64, now: u64) -> Option<SizeLookup> {
+        let _ = now;
+        let key = self.key_of(requested);
+        let clock = self.tick();
+        let hit = self
+            .entries
+            .iter_mut()
+            .flatten()
+            .find(|e| e.range_lo <= key && key <= e.range_hi);
+        match hit {
+            Some(e) => {
+                e.last_use = clock;
+                self.stats.lookup_hits += 1;
+                Some(SizeLookup {
+                    size_class: e.size_class,
+                    alloc_size: e.alloc_size,
+                })
+            }
+            None => {
+                self.stats.lookup_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// `mcszupdate`: learns `(requested, alloc_size, size_class)` after a
+    /// software size-class computation — extending an existing entry's
+    /// range or inserting a new one (LRU-evicting if full).
+    pub fn update(&mut self, requested: u64, alloc_size: u64, size_class: u16) {
+        let key_lo = self.key_of(requested);
+        let key_hi = self.key_of(alloc_size);
+        let clock = self.tick();
+        if let Some(i) = self.find_class(size_class) {
+            let e = self.entries[i].as_mut().expect("found index is valid");
+            e.range_lo = e.range_lo.min(key_lo);
+            e.range_hi = e.range_hi.max(key_hi);
+            e.last_use = clock;
+            self.stats.range_extends += 1;
+            return;
+        }
+        let slot = match self.entries.iter().position(Option::is_none) {
+            Some(free) => free,
+            None => {
+                let lru = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.as_ref().expect("cache full").last_use)
+                    .map(|(i, _)| i)
+                    .expect("entries non-empty");
+                self.stats.evictions += 1;
+                lru
+            }
+        };
+        self.entries[slot] = Some(Entry {
+            range_lo: key_lo,
+            range_hi: key_hi,
+            size_class,
+            alloc_size,
+            head: None,
+            next: None,
+            last_use: clock,
+            blocked_until: 0,
+        });
+        self.stats.inserts += 1;
+    }
+
+    /// Cycles an access at `now` must wait for `size_class`'s entry to
+    /// unblock (0 if unblocked or absent).
+    pub fn block_delay(&self, size_class: u16, now: u64) -> u64 {
+        self.find_class(size_class)
+            .and_then(|i| self.entries[i].as_ref())
+            .map(|e| e.blocked_until.saturating_sub(now))
+            .unwrap_or(0)
+    }
+
+    /// `mchdpop`: pops the cached head for `size_class`. Waits for any
+    /// outstanding prefetch first (the wait is recorded in the stats and
+    /// must be charged by the timing layer via [`Self::block_delay`]).
+    pub fn pop(&mut self, size_class: u16, now: u64) -> PopResult {
+        let clock = self.tick();
+        let Some(i) = self.find_class(size_class) else {
+            self.stats.pop_misses += 1;
+            return PopResult::Miss;
+        };
+        let e = self.entries[i].as_mut().expect("found index is valid");
+        self.stats.blocked_cycles += e.blocked_until.saturating_sub(now);
+        e.last_use = clock;
+        match (e.head, e.next) {
+            (Some(head), Some(next)) => {
+                e.head = Some(next);
+                e.next = None;
+                self.stats.pop_hits += 1;
+                PopResult::Hit { head, next }
+            }
+            _ => {
+                // Incomplete: declare a miss and invalidate both halves.
+                e.head = None;
+                e.next = None;
+                self.stats.pop_misses += 1;
+                PopResult::Miss
+            }
+        }
+    }
+
+    /// `mchdpush`: on a free, shifts the cached head into `Next` and
+    /// installs the freed pointer as the new head. No-op if the class has
+    /// no entry.
+    pub fn push(&mut self, size_class: u16, new_head: Addr, now: u64) {
+        let clock = self.tick();
+        let Some(i) = self.find_class(size_class) else {
+            return;
+        };
+        let e = self.entries[i].as_mut().expect("found index is valid");
+        self.stats.blocked_cycles += e.blocked_until.saturating_sub(now);
+        e.last_use = clock;
+        e.next = e.head;
+        e.head = Some(new_head);
+        self.stats.push_hits += 1;
+    }
+
+    /// `mcnxtprefetch`: refills the entry from the prefetched line.
+    ///
+    /// `addr` is the effective address of the memory operand (the current
+    /// architectural list head) and `value` the pointer loaded from it
+    /// (`*addr`, or `None` when the list ends there). The entry blocks
+    /// until `arrival`.
+    pub fn prefetch(&mut self, size_class: u16, addr: Addr, value: Option<Addr>, arrival: u64) {
+        self.tick();
+        let Some(i) = self.find_class(size_class) else {
+            return;
+        };
+        let e = self.entries[i].as_mut().expect("found index is valid");
+        match (e.head, e.next) {
+            (None, _) => {
+                e.head = Some(addr);
+                e.next = value;
+            }
+            (Some(h), None) if h == addr => {
+                e.next = value;
+            }
+            _ => return, // complete or inconsistent: ignore
+        }
+        e.blocked_until = e.blocked_until.max(arrival);
+        self.stats.prefetches += 1;
+    }
+
+    /// Re-synchronises an entry's cached list elements with the
+    /// architectural list after slow-path list surgery (batch refill or
+    /// release). Software performs this with `mchdpush`-style updates as it
+    /// rebuilds the list; the model applies the net effect.
+    pub fn sync_list(&mut self, size_class: u16, head: Option<Addr>, next: Option<Addr>) {
+        if let Some(i) = self.find_class(size_class) {
+            let e = self.entries[i].as_mut().expect("found index is valid");
+            e.head = head;
+            e.next = if head.is_some() { next } else { None };
+        }
+    }
+
+    /// The cached `(head, next)` pair for a class, for tests and debugging.
+    pub fn cached_list(&self, size_class: u16) -> Option<(Option<Addr>, Option<Addr>)> {
+        self.find_class(size_class)
+            .and_then(|i| self.entries[i].as_ref())
+            .map(|e| (e.head, e.next))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(n: usize) -> MallocCache {
+        MallocCache::new(MallocCacheConfig {
+            entries: n,
+            keying: RangeKeying::ClassIndex,
+        })
+    }
+
+    #[test]
+    fn lookup_miss_update_hit_cycle() {
+        let mut mc = cache(4);
+        assert!(mc.lookup(100, 0).is_none());
+        mc.update(100, 104, 7);
+        let h = mc.lookup(100, 1).expect("warm lookup");
+        assert_eq!(h.size_class, 7);
+        assert_eq!(h.alloc_size, 104);
+        // Index keying: 97..=104 share or extend into the same range.
+        assert!(mc.lookup(104, 2).is_some());
+    }
+
+    #[test]
+    fn update_extends_existing_class_range() {
+        let mut mc = cache(4);
+        mc.update(100, 104, 7);
+        assert!(mc.lookup(50, 0).is_none(), "50 outside learned range");
+        mc.update(97, 104, 7);
+        assert_eq!(mc.occupancy(), 1, "same class reuses its entry");
+        assert_eq!(mc.stats().range_extends, 1);
+    }
+
+    #[test]
+    fn lru_eviction_on_insert() {
+        let mut mc = cache(2);
+        mc.update(8, 8, 1);
+        mc.update(16, 16, 2);
+        // Touch class 1 so class 2 is LRU.
+        assert!(mc.lookup(8, 0).is_some());
+        mc.update(3000, 3072, 30);
+        assert_eq!(mc.stats().evictions, 1);
+        assert!(mc.lookup(8, 1).is_some(), "MRU survived");
+        assert!(mc.lookup(16, 2).is_none(), "LRU evicted");
+    }
+
+    #[test]
+    fn pop_needs_both_elements() {
+        let mut mc = cache(4);
+        mc.update(64, 64, 9);
+        assert_eq!(mc.pop(9, 0), PopResult::Miss);
+        // One push gives head only (next = previous head = None).
+        mc.push(9, 0x1000, 0);
+        assert_eq!(mc.pop(9, 0), PopResult::Miss, "head without next misses");
+        // The miss invalidated the half-entry.
+        assert_eq!(mc.cached_list(9), Some((None, None)));
+    }
+
+    #[test]
+    fn push_push_pop_hits() {
+        let mut mc = cache(4);
+        mc.update(64, 64, 9);
+        mc.push(9, 0x1000, 0);
+        mc.push(9, 0x2000, 0);
+        match mc.pop(9, 0) {
+            PopResult::Hit { head, next } => {
+                assert_eq!(head, 0x2000);
+                assert_eq!(next, 0x1000);
+            }
+            PopResult::Miss => panic!("expected hit"),
+        }
+        // After the pop, head advanced and next is invalid.
+        assert_eq!(mc.cached_list(9), Some((Some(0x1000), None)));
+    }
+
+    #[test]
+    fn prefetch_fills_next_after_pop() {
+        let mut mc = cache(4);
+        mc.update(64, 64, 9);
+        mc.push(9, 0x1000, 0);
+        mc.push(9, 0x2000, 0);
+        let _ = mc.pop(9, 0); // head = 0x1000, next = None
+        mc.prefetch(9, 0x1000, Some(0x0F00), 10);
+        match mc.pop(9, 20) {
+            PopResult::Hit { head, next } => {
+                assert_eq!(head, 0x1000);
+                assert_eq!(next, 0x0F00);
+            }
+            PopResult::Miss => panic!("prefetch should have refilled next"),
+        }
+    }
+
+    #[test]
+    fn prefetch_fills_empty_entry_with_addr_and_value() {
+        let mut mc = cache(4);
+        mc.update(64, 64, 9);
+        // Fallback-path prefetch: addr = new architectural head.
+        mc.prefetch(9, 0x3000, Some(0x2F00), 5);
+        assert_eq!(mc.cached_list(9), Some((Some(0x3000), Some(0x2F00))));
+        match mc.pop(9, 10) {
+            PopResult::Hit { head, next } => {
+                assert_eq!(head, 0x3000);
+                assert_eq!(next, 0x2F00);
+            }
+            PopResult::Miss => panic!("expected hit after miss-path prefetch"),
+        }
+    }
+
+    #[test]
+    fn head_next_invariant_survives_interleaved_push() {
+        // The hazard discussed in the module docs: miss-path prefetch then a
+        // push before the next pop.
+        let mut mc = cache(4);
+        mc.update(64, 64, 9);
+        mc.prefetch(9, 0x3000, Some(0x2F00), 0); // list: 0x3000 → 0x2F00
+        mc.push(9, 0x4000, 0); // free 0x4000; list: 0x4000 → 0x3000 → ...
+        match mc.pop(9, 0) {
+            PopResult::Hit { head, next } => {
+                assert_eq!(head, 0x4000);
+                assert_eq!(next, 0x3000, "next must be the architectural head");
+            }
+            PopResult::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn blocking_delays_accesses() {
+        let mut mc = cache(4);
+        mc.update(64, 64, 9);
+        mc.prefetch(9, 0x3000, Some(0x2F00), 100);
+        assert_eq!(mc.block_delay(9, 40), 60);
+        assert_eq!(mc.block_delay(9, 100), 0);
+        assert_eq!(mc.block_delay(99, 0), 0, "unknown class never blocks");
+        let _ = mc.pop(9, 40);
+        assert_eq!(mc.stats().blocked_cycles, 60);
+    }
+
+    #[test]
+    fn prefetch_on_unknown_class_is_noop() {
+        let mut mc = cache(2);
+        mc.prefetch(42, 0x1000, Some(0x2000), 5);
+        assert_eq!(mc.occupancy(), 0);
+        assert_eq!(mc.stats().prefetches, 0);
+    }
+
+    #[test]
+    fn inconsistent_prefetch_is_ignored() {
+        let mut mc = cache(4);
+        mc.update(64, 64, 9);
+        mc.push(9, 0x1000, 0);
+        mc.push(9, 0x2000, 0);
+        let _ = mc.pop(9, 0); // head = 0x1000
+        // Prefetch whose address does not match the cached head: dropped.
+        mc.prefetch(9, 0xBAD0, Some(0xBEEF), 1);
+        assert_eq!(mc.cached_list(9), Some((Some(0x1000), None)));
+    }
+
+    #[test]
+    fn sync_list_overwrites_cached_copy() {
+        let mut mc = cache(4);
+        mc.update(64, 64, 9);
+        mc.push(9, 0x1000, 0);
+        mc.sync_list(9, Some(0x5000), Some(0x5040));
+        assert_eq!(mc.cached_list(9), Some((Some(0x5000), Some(0x5040))));
+        mc.sync_list(9, None, None);
+        assert_eq!(mc.cached_list(9), Some((None, None)));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut mc = cache(4);
+        mc.update(8, 8, 1);
+        mc.update(16, 16, 2);
+        mc.flush();
+        assert_eq!(mc.occupancy(), 0);
+        assert!(mc.lookup(8, 0).is_none());
+    }
+
+    #[test]
+    fn size_keying_mode_learns_exact_sizes() {
+        let mut mc = MallocCache::new(MallocCacheConfig {
+            entries: 4,
+            keying: RangeKeying::RequestedSize,
+        });
+        mc.update(100, 104, 7);
+        assert!(mc.lookup(100, 0).is_some());
+        assert!(mc.lookup(102, 0).is_some(), "inside [100, 104]");
+        assert!(mc.lookup(99, 0).is_none(), "below learned lower bound");
+        assert_eq!(mc.config().lookup_latency(), 1);
+    }
+
+    #[test]
+    fn index_mode_lookup_latency_pays_extra_cycle() {
+        assert_eq!(MallocCacheConfig::paper_default().lookup_latency(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Model-based property tests for the malloc cache's instruction
+//! semantics (Figures 9 and 11 of the paper).
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use mallacc::{MallocCache, MallocCacheConfig, PopResult, RangeKeying};
+
+#[derive(Debug, Clone)]
+enum McOp {
+    Update { req: u64, alloc: u64, cls: u16 },
+    Lookup { req: u64 },
+    Push { cls: u16, val: u64 },
+    Pop { cls: u16 },
+    Prefetch { cls: u16, addr: u64, val: u64 },
+    Flush,
+}
+
+fn arb_op() -> impl Strategy<Value = McOp> {
+    // Sizes drawn so requested ≤ alloc and classes stay in a small space
+    // (collisions exercise range extension and LRU).
+    prop_oneof![
+        3 => (1u64..4_096, 0u64..64, 1u16..12).prop_map(|(req, pad, cls)| McOp::Update {
+            req,
+            alloc: req + pad,
+            cls
+        }),
+        3 => (1u64..4_200).prop_map(|req| McOp::Lookup { req }),
+        2 => (1u16..12, 0x1000u64..0xFFFF).prop_map(|(cls, val)| McOp::Push { cls, val }),
+        2 => (1u16..12).prop_map(|cls| McOp::Pop { cls }),
+        1 => (1u16..12, 0x1000u64..0xFFFF, 0x1000u64..0xFFFF)
+            .prop_map(|(cls, addr, val)| McOp::Prefetch { cls, addr, val }),
+        1 => Just(McOp::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// One-sided soundness against a shadow model: every lookup hit must
+    /// fall within a range previously taught for that class, every pop hit
+    /// must return values previously supplied for that class, and
+    /// occupancy never exceeds capacity.
+    #[test]
+    fn cache_answers_are_always_justified(
+        entries in 1usize..8,
+        ops in prop::collection::vec(arb_op(), 1..200),
+    ) {
+        let mut mc = MallocCache::new(MallocCacheConfig {
+            entries,
+            keying: RangeKeying::RequestedSize,
+        });
+        // Shadow model: per-class widest taught range + every value ever
+        // supplied to the list side (pushes and prefetches).
+        let mut ranges: HashMap<u16, (u64, u64)> = HashMap::new();
+        let mut values: HashMap<u16, HashSet<u64>> = HashMap::new();
+        let mut now = 0u64;
+
+        for op in ops {
+            now += 10;
+            match op {
+                McOp::Update { req, alloc, cls } => {
+                    mc.update(req, alloc, cls);
+                    let e = ranges.entry(cls).or_insert((req, alloc));
+                    e.0 = e.0.min(req);
+                    e.1 = e.1.max(alloc);
+                }
+                McOp::Lookup { req } => {
+                    if let Some(hit) = mc.lookup(req, now) {
+                        let (lo, hi) = ranges
+                            .get(&hit.size_class)
+                            .copied()
+                            .expect("hit class was never taught");
+                        prop_assert!(
+                            (lo..=hi).contains(&req),
+                            "lookup({req}) hit class {} outside its taught range {lo}..={hi}",
+                            hit.size_class
+                        );
+                    }
+                }
+                McOp::Push { cls, val } => {
+                    mc.push(cls, val, now);
+                    values.entry(cls).or_default().insert(val);
+                }
+                McOp::Pop { cls } => {
+                    if let PopResult::Hit { head, next } = mc.pop(cls, now) {
+                        let known = values.get(&cls).expect("pop hit on untaught class");
+                        prop_assert!(known.contains(&head), "unknown head {head:#x}");
+                        prop_assert!(known.contains(&next), "unknown next {next:#x}");
+                    }
+                }
+                McOp::Prefetch { cls, addr, val } => {
+                    mc.prefetch(cls, addr, Some(val), now);
+                    let v = values.entry(cls).or_default();
+                    v.insert(addr);
+                    v.insert(val);
+                }
+                McOp::Flush => {
+                    mc.flush();
+                    // Ranges/values stay in the model: flushing only drops
+                    // cached copies, so *future* hits still need past
+                    // teaching — the one-sided check stays valid.
+                }
+            }
+            prop_assert!(mc.occupancy() <= entries, "occupancy over capacity");
+        }
+    }
+
+    /// LRU residency: after touching more classes than the cache holds,
+    /// the most recently taught `entries` classes are resident and the
+    /// oldest are gone.
+    #[test]
+    fn lru_keeps_the_most_recent_classes(
+        entries in 1usize..6,
+        n_classes in 6u16..16,
+    ) {
+        prop_assume!(usize::from(n_classes) > entries);
+        let mut mc = MallocCache::new(MallocCacheConfig {
+            entries,
+            keying: RangeKeying::RequestedSize,
+        });
+        // Teach classes 1..=n with disjoint ranges, in order.
+        for cls in 1..=n_classes {
+            let base = u64::from(cls) * 1_000;
+            mc.update(base, base + 10, cls);
+        }
+        for cls in 1..=n_classes {
+            let base = u64::from(cls) * 1_000;
+            let resident = mc.lookup(base, 0).is_some();
+            let expect = usize::from(n_classes - cls) < entries;
+            prop_assert_eq!(
+                resident,
+                expect,
+                "class {} residency wrong with {} entries / {} classes",
+                cls,
+                entries,
+                n_classes
+            );
+        }
+    }
+
+    /// Teaching a range makes every size inside it hit, immediately.
+    #[test]
+    fn update_teaches_the_full_range(req in 1u64..4_000, pad in 0u64..64) {
+        let mut mc = MallocCache::new(MallocCacheConfig {
+            entries: 4,
+            keying: RangeKeying::RequestedSize,
+        });
+        mc.update(req, req + pad, 7);
+        for probe in [req, req + pad / 2, req + pad] {
+            let hit = mc.lookup(probe, 0).expect("inside taught range");
+            prop_assert_eq!(hit.size_class, 7);
+            prop_assert_eq!(hit.alloc_size, req + pad);
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! The jemalloc arena: chunks, runs and bitmap allocation.
+//!
+//! Small allocations come from *runs* — page groups carved from 1 MiB
+//! chunks and subdivided into equal objects tracked by a bitmap. Each bin
+//! keeps a current run plus a set of non-full runs; when everything is
+//! full a fresh run is carved (possibly growing the arena by a chunk).
+//! Large allocations take page runs directly; huge ones take whole chunks.
+
+use std::collections::HashMap;
+
+use mallacc_cache::Addr;
+
+use crate::layout;
+use crate::size_class::{consts, BinId, BinInfo, SizeClasses};
+
+/// Slab index of a run.
+pub type RunId = usize;
+
+/// One run: a page group subdivided into `info.run_objects` objects.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// First page (arena-relative).
+    pub start_page: u64,
+    /// Pages in the run.
+    pub pages: u64,
+    /// Owning bin.
+    pub bin: BinId,
+    /// Allocation bitmap, one bit per object (set = allocated).
+    bitmap: Vec<u64>,
+    /// Free objects remaining.
+    pub nfree: u64,
+    /// Total objects.
+    pub nobjects: u64,
+    /// Object size.
+    pub object_size: u64,
+}
+
+impl Run {
+    fn new(start_page: u64, bin: BinId, info: BinInfo) -> Self {
+        Self {
+            start_page,
+            pages: info.run_pages,
+            bin,
+            bitmap: vec![0u64; info.run_objects.div_ceil(64) as usize],
+            nfree: info.run_objects,
+            nobjects: info.run_objects,
+            object_size: info.size,
+        }
+    }
+
+    /// Address of object `i`.
+    fn object_addr(&self, i: u64) -> Addr {
+        layout::page_addr(self.start_page) + i * self.object_size
+    }
+
+    /// Allocates the lowest free object (jemalloc's first-fit-in-run).
+    fn alloc(&mut self) -> Option<Addr> {
+        for (w, word) in self.bitmap.iter_mut().enumerate() {
+            if *word != u64::MAX {
+                let bit = word.trailing_ones() as u64;
+                let i = w as u64 * 64 + bit;
+                if i >= self.nobjects {
+                    return None;
+                }
+                *word |= 1 << bit;
+                self.nfree -= 1;
+                return Some(self.object_addr(i));
+            }
+        }
+        None
+    }
+
+    /// Frees the object at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double free or an address not in this run.
+    fn dalloc(&mut self, addr: Addr) {
+        let base = layout::page_addr(self.start_page);
+        assert!(addr >= base, "address below run base");
+        let off = addr - base;
+        assert_eq!(off % self.object_size, 0, "misaligned free");
+        let i = off / self.object_size;
+        assert!(i < self.nobjects, "address beyond run");
+        let (w, bit) = ((i / 64) as usize, i % 64);
+        assert!(self.bitmap[w] & (1 << bit) != 0, "double free in run");
+        self.bitmap[w] &= !(1 << bit);
+        self.nfree += 1;
+    }
+
+    /// True when no objects are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.nfree == self.nobjects
+    }
+
+    /// True when every object is allocated.
+    pub fn is_full(&self) -> bool {
+        self.nfree == 0
+    }
+}
+
+/// What a page currently belongs to (the chunk map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageUse {
+    /// Part of a small-object run.
+    SmallRun(RunId),
+    /// Part of a large page-run allocation starting at the given page.
+    Large {
+        /// First page of the large allocation.
+        start_page: u64,
+        /// Pages in the allocation.
+        pages: u64,
+    },
+}
+
+/// Arena statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Runs carved.
+    pub runs_created: u64,
+    /// Runs released (became empty).
+    pub runs_released: u64,
+    /// Chunks obtained from the "OS".
+    pub chunks_allocated: u64,
+    /// Large allocations served.
+    pub large_allocs: u64,
+    /// Huge (own-chunk) allocations served.
+    pub huge_allocs: u64,
+}
+
+/// Result of filling a tcache bin from the arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaFill {
+    /// Objects handed to the tcache.
+    pub batch: Vec<Addr>,
+    /// Runs newly carved during the fill.
+    pub new_runs: u32,
+    /// Whether a fresh chunk was needed.
+    pub grew: bool,
+}
+
+/// The arena.
+#[derive(Debug, Clone)]
+pub struct Arena {
+    classes: SizeClasses,
+    runs: Vec<Run>,
+    /// Per-bin: current run + non-full backlog.
+    bins: Vec<BinRuns>,
+    /// Page → use map (jemalloc's chunk map).
+    page_map: HashMap<u64, PageUse>,
+    /// Free page-run tracker: next never-used page (bump within chunks).
+    next_page: u64,
+    /// Reusable page runs freed by large deallocations: (pages → starts).
+    free_page_runs: HashMap<u64, Vec<u64>>,
+    stats: ArenaStats,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BinRuns {
+    current: Option<RunId>,
+    nonfull: Vec<RunId>,
+}
+
+impl Arena {
+    /// Creates an empty arena.
+    pub fn new(classes: SizeClasses) -> Self {
+        let bins = vec![BinRuns::default(); classes.num_bins()];
+        Self {
+            classes,
+            runs: Vec::new(),
+            bins,
+            page_map: HashMap::new(),
+            next_page: 0,
+            free_page_runs: HashMap::new(),
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// The size-class table.
+    pub fn classes(&self) -> &SizeClasses {
+        &self.classes
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Looks up which run/large allocation owns a page.
+    pub fn page_use(&self, page: u64) -> Option<PageUse> {
+        self.page_map.get(&page).copied()
+    }
+
+    fn alloc_pages(&mut self, pages: u64) -> (u64, bool) {
+        if let Some(starts) = self.free_page_runs.get_mut(&pages) {
+            if let Some(start) = starts.pop() {
+                return (start, false);
+            }
+        }
+        // Bump-allocate; cross a chunk boundary → new chunk.
+        let chunk_off = self.next_page % consts::CHUNK_PAGES;
+        let mut grew = false;
+        if chunk_off == 0 || chunk_off + pages > consts::CHUNK_PAGES {
+            if chunk_off != 0 {
+                self.next_page += consts::CHUNK_PAGES - chunk_off;
+            }
+            self.stats.chunks_allocated += 1;
+            grew = true;
+        }
+        let start = self.next_page;
+        self.next_page += pages;
+        (start, grew)
+    }
+
+    fn carve_run(&mut self, bin: BinId) -> (RunId, bool) {
+        let info = self.classes.bin_info(bin);
+        let (start, grew) = self.alloc_pages(info.run_pages);
+        let id = self.runs.len();
+        self.runs.push(Run::new(start, bin, info));
+        for p in start..start + info.run_pages {
+            self.page_map.insert(p, PageUse::SmallRun(id));
+        }
+        self.stats.runs_created += 1;
+        (id, grew)
+    }
+
+    /// Fills a tcache bin: pops `n` objects from the bin's runs, carving
+    /// new runs as needed.
+    pub fn fill(&mut self, bin: BinId, n: usize) -> ArenaFill {
+        let mut batch = Vec::with_capacity(n);
+        let mut new_runs = 0u32;
+        let mut grew = false;
+        while batch.len() < n {
+            let current = match self.bins[bin.0 as usize].current {
+                Some(r) if !self.runs[r].is_full() => r,
+                _ => {
+                    // Promote a non-full run or carve a new one.
+                    let promoted = self.bins[bin.0 as usize].nonfull.pop();
+                    let r = match promoted {
+                        Some(r) => r,
+                        None => {
+                            let (r, g) = self.carve_run(bin);
+                            new_runs += 1;
+                            grew |= g;
+                            r
+                        }
+                    };
+                    self.bins[bin.0 as usize].current = Some(r);
+                    r
+                }
+            };
+            let addr = self.runs[current]
+                .alloc()
+                .expect("current run has free objects");
+            batch.push(addr);
+        }
+        ArenaFill {
+            batch,
+            new_runs,
+            grew,
+        }
+    }
+
+    /// Returns objects from a tcache flush to their runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an address does not belong to a small run (invalid free).
+    pub fn flush(&mut self, objects: &[Addr]) {
+        for &addr in objects {
+            let page = layout::addr_to_page(addr);
+            let Some(PageUse::SmallRun(rid)) = self.page_use(page) else {
+                panic!("flushed address {addr:#x} is not in a small run");
+            };
+            let was_full = self.runs[rid].is_full();
+            self.runs[rid].dalloc(addr);
+            let bin = self.runs[rid].bin;
+            if was_full && self.bins[bin.0 as usize].current != Some(rid) {
+                self.bins[bin.0 as usize].nonfull.push(rid);
+            }
+            if self.runs[rid].is_empty() && self.bins[bin.0 as usize].current != Some(rid) {
+                // Release the empty run's pages.
+                let r = &self.runs[rid];
+                let (start, pages) = (r.start_page, r.pages);
+                self.bins[bin.0 as usize].nonfull.retain(|&x| x != rid);
+                for p in start..start + pages {
+                    self.page_map.remove(&p);
+                }
+                self.free_page_runs.entry(pages).or_default().push(start);
+                self.stats.runs_released += 1;
+            }
+        }
+    }
+
+    /// Allocates a large (page-run) or huge (own-chunk) block.
+    pub fn alloc_large(&mut self, size: u64) -> (Addr, u64, bool) {
+        let pages = size.div_ceil(consts::PAGE_SIZE);
+        let (start, grew) = self.alloc_pages(pages);
+        for p in start..start + pages {
+            self.page_map.insert(
+                p,
+                PageUse::Large {
+                    start_page: start,
+                    pages,
+                },
+            );
+        }
+        if size > consts::LARGE_MAX {
+            self.stats.huge_allocs += 1;
+        } else {
+            self.stats.large_allocs += 1;
+        }
+        (layout::page_addr(start), pages, grew)
+    }
+
+    /// Frees a large/huge block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not the start of a live large allocation.
+    pub fn dalloc_large(&mut self, addr: Addr) -> u64 {
+        let page = layout::addr_to_page(addr);
+        let Some(PageUse::Large { start_page, pages }) = self.page_use(page) else {
+            panic!("large free of unknown address {addr:#x}");
+        };
+        assert_eq!(start_page, page, "large free must target the block start");
+        for p in start_page..start_page + pages {
+            self.page_map.remove(&p);
+        }
+        self.free_page_runs.entry(pages).or_default().push(start_page);
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> Arena {
+        Arena::new(SizeClasses::classic())
+    }
+
+    #[test]
+    fn fill_returns_distinct_objects() {
+        let mut a = arena();
+        let bin = a.classes().bin_of(64).unwrap();
+        let f = a.fill(bin, 32);
+        assert_eq!(f.batch.len(), 32);
+        let mut set = std::collections::HashSet::new();
+        for &o in &f.batch {
+            assert!(set.insert(o), "duplicate object {o:#x}");
+        }
+        assert!(f.grew, "first fill allocates a chunk");
+    }
+
+    #[test]
+    fn flush_then_fill_reuses_objects() {
+        let mut a = arena();
+        let bin = a.classes().bin_of(64).unwrap();
+        let f = a.fill(bin, 8);
+        a.flush(&f.batch);
+        let f2 = a.fill(bin, 8);
+        // Same run, lowest-first bitmap → same addresses.
+        assert_eq!(f.batch.len(), f2.batch.len());
+        assert!(f2.new_runs == 0);
+    }
+
+    #[test]
+    fn runs_carved_when_bin_exhausted() {
+        let mut a = arena();
+        let bin = a.classes().bin_of(2048).unwrap();
+        let per_run = a.classes().bin_info(bin).run_objects as usize;
+        let f = a.fill(bin, per_run * 3);
+        assert!(f.new_runs >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free in run")]
+    fn double_flush_panics() {
+        let mut a = arena();
+        let bin = a.classes().bin_of(64).unwrap();
+        let f = a.fill(bin, 1);
+        a.flush(&f.batch);
+        a.flush(&f.batch);
+    }
+
+    #[test]
+    fn large_allocation_round_trip() {
+        let mut a = arena();
+        let (addr, pages, _) = a.alloc_large(100_000);
+        assert_eq!(pages, 100_000u64.div_ceil(consts::PAGE_SIZE));
+        let freed = a.dalloc_large(addr);
+        assert_eq!(freed, pages);
+        // Reuse.
+        let (addr2, _, grew) = a.alloc_large(100_000);
+        assert_eq!(addr, addr2);
+        assert!(!grew);
+    }
+
+    #[test]
+    fn page_map_tracks_runs() {
+        let mut a = arena();
+        let bin = a.classes().bin_of(8).unwrap();
+        let f = a.fill(bin, 1);
+        let page = layout::addr_to_page(f.batch[0]);
+        assert!(matches!(a.page_use(page), Some(PageUse::SmallRun(_))));
+    }
+
+    #[test]
+    fn chunk_accounting() {
+        let mut a = arena();
+        let bin = a.classes().bin_of(2048).unwrap();
+        // 2 KiB objects, 2 per page-run... force many runs to cross a chunk.
+        let f = a.fill(bin, 600);
+        assert!(f.batch.len() == 600);
+        assert!(a.stats().chunks_allocated >= 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Simulated address layout for the jemalloc model.
+//!
+//! Mirrors the role of `mallacc_tcmalloc::layout`, with jemalloc's own
+//! structures: the dense size→bin lookup table, the per-thread tcache with
+//! its *array-stack* bins (`avail` pointer arrays rather than linked
+//! lists), arena bin headers, and the chunk map.
+
+use mallacc_cache::Addr;
+
+use crate::size_class::{consts, BinId};
+
+/// Base of the static tables (size→bin lookup).
+pub const STATIC_BASE: Addr = 0x2100_0000;
+/// Base of the thread-local tcache.
+pub const TLS_BASE: Addr = 0x2200_0000;
+/// Base of arena bin headers (lock-protected).
+pub const ARENA_BASE: Addr = 0x2300_0000;
+/// Base of the chunk-map nodes.
+pub const CHUNK_MAP_BASE: Addr = 0x2400_0000;
+/// Base of the simulated heap (chunks).
+pub const HEAP_BASE: Addr = 0x20_0000_0000;
+
+/// Address of the size→bin lookup entry for `size`.
+pub fn lookup_entry(size: u64) -> Addr {
+    STATIC_BASE + size.div_ceil(8)
+}
+
+/// Address of the tcache bin header for `bin` (ncached + low-water +
+/// avail pointer: 16 bytes each, two per line).
+pub fn tcache_bin_header(bin: BinId) -> Addr {
+    TLS_BASE + u64::from(bin.as_u8()) * 32
+}
+
+/// Address of slot `i` of a tcache bin's `avail` stack.
+///
+/// Each bin owns a dedicated pointer array; consecutive slots share cache
+/// lines, which is why jemalloc's stack pops cache so well when the stack
+/// is deep.
+pub fn tcache_avail_slot(bin: BinId, i: u64) -> Addr {
+    TLS_BASE + 0x1_0000 + u64::from(bin.as_u8()) * 0x800 + i * 8
+}
+
+/// Address of the arena bin header (holds the bin lock and run trees).
+pub fn arena_bin_header(bin: BinId) -> Addr {
+    ARENA_BASE + u64::from(bin.as_u8()) * 256
+}
+
+/// Address of the chunk-map entry for `page` (one lookup level: jemalloc
+/// resolves a pointer to its chunk by masking, then indexes the chunk
+/// header's page map — two dependent accesses).
+pub fn chunk_map_entries(page: u64) -> [Addr; 2] {
+    let chunk = page / consts::CHUNK_PAGES;
+    [
+        CHUNK_MAP_BASE + chunk * 64,
+        CHUNK_MAP_BASE + 0x100_0000 + page * 8,
+    ]
+}
+
+/// Byte address of arena page `page`.
+pub fn page_addr(page: u64) -> Addr {
+    HEAP_BASE + page * consts::PAGE_SIZE
+}
+
+/// Arena page containing `addr`.
+///
+/// # Panics
+///
+/// Panics if `addr` is below the heap base.
+pub fn addr_to_page(addr: Addr) -> u64 {
+    assert!(addr >= HEAP_BASE, "address {addr:#x} is not a heap address");
+    (addr - HEAP_BASE) >> consts::PAGE_SHIFT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_from_tcmalloc() {
+        // Both models can in principle coexist in one hierarchy.
+        assert!(STATIC_BASE > mallacc_tcmalloc_region_end());
+        assert!(HEAP_BASE > page_addr_region_start());
+    }
+
+    fn mallacc_tcmalloc_region_end() -> Addr {
+        0x0600_0000 // above tcmalloc's SPAN_META_BASE region
+    }
+
+    fn page_addr_region_start() -> Addr {
+        0x2500_0000
+    }
+
+    #[test]
+    fn page_round_trip() {
+        for p in [0u64, 3, 255, 256, 99_999] {
+            assert_eq!(addr_to_page(page_addr(p)), p);
+        }
+    }
+
+    #[test]
+    fn avail_slots_are_dense() {
+        let b = BinId::from_raw(3);
+        assert_eq!(
+            tcache_avail_slot(b, 1) - tcache_avail_slot(b, 0),
+            8,
+            "stack slots are adjacent pointers"
+        );
+    }
+
+    #[test]
+    fn chunk_map_levels_distinct() {
+        let [a, b] = chunk_map_entries(1000);
+        assert_ne!(a, b);
+    }
+}

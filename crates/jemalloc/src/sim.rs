@@ -1,0 +1,670 @@
+//! The jemalloc timing driver: the same Mallacc hardware, a different
+//! allocator.
+//!
+//! This is the paper's generality claim made executable (§4: "we would
+//! like to hard-code as few allocator-dependent details as possible ...
+//! so that many current and future allocators can benefit"). The malloc
+//! cache is reused *unchanged* — only the software integration differs:
+//!
+//! * `mcszlookup` runs in its generic requested-size keying mode (the
+//!   paper's configuration register), because jemalloc's size→bin mapping
+//!   is not TCMalloc's Figure 5 index function;
+//! * `mchdpop`/`mchdpush` cache the top two entries of the tcache bin's
+//!   *array stack* instead of a linked list's head/next — the cached pair
+//!   is still "the value a pop returns" and "the value after it", so the
+//!   hardware semantics carry over verbatim;
+//! * the fallback paths emit jemalloc's actual µop shapes: a single
+//!   size→bin table load (vs TCMalloc's two), a header + stack-slot load
+//!   pair on pops, a two-level chunk-map walk on unsized frees, and
+//!   streaming array refills on fills.
+
+use mallacc::{MallocCache, MallocCacheConfig, Mode, PopResult, RangeKeying};
+use mallacc_cache::{Addr, Hierarchy};
+use mallacc_ooo::{CoreConfig, Engine, Reg, Uop};
+
+use crate::allocator::{JeFreePath, JeMalloc, JeMallocOutcome, JeMallocPath};
+use crate::arena::ArenaFill;
+use crate::layout;
+use crate::size_class::BinId;
+
+/// Classification of a simulated jemalloc call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JeCallKind {
+    /// tcache hit.
+    MallocFast,
+    /// tcache fill from the arena.
+    MallocFill,
+    /// Large/huge allocation.
+    MallocLarge,
+    /// tcache push.
+    FreeFast,
+    /// tcache push that flushed a batch.
+    FreeFlush,
+    /// Large free.
+    FreeLarge,
+}
+
+/// One simulated call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JeCallRecord {
+    /// Retirement-attributed cycles.
+    pub cycles: u64,
+    /// Path classification.
+    pub kind: JeCallKind,
+    /// The pointer allocated or freed.
+    pub ptr: Addr,
+}
+
+/// Cycle totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JeTotals {
+    /// malloc calls and cycles.
+    pub malloc_calls: u64,
+    /// Cycles in malloc.
+    pub malloc_cycles: u64,
+    /// free calls.
+    pub free_calls: u64,
+    /// Cycles in free.
+    pub free_cycles: u64,
+}
+
+impl JeTotals {
+    /// malloc + free cycles.
+    pub fn allocator_cycles(&self) -> u64 {
+        self.malloc_cycles + self.free_cycles
+    }
+}
+
+/// The jemalloc simulator.
+///
+/// # Example
+///
+/// ```
+/// use mallacc::Mode;
+/// use mallacc_jemalloc::{JeSim, JeCallKind};
+///
+/// let mut sim = JeSim::new(Mode::mallacc_default());
+/// let warm = sim.malloc(64);
+/// sim.free(warm.ptr, true);
+/// let hit = sim.malloc(64);
+/// assert_eq!(hit.kind, JeCallKind::MallocFast);
+/// ```
+#[derive(Debug)]
+pub struct JeSim {
+    mode: Mode,
+    alloc: JeMalloc,
+    cpu: Engine,
+    mc: MallocCache,
+    totals: JeTotals,
+}
+
+impl JeSim {
+    /// Creates a simulator. In [`Mode::Mallacc`] the malloc cache runs in
+    /// generic requested-size keying regardless of the config's keying —
+    /// jemalloc has no Figure 5 index hardware.
+    pub fn new(mode: Mode) -> Self {
+        let mc_cfg = match mode {
+            Mode::Mallacc(a) => MallocCacheConfig {
+                keying: RangeKeying::RequestedSize,
+                ..a.cache
+            },
+            _ => MallocCacheConfig {
+                keying: RangeKeying::RequestedSize,
+                ..MallocCacheConfig::paper_default()
+            },
+        };
+        Self {
+            mode,
+            alloc: JeMalloc::new(),
+            cpu: Engine::new(CoreConfig::haswell(), Hierarchy::default()),
+            mc: MallocCache::new(mc_cfg),
+            totals: JeTotals::default(),
+        }
+    }
+
+    /// The functional allocator.
+    pub fn allocator(&self) -> &JeMalloc {
+        &self.alloc
+    }
+
+    /// The malloc cache.
+    pub fn malloc_cache(&self) -> &MallocCache {
+        &self.mc
+    }
+
+    /// Accumulated totals.
+    pub fn totals(&self) -> JeTotals {
+        self.totals
+    }
+
+    /// Resets totals (post-warm-up).
+    pub fn reset_totals(&mut self) {
+        self.totals = JeTotals::default();
+    }
+
+    /// The paper's antagonist hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn antagonize(&mut self, fraction: f64) {
+        self.cpu.mem_mut().evict_antagonist(fraction);
+    }
+
+    /// Models a context switch: flush the malloc cache, evict half of
+    /// L1/L2, and let another thread run for `quantum_cycles`.
+    pub fn context_switch(&mut self, quantum_cycles: u64) {
+        self.mc.flush();
+        self.cpu.mem_mut().evict_antagonist(0.5);
+        let now = self.cpu.now();
+        self.cpu.skip_to_cycle(now + quantum_cycles);
+    }
+
+    /// Application compute between allocator calls.
+    pub fn app_run(&mut self, cycles: u64) {
+        let now = self.cpu.now();
+        self.cpu.skip_to_cycle(now + cycles);
+    }
+
+    /// Application memory traffic: one load per address.
+    pub fn app_touch(&mut self, addrs: &[Addr]) {
+        for &a in addrs {
+            let d = self.cpu.alloc_reg();
+            self.cpu.push(Uop::load(a, d, &[]));
+        }
+    }
+
+    fn accel(&self) -> Option<mallacc::AccelConfig> {
+        match self.mode {
+            Mode::Mallacc(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn limit(&self) -> mallacc::LimitRemove {
+        match self.mode {
+            Mode::Limit(l) => l,
+            _ => Default::default(),
+        }
+    }
+
+    /// Simulates one malloc.
+    pub fn malloc(&mut self, size: u64) -> JeCallRecord {
+        let outcome = self.alloc.malloc(size);
+        let start = self.cpu.now();
+        self.cpu.push(Uop::jump(&[]));
+        let kind = self.emit_malloc(&outcome);
+        self.cpu.push(Uop::jump(&[]));
+        let cycles = self.cpu.now().saturating_sub(start);
+        self.totals.malloc_calls += 1;
+        self.totals.malloc_cycles += cycles;
+        JeCallRecord {
+            cycles,
+            kind,
+            ptr: outcome.ptr,
+        }
+    }
+
+    /// Simulates one free.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid or double free.
+    pub fn free(&mut self, ptr: Addr, sized: bool) -> JeCallRecord {
+        let outcome = self.alloc.free(ptr, sized);
+        let start = self.cpu.now();
+        self.cpu.push(Uop::jump(&[]));
+        let kind = self.emit_free(&outcome);
+        self.cpu.push(Uop::jump(&[]));
+        let cycles = self.cpu.now().saturating_sub(start);
+        self.totals.free_calls += 1;
+        self.totals.free_cycles += cycles;
+        JeCallRecord {
+            cycles,
+            kind,
+            ptr,
+        }
+    }
+
+    // ---- µop emission -----------------------------------------------------
+
+    fn emit_overhead(&mut self, n: usize) {
+        for _ in 0..n {
+            let d = self.cpu.alloc_reg();
+            self.cpu.push(Uop::alu(1, Some(d), &[]));
+        }
+    }
+
+    /// jemalloc's size→bin: one shift plus one dense-table load.
+    fn emit_bin_lookup_sw(&mut self, size_reg: Reg, size: u64) -> Reg {
+        let idx = self.cpu.alloc_reg();
+        self.cpu.push(Uop::alu(1, Some(idx), &[size_reg]));
+        let bin = self.cpu.alloc_reg();
+        self.cpu
+            .push(Uop::load(layout::lookup_entry(size), bin, &[idx]));
+        self.cpu.push(Uop::branch(false, &[bin]));
+        bin
+    }
+
+    /// The size-class component under the current mode.
+    fn emit_size_class(&mut self, size_reg: Reg, outcome: &JeMallocOutcome) -> Reg {
+        let bin = outcome.bin.expect("small path");
+        let raw = u16::from(bin.as_u8());
+        if self.limit().size_class {
+            return size_reg;
+        }
+        if self.accel().filter(|a| a.size_class_opt).is_none() {
+            return self.emit_bin_lookup_sw(size_reg, outcome.requested);
+        }
+        let now = self.cpu.now();
+        let hit = self.mc.lookup(outcome.requested, now);
+        let lk = self.cpu.alloc_reg();
+        self.cpu
+            .push(Uop::alu(self.mc.config().lookup_latency(), Some(lk), &[size_reg]));
+        self.cpu.push(Uop::branch(false, &[lk]));
+        match hit {
+            Some(h) => {
+                debug_assert_eq!(h.size_class, raw);
+                lk
+            }
+            None => {
+                let r = self.emit_bin_lookup_sw(size_reg, outcome.requested);
+                self.mc.update(outcome.requested, outcome.alloc_size, raw);
+                r
+            }
+        }
+    }
+
+    /// jemalloc's prof-sampling countdown (structurally TCMalloc's).
+    fn emit_sampling(&mut self, dep: Reg) {
+        if self.limit().sampling {
+            return;
+        }
+        if self.accel().map(|a| a.sampling_opt).unwrap_or(false) {
+            return;
+        }
+        let ctr = layout::TLS_BASE + 0x8;
+        let c = self.cpu.alloc_reg();
+        self.cpu.push(Uop::load(ctr, c, &[]));
+        let d = self.cpu.alloc_reg();
+        self.cpu.push(Uop::alu(1, Some(d), &[c, dep]));
+        self.cpu.push(Uop::branch(false, &[d]));
+        self.cpu.push(Uop::store(ctr, &[d]));
+    }
+
+    /// The software stack pop: header load → slot-address arithmetic →
+    /// slot load → header store.
+    fn emit_pop_sw(&mut self, bin: BinId, ncached: u64, bin_reg: Reg) -> Reg {
+        let header = layout::tcache_bin_header(bin);
+        let n = self.cpu.alloc_reg();
+        self.cpu.push(Uop::load(header, n, &[bin_reg]));
+        self.cpu.push(Uop::branch(false, &[n]));
+        let slot_addr = self.cpu.alloc_reg();
+        self.cpu.push(Uop::alu(1, Some(slot_addr), &[n]));
+        let ptr = self.cpu.alloc_reg();
+        self.cpu.push(Uop::load(
+            layout::tcache_avail_slot(bin, ncached.saturating_sub(1)),
+            ptr,
+            &[slot_addr],
+        ));
+        self.cpu.push(Uop::store(header, &[n]));
+        ptr
+    }
+
+    fn emit_push_sw(&mut self, bin: BinId, ncached_after: u64, bin_reg: Reg, ptr_reg: Reg) {
+        let header = layout::tcache_bin_header(bin);
+        let n = self.cpu.alloc_reg();
+        self.cpu.push(Uop::load(header, n, &[bin_reg]));
+        self.cpu.push(Uop::branch(false, &[n]));
+        self.cpu.push(Uop::store(
+            layout::tcache_avail_slot(bin, ncached_after.saturating_sub(1)),
+            &[ptr_reg, n],
+        ));
+        self.cpu.push(Uop::store(header, &[n]));
+    }
+
+    /// Arena fill: bin lock, streaming stores into the avail array, bitmap
+    /// updates, chunk-map registration for new runs, OS growth.
+    fn emit_fill(&mut self, bin: BinId, fill: &ArenaFill) {
+        let lock_addr = layout::arena_bin_header(bin);
+        let lock = self.cpu.alloc_reg();
+        self.cpu.push(Uop::load(lock_addr, lock, &[]));
+        self.cpu.push(Uop::branch(false, &[lock]));
+        self.cpu.push(Uop::store(lock_addr, &[lock]));
+        if fill.grew {
+            let d = self.cpu.alloc_reg();
+            self.cpu.push(Uop::alu(8000, Some(d), &[]));
+        }
+        let mut dep = lock;
+        for (i, &obj) in fill.batch.iter().enumerate() {
+            // Bitmap word probe + set for the object's run.
+            if i % 16 == 0 {
+                let page = layout::addr_to_page(obj);
+                let [c0, _] = layout::chunk_map_entries(page);
+                let w = self.cpu.alloc_reg();
+                self.cpu.push(Uop::load(c0, w, &[dep]));
+                dep = w;
+            }
+            let b = self.cpu.alloc_reg();
+            self.cpu.push(Uop::alu(1, Some(b), &[dep]));
+            // Streaming store into the avail array.
+            self.cpu
+                .push(Uop::store(layout::tcache_avail_slot(bin, i as u64), &[b]));
+        }
+        for _ in 0..fill.new_runs {
+            // Run headers + chunk-map registration.
+            for j in 0..4u64 {
+                self.cpu.push(Uop::store(layout::CHUNK_MAP_BASE + j * 64, &[dep]));
+            }
+        }
+        self.cpu.push(Uop::store(lock_addr, &[dep]));
+    }
+
+    /// Flush of the oldest half of a bin back to the arena.
+    fn emit_flush(&mut self, flushed: &[Addr]) {
+        let mut dep = self.cpu.alloc_reg();
+        self.cpu.push(Uop::alu(1, Some(dep), &[]));
+        for &obj in flushed {
+            let page = layout::addr_to_page(obj);
+            let [c0, c1] = layout::chunk_map_entries(page);
+            let a = self.cpu.alloc_reg();
+            self.cpu.push(Uop::load(c0, a, &[dep]));
+            let b = self.cpu.alloc_reg();
+            self.cpu.push(Uop::load(c1, b, &[a]));
+            self.cpu.push(Uop::store(c1, &[b]));
+            dep = b;
+        }
+    }
+
+    fn emit_large(&mut self, pages: u64, grew: bool) {
+        let lock = self.cpu.alloc_reg();
+        self.cpu.push(Uop::load(layout::ARENA_BASE, lock, &[]));
+        if grew {
+            let d = self.cpu.alloc_reg();
+            self.cpu.push(Uop::alu(8000, Some(d), &[]));
+        }
+        let mut dep = lock;
+        for p in (0..pages).step_by(16) {
+            let [_, c1] = layout::chunk_map_entries(p);
+            let d = self.cpu.alloc_reg();
+            self.cpu.push(Uop::alu(1, Some(d), &[dep]));
+            self.cpu.push(Uop::store(c1, &[d]));
+            dep = d;
+        }
+    }
+
+    fn emit_malloc(&mut self, outcome: &JeMallocOutcome) -> JeCallKind {
+        self.emit_overhead(5);
+        let size_reg = self.cpu.alloc_reg();
+        self.cpu.push(Uop::alu(1, Some(size_reg), &[]));
+        match &outcome.path {
+            JeMallocPath::Large { pages, grew } => {
+                self.emit_large(*pages, *grew);
+                self.emit_overhead(6);
+                JeCallKind::MallocLarge
+            }
+            JeMallocPath::TcacheHit { ncached, below } => {
+                let bin = outcome.bin.expect("small path");
+                let raw = u16::from(bin.as_u8());
+                let bin_reg = self.emit_size_class(size_reg, outcome);
+                self.emit_sampling(bin_reg);
+                let tls = self.cpu.alloc_reg();
+                self.cpu.push(Uop::load(layout::TLS_BASE, tls, &[bin_reg]));
+                if self.limit().push_pop {
+                    self.emit_overhead(1);
+                } else if self.accel().map(|a| a.list_opt).unwrap_or(false) {
+                    let blocked_until = self.mc.block_delay(raw, 0);
+                    let pop_raw = self.cpu.alloc_reg();
+                    let t = self.cpu.push(Uop::alu(1, Some(pop_raw), &[tls]));
+                    let result = self.mc.pop(raw, t.ready);
+                    let pop = if blocked_until > t.ready {
+                        let stalled = self.cpu.alloc_reg();
+                        let wait = (blocked_until - t.ready) as u32;
+                        self.cpu
+                            .push(Uop::alu(wait.max(1), Some(stalled), &[pop_raw]));
+                        stalled
+                    } else {
+                        pop_raw
+                    };
+                    self.cpu.push(Uop::branch(false, &[pop]));
+                    let head_reg = match result {
+                        PopResult::Hit { head, next } => {
+                            debug_assert_eq!(head, outcome.ptr, "jemalloc cache pop mismatch");
+                            debug_assert_eq!(Some(next), *below);
+                            // Software still maintains ncached.
+                            self.cpu
+                                .push(Uop::store(layout::tcache_bin_header(bin), &[pop]));
+                            pop
+                        }
+                        PopResult::Miss => self.emit_pop_sw(bin, *ncached, tls),
+                    };
+                    if self.accel().map(|a| a.prefetch).unwrap_or(false) {
+                        if let Some(new_top) = *below {
+                            // jemalloc's avail slots are contiguous and
+                            // L1-hot, so instead of a blocking
+                            // mcnxtprefetch the integration reloads the
+                            // next slot with an ordinary (cheap) load and
+                            // reconstructs the cached pair with two
+                            // register-operand mchdpush instructions —
+                            // push(below) then push(top) leaves
+                            // Head = top, Next = below, no entry blocking.
+                            let value = self.alloc.tcache_below_top(bin);
+                            let slot =
+                                layout::tcache_avail_slot(bin, ncached.saturating_sub(2));
+                            let below_reg = self.cpu.alloc_reg();
+                            self.cpu.push(Uop::load(slot, below_reg, &[head_reg]));
+                            let p1 = self.cpu.alloc_reg();
+                            self.cpu.push(Uop::alu(1, Some(p1), &[below_reg]));
+                            let p2 = self.cpu.alloc_reg();
+                            self.cpu.push(Uop::alu(1, Some(p2), &[p1]));
+                            self.mc.sync_list(raw, Some(new_top), value);
+                        }
+                    }
+                } else {
+                    self.emit_pop_sw(bin, *ncached, tls);
+                }
+                self.emit_overhead(6);
+                JeCallKind::MallocFast
+            }
+            JeMallocPath::TcacheFill { fill, below: _ } => {
+                let bin = outcome.bin.expect("small path");
+                let raw = u16::from(bin.as_u8());
+                let bin_reg = self.emit_size_class(size_reg, outcome);
+                self.emit_sampling(bin_reg);
+                // Empty-bin branch mispredicts (rare).
+                let n = self.cpu.alloc_reg();
+                self.cpu
+                    .push(Uop::load(layout::tcache_bin_header(bin), n, &[bin_reg]));
+                self.cpu.push(Uop::branch(true, &[n]));
+                self.emit_fill(bin, fill);
+                self.emit_pop_sw(bin, fill.batch.len() as u64, bin_reg);
+                if self.accel().map(|a| a.needs_cache()).unwrap_or(false) {
+                    self.mc
+                        .sync_list(raw, self.alloc.tcache_top(bin), self.alloc.tcache_below_top(bin));
+                }
+                self.emit_overhead(6);
+                JeCallKind::MallocFill
+            }
+        }
+    }
+
+    fn emit_free(&mut self, outcome: &crate::allocator::JeFreeOutcome) -> JeCallKind {
+        self.emit_overhead(4);
+        let ptr_reg = self.cpu.alloc_reg();
+        self.cpu.push(Uop::alu(1, Some(ptr_reg), &[]));
+        match &outcome.path {
+            JeFreePath::Large { pages } => {
+                self.emit_large(*pages, false);
+                self.emit_overhead(5);
+                JeCallKind::FreeLarge
+            }
+            JeFreePath::TcachePush { ncached, flushed } => {
+                let bin = outcome.bin.expect("small path");
+                let raw = u16::from(bin.as_u8());
+                let bin_reg = if let Some([c0, c1]) = outcome.chunk_map {
+                    // Unsized: the two-level chunk-map walk.
+                    let a = self.cpu.alloc_reg();
+                    self.cpu.push(Uop::load(c0, a, &[ptr_reg]));
+                    let b = self.cpu.alloc_reg();
+                    self.cpu.push(Uop::load(c1, b, &[a]));
+                    b
+                } else if self.limit().size_class {
+                    ptr_reg
+                } else if self.accel().map(|a| a.size_class_opt).unwrap_or(false) {
+                    let now = self.cpu.now();
+                    let hit = self.mc.lookup(outcome.alloc_size, now);
+                    let lk = self.cpu.alloc_reg();
+                    self.cpu.push(Uop::alu(
+                        self.mc.config().lookup_latency(),
+                        Some(lk),
+                        &[ptr_reg],
+                    ));
+                    self.cpu.push(Uop::branch(false, &[lk]));
+                    match hit {
+                        Some(h) => {
+                            debug_assert_eq!(h.size_class, raw);
+                            lk
+                        }
+                        None => {
+                            let r = self.emit_bin_lookup_sw(ptr_reg, outcome.alloc_size);
+                            self.mc.update(outcome.alloc_size, outcome.alloc_size, raw);
+                            r
+                        }
+                    }
+                } else {
+                    self.emit_bin_lookup_sw(ptr_reg, outcome.alloc_size)
+                };
+                if !self.limit().push_pop {
+                    if self.accel().map(|a| a.list_opt).unwrap_or(false) {
+                        let d = self.cpu.alloc_reg();
+                        let t = self.cpu.push(Uop::alu(1, Some(d), &[bin_reg]));
+                        self.mc.push(raw, outcome.ptr, t.ready);
+                    }
+                    self.emit_push_sw(bin, *ncached, bin_reg, ptr_reg);
+                }
+                let kind = if let Some(fl) = flushed {
+                    self.emit_flush(fl);
+                    if self.accel().map(|a| a.needs_cache()).unwrap_or(false) {
+                        self.mc.sync_list(
+                            raw,
+                            self.alloc.tcache_top(bin),
+                            self.alloc.tcache_below_top(bin),
+                        );
+                    }
+                    JeCallKind::FreeFlush
+                } else {
+                    JeCallKind::FreeFast
+                };
+                self.emit_overhead(5);
+                kind
+            }
+        }
+    }
+}
+
+impl mallacc_workloads::SimBackend for JeSim {
+    fn backend_malloc(&mut self, size: u64) -> (u64, u64) {
+        let r = self.malloc(size);
+        (r.ptr, r.cycles)
+    }
+    fn backend_free(&mut self, ptr: u64, sized: bool) -> u64 {
+        self.free(ptr, sized).cycles
+    }
+    fn backend_antagonize(&mut self, fraction: f64) {
+        self.antagonize(fraction);
+    }
+    fn backend_context_switch(&mut self, quantum: u64) {
+        self.context_switch(quantum);
+    }
+    fn backend_app_run(&mut self, cycles: u64) {
+        self.app_run(cycles);
+    }
+    fn backend_app_touch(&mut self, addrs: &[Addr]) {
+        self.app_touch(addrs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warm_rotating(sim: &mut JeSim, n: usize) {
+        for i in 0..n {
+            let r = sim.malloc(32 + (i as u64 % 4) * 32);
+            sim.free(r.ptr, true);
+        }
+    }
+
+    #[test]
+    fn baseline_fast_path_is_fast() {
+        let mut sim = JeSim::new(Mode::Baseline);
+        warm_rotating(&mut sim, 100);
+        sim.reset_totals();
+        warm_rotating(&mut sim, 400);
+        let t = sim.totals();
+        let per = t.malloc_cycles as f64 / t.malloc_calls as f64;
+        assert!((8.0..=26.0).contains(&per), "jemalloc fast malloc = {per}");
+    }
+
+    #[test]
+    fn mallacc_accelerates_jemalloc() {
+        let run = |mode: Mode| {
+            let mut sim = JeSim::new(mode);
+            warm_rotating(&mut sim, 100);
+            sim.reset_totals();
+            warm_rotating(&mut sim, 600);
+            let t = sim.totals();
+            t.malloc_cycles as f64 / t.malloc_calls as f64
+        };
+        let base = run(Mode::Baseline);
+        let accel = run(Mode::mallacc_default());
+        assert!(
+            accel < base * 0.9,
+            "mallacc should speed jemalloc up: {base} → {accel}"
+        );
+    }
+
+    #[test]
+    fn cache_pops_hit_after_warmup() {
+        let mut sim = JeSim::new(Mode::mallacc_default());
+        warm_rotating(&mut sim, 200);
+        let s = sim.malloc_cache().stats();
+        assert!(s.pop_hits > 100, "pop hits {}", s.pop_hits);
+        assert!(s.lookup_hits > 300, "lookup hits {}", s.lookup_hits);
+    }
+
+    #[test]
+    fn fill_and_flush_paths_are_classified() {
+        let mut sim = JeSim::new(Mode::Baseline);
+        let r = sim.malloc(2048);
+        assert_eq!(r.kind, JeCallKind::MallocFill);
+        assert!(r.cycles > 50, "fill should be slow: {}", r.cycles);
+        let r2 = sim.malloc(2048);
+        assert_eq!(r2.kind, JeCallKind::MallocFast);
+    }
+
+    #[test]
+    fn large_calls_take_the_arena_path() {
+        let mut sim = JeSim::new(Mode::Baseline);
+        let r = sim.malloc(1 << 20);
+        assert_eq!(r.kind, JeCallKind::MallocLarge);
+        assert!(r.cycles > 1000);
+        let f = sim.free(r.ptr, false);
+        assert_eq!(f.kind, JeCallKind::FreeLarge);
+    }
+
+    #[test]
+    fn unsized_free_pays_chunk_map_walk() {
+        let run = |sized: bool| {
+            let mut sim = JeSim::new(Mode::Baseline);
+            warm_rotating(&mut sim, 100);
+            sim.reset_totals();
+            for _ in 0..200 {
+                let r = sim.malloc(64);
+                sim.free(r.ptr, sized);
+            }
+            sim.totals().free_cycles as f64 / 200.0
+        };
+        assert!(run(false) > run(true));
+    }
+}

@@ -1,0 +1,232 @@
+//! jemalloc-style size classes.
+//!
+//! Classic (pre-4.0) jemalloc bins: a tiny class (8 B), quantum-spaced
+//! classes (16–512 B in 16 B steps), and sub-page classes (1 KiB, 2 KiB).
+//! Anything larger up to half a chunk is a *large* page-run allocation;
+//! beyond that it is *huge*. The size → bin mapping is a dense lookup
+//! table over `size >> 3`, structurally the same two-array scheme as
+//! TCMalloc's Figure 5 — which is exactly why the malloc cache's
+//! `mcszlookup` applies unchanged (in its generic, requested-size keying
+//! mode; the class-index hardware is TCMalloc-specific and stays off).
+
+/// jemalloc bin index (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BinId(pub(crate) u8);
+
+impl BinId {
+    /// The raw bin number.
+    pub fn as_u8(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds a bin id from its raw number (the hardware CAM form).
+    pub fn from_raw(raw: u8) -> Self {
+        BinId(raw)
+    }
+}
+
+impl std::fmt::Display for BinId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bin{}", self.0)
+    }
+}
+
+/// Geometry constants (classic jemalloc).
+pub mod consts {
+    /// jemalloc page size (4 KiB, unlike TCMalloc's 8 KiB).
+    pub const PAGE_SIZE: u64 = 4 * 1024;
+    /// Log2 of the page size.
+    pub const PAGE_SHIFT: u32 = 12;
+    /// Chunk size (1 MiB): arenas carve runs out of chunks.
+    pub const CHUNK_SIZE: u64 = 1024 * 1024;
+    /// Pages per chunk.
+    pub const CHUNK_PAGES: u64 = CHUNK_SIZE / PAGE_SIZE;
+    /// Largest "small" (binned, tcache-served) size.
+    pub const SMALL_MAX: u64 = 2 * 1024;
+    /// Largest "large" size; above this an allocation gets its own chunk.
+    pub const LARGE_MAX: u64 = CHUNK_SIZE / 2;
+    /// Quantum spacing of the middle size classes.
+    pub const QUANTUM: u64 = 16;
+}
+
+/// Static description of one small bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinInfo {
+    /// Object size in bytes.
+    pub size: u64,
+    /// Pages per run for this bin.
+    pub run_pages: u64,
+    /// Objects per run.
+    pub run_objects: u64,
+    /// tcache fill/flush batch (half the tcache bin capacity).
+    pub fill_count: u32,
+}
+
+/// The jemalloc bin table plus the dense size → bin lookup array.
+///
+/// # Example
+///
+/// ```
+/// use mallacc_jemalloc::SizeClasses;
+///
+/// let sc = SizeClasses::classic();
+/// let bin = sc.bin_of(100).unwrap();
+/// assert_eq!(sc.bin_info(bin).size, 112); // rounds up to a quantum class
+/// assert!(sc.bin_of(5000).is_none());     // large: page-run, not binned
+/// ```
+#[derive(Debug, Clone)]
+pub struct SizeClasses {
+    bins: Vec<BinInfo>,
+    /// Dense map from `ceil(size/8)` to bin index + 1 (0 = no bin).
+    lookup: Vec<u8>,
+}
+
+impl SizeClasses {
+    /// Builds the classic bin table: 8, 16..512 step 16, 1024, 2048.
+    pub fn classic() -> Self {
+        let mut sizes = vec![8u64];
+        let mut s = consts::QUANTUM;
+        while s <= 512 {
+            sizes.push(s);
+            s += consts::QUANTUM;
+        }
+        sizes.push(1024);
+        sizes.push(2048);
+
+        let bins: Vec<BinInfo> = sizes
+            .iter()
+            .map(|&size| {
+                // Pick run length so slack stays under ~3% (jemalloc packs
+                // runs tightly; headers are ignored in this model).
+                let mut run_pages = 1u64;
+                while (run_pages * consts::PAGE_SIZE) % size
+                    > (run_pages * consts::PAGE_SIZE) / 32
+                    && run_pages < 8
+                {
+                    run_pages += 1;
+                }
+                let run_objects = run_pages * consts::PAGE_SIZE / size;
+                // tcache capacity scales inversely with size, 8..=200.
+                let cap = (4096 / size).clamp(8, 200) as u32;
+                BinInfo {
+                    size,
+                    run_pages,
+                    run_objects,
+                    fill_count: (cap / 2).max(1),
+                }
+            })
+            .collect();
+
+        let mut lookup = vec![0u8; (consts::SMALL_MAX / 8 + 1) as usize];
+        let mut next = 0u64;
+        for (i, b) in bins.iter().enumerate() {
+            while next <= b.size {
+                lookup[next.div_ceil(8) as usize] = (i + 1) as u8;
+                next += 8;
+            }
+        }
+        // Index 0 (size 0) maps to the smallest bin.
+        lookup[0] = 1;
+        Self { bins, lookup }
+    }
+
+    /// Number of small bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Maps a request to its bin, or `None` for large/huge requests.
+    pub fn bin_of(&self, size: u64) -> Option<BinId> {
+        if size > consts::SMALL_MAX {
+            return None;
+        }
+        let idx = size.div_ceil(8) as usize;
+        let b = self.lookup[idx];
+        debug_assert!(b > 0);
+        Some(BinId(b - 1))
+    }
+
+    /// The bin's metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is out of range.
+    pub fn bin_info(&self, bin: BinId) -> BinInfo {
+        self.bins[bin.0 as usize]
+    }
+
+    /// Iterates bins in increasing size order.
+    pub fn iter(&self) -> impl Iterator<Item = (BinId, BinInfo)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (BinId(i as u8), b))
+    }
+}
+
+impl Default for SizeClasses {
+    fn default() -> Self {
+        Self::classic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc() -> SizeClasses {
+        SizeClasses::classic()
+    }
+
+    #[test]
+    fn bin_count_is_classic() {
+        // 1 tiny + 32 quantum + 2 sub-page = 35.
+        assert_eq!(sc().num_bins(), 35);
+    }
+
+    #[test]
+    fn rounding_covers_and_is_monotone() {
+        let sc = sc();
+        let mut prev = 0;
+        for size in 1..=consts::SMALL_MAX {
+            let b = sc.bin_of(size).unwrap();
+            let rounded = sc.bin_info(b).size;
+            assert!(rounded >= size);
+            assert!(rounded >= prev);
+            prev = rounded;
+        }
+    }
+
+    #[test]
+    fn quantum_spacing() {
+        let sc = sc();
+        assert_eq!(sc.bin_info(sc.bin_of(1).unwrap()).size, 8);
+        assert_eq!(sc.bin_info(sc.bin_of(17).unwrap()).size, 32);
+        assert_eq!(sc.bin_info(sc.bin_of(512).unwrap()).size, 512);
+        assert_eq!(sc.bin_info(sc.bin_of(513).unwrap()).size, 1024);
+        assert_eq!(sc.bin_info(sc.bin_of(2048).unwrap()).size, 2048);
+    }
+
+    #[test]
+    fn large_sizes_are_unbinned() {
+        assert!(sc().bin_of(2049).is_none());
+        assert!(sc().bin_of(1 << 20).is_none());
+    }
+
+    #[test]
+    fn run_geometry_is_tight() {
+        for (_, b) in sc().iter() {
+            let run = b.run_pages * consts::PAGE_SIZE;
+            assert!(b.run_objects >= 2, "bin {b:?} holds too few objects");
+            assert_eq!(b.run_objects, run / b.size);
+        }
+    }
+
+    #[test]
+    fn fill_counts_scale_down_with_size() {
+        let sc = sc();
+        let tiny = sc.bin_info(sc.bin_of(8).unwrap()).fill_count;
+        let big = sc.bin_info(sc.bin_of(2048).unwrap()).fill_count;
+        assert!(tiny > big);
+    }
+}

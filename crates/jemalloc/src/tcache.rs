@@ -1,0 +1,138 @@
+//! The jemalloc thread cache (tcache).
+//!
+//! Unlike TCMalloc's linked free lists, a tcache bin is an *array stack* of
+//! cached object pointers (`avail`): allocation pops the top slot,
+//! deallocation pushes. On an empty bin the tcache fills `fill_count`
+//! objects from the arena; on a full bin it flushes the bottom
+//! `fill_count` back (jemalloc flushes the *oldest* half, preserving the
+//! hottest objects on top).
+
+use mallacc_cache::Addr;
+
+use crate::size_class::{BinId, BinInfo};
+
+/// One tcache bin.
+#[derive(Debug, Clone)]
+pub struct TcacheBin {
+    bin: BinId,
+    stack: Vec<Addr>,
+    capacity: usize,
+}
+
+impl TcacheBin {
+    /// Creates an empty bin sized for `info`.
+    pub fn new(bin: BinId, info: BinInfo) -> Self {
+        Self {
+            bin,
+            stack: Vec::new(),
+            capacity: (info.fill_count as usize) * 2,
+        }
+    }
+
+    /// The owning bin id.
+    pub fn bin(&self) -> BinId {
+        self.bin
+    }
+
+    /// Cached objects.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// True if no objects are cached.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Maximum cached objects before a flush.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Top of the stack (what the next alloc returns).
+    pub fn top(&self) -> Option<Addr> {
+        self.stack.last().copied()
+    }
+
+    /// Second-from-top (what the accelerator caches as `Next`).
+    pub fn below_top(&self) -> Option<Addr> {
+        (self.stack.len() >= 2).then(|| self.stack[self.stack.len() - 2])
+    }
+
+    /// Pops the top object.
+    pub fn pop(&mut self) -> Option<Addr> {
+        self.stack.pop()
+    }
+
+    /// Pushes a freed object; returns `false` if the bin is full (caller
+    /// must flush first).
+    pub fn push(&mut self, addr: Addr) -> bool {
+        if self.stack.len() >= self.capacity {
+            return false;
+        }
+        self.stack.push(addr);
+        true
+    }
+
+    /// Refills from an arena batch (batch order preserved; last becomes
+    /// the top).
+    pub fn refill(&mut self, batch: &[Addr]) {
+        self.stack.extend_from_slice(batch);
+    }
+
+    /// Removes the oldest `n` objects for a flush back to the arena.
+    pub fn take_oldest(&mut self, n: usize) -> Vec<Addr> {
+        let n = n.min(self.stack.len());
+        self.stack.drain(..n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size_class::SizeClasses;
+
+    fn bin() -> TcacheBin {
+        let sc = SizeClasses::classic();
+        let b = sc.bin_of(64).unwrap();
+        TcacheBin::new(b, sc.bin_info(b))
+    }
+
+    #[test]
+    fn stack_is_lifo() {
+        let mut b = bin();
+        b.refill(&[1, 2, 3]);
+        assert_eq!(b.top(), Some(3));
+        assert_eq!(b.below_top(), Some(2));
+        assert_eq!(b.pop(), Some(3));
+        assert_eq!(b.pop(), Some(2));
+        assert_eq!(b.pop(), Some(1));
+        assert_eq!(b.pop(), None);
+    }
+
+    #[test]
+    fn push_respects_capacity() {
+        let mut b = bin();
+        for i in 0..b.capacity() as u64 {
+            assert!(b.push(0x1000 + i * 64));
+        }
+        assert!(!b.push(0xFFFF), "full bin must refuse the push");
+    }
+
+    #[test]
+    fn flush_takes_oldest() {
+        let mut b = bin();
+        b.refill(&[10, 20, 30, 40]);
+        let old = b.take_oldest(2);
+        assert_eq!(old, vec![10, 20]);
+        assert_eq!(b.top(), Some(40), "hot top preserved");
+    }
+
+    #[test]
+    fn take_oldest_clamps() {
+        let mut b = bin();
+        b.refill(&[1]);
+        assert_eq!(b.take_oldest(10), vec![1]);
+        assert!(b.is_empty());
+    }
+}

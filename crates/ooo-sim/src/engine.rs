@@ -1,0 +1,693 @@
+//! The out-of-order dataflow scheduling engine.
+
+use std::collections::{HashMap, VecDeque};
+
+use mallacc_cache::{AccessKind, AccessResult, Hierarchy};
+
+use crate::uop::{OpKind, Reg, Uop};
+
+/// Tracks a per-cycle issue-port budget (Haswell: 2 load ports, 1 store
+/// port). Finds the earliest cycle at or after `ready` with spare capacity.
+#[derive(Debug, Default)]
+struct PortTracker {
+    used: HashMap<u64, u8>,
+    watermark: u64,
+}
+
+impl PortTracker {
+    fn issue_at(&mut self, ready: u64, cap: u8) -> u64 {
+        let mut cycle = ready.max(self.watermark.saturating_sub(1_000));
+        loop {
+            let c = self.used.entry(cycle).or_insert(0);
+            if *c < cap {
+                *c += 1;
+                break;
+            }
+            cycle += 1;
+        }
+        // Keep the map bounded: drop entries far behind the frontier.
+        if cycle > self.watermark {
+            self.watermark = cycle;
+            if self.used.len() > 4_096 {
+                let cutoff = self.watermark.saturating_sub(2_000);
+                self.used.retain(|&k, _| k >= cutoff);
+            }
+        }
+        cycle
+    }
+}
+
+/// Core width/size parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Micro-ops fetched/renamed per cycle.
+    pub fetch_width: u32,
+    /// Micro-ops retired per cycle.
+    pub commit_width: u32,
+    /// Reorder-buffer entries; fetch stalls when the window is full.
+    pub rob_size: u32,
+    /// Cycles from branch resolution to fetching down the right path.
+    pub mispredict_penalty: u32,
+    /// Front-end depth: cycles between fetching a µop and its earliest issue.
+    pub frontend_latency: u32,
+}
+
+impl CoreConfig {
+    /// An aggressive Haswell-like core: 4-wide fetch and commit, 192-entry
+    /// ROB, 15-cycle mispredict penalty, 5-stage front end.
+    pub fn haswell() -> Self {
+        Self {
+            fetch_width: 4,
+            commit_width: 4,
+            rob_size: 192,
+            mispredict_penalty: 15,
+            frontend_latency: 5,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::haswell()
+    }
+}
+
+/// When one micro-op moved through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UopTiming {
+    /// Cycle the µop was fetched.
+    pub fetch: u64,
+    /// Cycle all its sources were available.
+    pub ready: u64,
+    /// Cycle its result was produced.
+    pub complete: u64,
+    /// Cycle it retired (in order).
+    pub commit: u64,
+    /// For loads/stores/prefetches: the hierarchy's answer. For prefetches,
+    /// `complete` is early (senior-store-queue style) and
+    /// `ready + mem.latency` is when the data actually arrives.
+    pub mem: Option<AccessResult>,
+}
+
+impl UopTiming {
+    /// For memory µops, the cycle the cache line actually arrives
+    /// (`ready + mem latency`); otherwise `complete`.
+    pub fn data_arrival(&self) -> u64 {
+        match self.mem {
+            Some(m) => self.ready + m.latency as u64,
+            None => self.complete,
+        }
+    }
+}
+
+/// Aggregate execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreStats {
+    /// Micro-ops pushed.
+    pub uops: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Prefetches executed.
+    pub prefetches: u64,
+    /// Branches executed.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+}
+
+/// A retirement-side CPI stack: every cycle of forward commit progress is
+/// attributed to the constraint that bound it. Sums to the total elapsed
+/// cycles, so `stack.memory / stack.total()` is "the fraction of time the
+/// machine was waiting on loads" — the lens behind the paper's §3.2/§3.3
+/// cost analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpiStack {
+    /// Commit advanced smoothly (retirement-width bound): useful work.
+    pub base: u64,
+    /// Commit waited on a load's data.
+    pub memory: u64,
+    /// Commit waited on a non-memory execution latency (ALU chains,
+    /// accelerator ops, modelled syscalls).
+    pub execute: u64,
+    /// Commit waited on the front end (fetch groups, taken branches,
+    /// misprediction redirects).
+    pub frontend: u64,
+}
+
+impl CpiStack {
+    /// Total attributed cycles.
+    pub fn total(&self) -> u64 {
+        self.base + self.memory + self.execute + self.frontend
+    }
+}
+
+/// The out-of-order core model.
+///
+/// Push µops in program order; the engine returns each µop's pipeline timing
+/// immediately (the model is analytic per µop, so no separate "run" step is
+/// needed). Loads and stores access the owned [`Hierarchy`] in program
+/// order.
+///
+/// # Example
+///
+/// ```
+/// use mallacc_ooo::{CoreConfig, Engine, Uop};
+/// use mallacc_cache::Hierarchy;
+///
+/// let mut cpu = Engine::new(CoreConfig::haswell(), Hierarchy::default());
+/// let v = cpu.alloc_reg();
+/// let w = cpu.alloc_reg();
+/// cpu.mem_mut().warm(0x100);
+/// let t1 = cpu.push(Uop::load(0x100, v, &[]));
+/// let t2 = cpu.push(Uop::alu(1, Some(w), &[v]));
+/// assert!(t2.ready >= t1.complete); // dataflow dependency respected
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: CoreConfig,
+    mem: Hierarchy,
+    /// Completion cycle of each virtual register (index = Reg.0).
+    reg_complete: Vec<u64>,
+    /// Commit times of the in-flight window, bounded by `rob_size`.
+    rob: VecDeque<u64>,
+    /// Fetch bookkeeping: cycle and how many µops were fetched in it.
+    fetch_cycle: u64,
+    fetched_this_cycle: u32,
+    /// Earliest cycle the next µop may fetch (branch redirects push this).
+    fetch_barrier: u64,
+    /// Commit bookkeeping (in-order, width-limited).
+    commit_cycle: u64,
+    committed_this_cycle: u32,
+    last_commit: u64,
+    /// Completion time of the most recent store to each cache line, for
+    /// store→load memory dependencies (forwarding).
+    store_complete: HashMap<u64, u64>,
+    load_ports: PortTracker,
+    store_ports: PortTracker,
+    stats: CoreStats,
+    cpi: CpiStack,
+}
+
+/// Cache-line granularity used for memory dependence tracking.
+const DEP_LINE_SHIFT: u32 = 6;
+
+impl Engine {
+    /// Creates a core with a cold pipeline at cycle 0.
+    pub fn new(config: CoreConfig, mem: Hierarchy) -> Self {
+        assert!(config.fetch_width >= 1 && config.commit_width >= 1 && config.rob_size >= 1);
+        Self {
+            config,
+            mem,
+            reg_complete: Vec::new(),
+            rob: VecDeque::with_capacity(config.rob_size as usize),
+            fetch_cycle: 0,
+            fetched_this_cycle: 0,
+            fetch_barrier: 0,
+            commit_cycle: 0,
+            committed_this_cycle: 0,
+            last_commit: 0,
+            store_complete: HashMap::new(),
+            load_ports: PortTracker::default(),
+            store_ports: PortTracker::default(),
+            stats: CoreStats::default(),
+            cpi: CpiStack::default(),
+        }
+    }
+
+    /// The configuration this core was built with.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Read-only view of the memory hierarchy.
+    pub fn mem(&self) -> &Hierarchy {
+        &self.mem
+    }
+
+    /// Mutable access to the hierarchy (warming, antagonist eviction).
+    pub fn mem_mut(&mut self) -> &mut Hierarchy {
+        &mut self.mem
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn alloc_reg(&mut self) -> Reg {
+        let r = Reg(self.reg_complete.len() as u32);
+        self.reg_complete.push(0);
+        r
+    }
+
+    /// Marks a register's value as becoming available at `cycle` without an
+    /// explicit producer µop (used to model live-in values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` was not allocated by this engine.
+    pub fn set_reg_available_at(&mut self, reg: Reg, cycle: u64) {
+        self.reg_complete[reg.0 as usize] = cycle;
+    }
+
+    /// Commit time of the most recently pushed µop.
+    pub fn now(&self) -> u64 {
+        self.last_commit
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// The retirement-side CPI stack accumulated so far.
+    pub fn cpi_stack(&self) -> CpiStack {
+        self.cpi
+    }
+
+    fn fetch_slot(&mut self, earliest: u64) -> u64 {
+        let mut cycle = self.fetch_cycle.max(earliest).max(self.fetch_barrier);
+        if cycle > self.fetch_cycle {
+            self.fetch_cycle = cycle;
+            self.fetched_this_cycle = 0;
+        }
+        if self.fetched_this_cycle >= self.config.fetch_width {
+            cycle += 1;
+            self.fetch_cycle = cycle;
+            self.fetched_this_cycle = 0;
+        }
+        self.fetched_this_cycle += 1;
+        cycle
+    }
+
+    fn commit_slot(&mut self, earliest: u64) -> u64 {
+        let mut cycle = self.commit_cycle.max(earliest);
+        if cycle > self.commit_cycle {
+            self.commit_cycle = cycle;
+            self.committed_this_cycle = 0;
+        }
+        if self.committed_this_cycle >= self.config.commit_width {
+            cycle += 1;
+            self.commit_cycle = cycle;
+            self.committed_this_cycle = 0;
+        }
+        self.committed_this_cycle += 1;
+        cycle
+    }
+
+    /// Pushes the next µop in program order and returns its timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the µop names a register that was never allocated.
+    pub fn push(&mut self, uop: Uop) -> UopTiming {
+        self.stats.uops += 1;
+
+        // ROB gating: the window holds at most rob_size µops; fetching a new
+        // one must wait for the oldest in-flight µop to commit.
+        let rob_gate = if self.rob.len() >= self.config.rob_size as usize {
+            self.rob.pop_front().expect("rob non-empty")
+        } else {
+            0
+        };
+
+        let fetch = self.fetch_slot(rob_gate);
+
+        // Dataflow readiness: sources plus front-end depth.
+        let mut ready = fetch + self.config.frontend_latency as u64;
+        for src in uop.srcs.iter().flatten() {
+            let t = self.reg_complete[src.0 as usize];
+            ready = ready.max(t);
+        }
+
+        let mut mem = None;
+        let (complete, commit_gate) = match uop.kind {
+            OpKind::Alu { latency } => {
+                let c = ready + latency as u64;
+                (c, c)
+            }
+            OpKind::Load { addr } => {
+                self.stats.loads += 1;
+                // Memory dependence: a load cannot see data before the last
+                // store to its line has produced it (forwarding).
+                if let Some(&s) = self.store_complete.get(&(addr >> DEP_LINE_SHIFT)) {
+                    ready = ready.max(s);
+                }
+                let issue = self.load_ports.issue_at(ready, 2);
+                let r = self.mem.access(addr, AccessKind::Read);
+                mem = Some(r);
+                let c = issue + r.latency as u64;
+                (c, c)
+            }
+            OpKind::Store { addr } => {
+                self.stats.stores += 1;
+                let issue = self.store_ports.issue_at(ready, 1);
+                let r = self.mem.access(addr, AccessKind::Write);
+                mem = Some(r);
+                // Senior store queue: the store completes and may retire one
+                // cycle after its operands are ready; the cache update
+                // happens in the background.
+                let c = issue + 1;
+                self.store_complete.insert(addr >> DEP_LINE_SHIFT, c);
+                (c, c)
+            }
+            OpKind::Prefetch { addr } => {
+                self.stats.prefetches += 1;
+                let issue = self.load_ports.issue_at(ready, 2);
+                let r = self.mem.access(addr, AccessKind::Prefetch);
+                mem = Some(r);
+                // Like a store: commits without waiting for the data.
+                let c = issue + 1;
+                (c, c)
+            }
+            OpKind::Branch {
+                mispredicted,
+                taken,
+                penalty,
+            } => {
+                self.stats.branches += 1;
+                let c = ready + 1;
+                if mispredicted {
+                    self.stats.mispredicts += 1;
+                    let pen = penalty.unwrap_or(self.config.mispredict_penalty);
+                    self.fetch_barrier = self.fetch_barrier.max(c + pen as u64);
+                } else if taken {
+                    // A taken branch ends its fetch group: the front end
+                    // resteers and resumes at the target next cycle.
+                    self.fetch_cycle = fetch + 1;
+                    self.fetched_this_cycle = 0;
+                }
+                (c, c)
+            }
+        };
+
+        if let Some(dst) = uop.dst {
+            self.reg_complete[dst.0 as usize] = complete;
+        }
+
+        // In-order commit: cannot retire before the previous µop, nor before
+        // this µop's own completion.
+        let prev_commit = self.last_commit;
+        let commit = self.commit_slot(commit_gate.max(prev_commit));
+        self.last_commit = commit;
+        self.rob.push_back(commit);
+
+        // CPI attribution: the cycles this µop moved retirement forward,
+        // charged to whatever bound it. A µop whose completion trailed the
+        // previous retirement stalled commit (memory or execute); one that
+        // was ready early but fetched late was front-end bound; the rest is
+        // width-limited useful work.
+        let advance = commit.saturating_sub(prev_commit);
+        if advance > 0 {
+            let stalled = commit_gate.saturating_sub(prev_commit).min(advance);
+            let smooth = advance - stalled;
+            self.cpi.base += smooth;
+            if stalled > 0 {
+                let exec_part = complete.saturating_sub(ready).min(stalled);
+                let wait_part = stalled - exec_part;
+                match uop.kind {
+                    OpKind::Load { .. } => self.cpi.memory += exec_part,
+                    _ => self.cpi.execute += exec_part,
+                }
+                // Time spent waiting for operands/fetch before execution.
+                self.cpi.frontend += wait_part;
+            }
+        }
+
+        UopTiming {
+            fetch,
+            ready,
+            complete,
+            commit,
+            mem,
+        }
+    }
+
+    /// Pushes a sequence of µops, returning the timing of the last one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uops` is empty.
+    pub fn push_all<I: IntoIterator<Item = Uop>>(&mut self, uops: I) -> UopTiming {
+        let mut last = None;
+        for u in uops {
+            last = Some(self.push(u));
+        }
+        last.expect("push_all requires at least one uop")
+    }
+
+    /// Advances fetch to at least `cycle` (models time passing between
+    /// allocator calls while the application runs).
+    pub fn skip_to_cycle(&mut self, cycle: u64) {
+        if cycle > self.fetch_cycle {
+            self.fetch_cycle = cycle;
+            self.fetched_this_cycle = 0;
+        }
+        self.fetch_barrier = self.fetch_barrier.max(cycle);
+        self.last_commit = self.last_commit.max(cycle);
+        if cycle > self.commit_cycle {
+            self.commit_cycle = cycle;
+            self.committed_this_cycle = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(CoreConfig::haswell(), Hierarchy::default())
+    }
+
+    #[test]
+    fn independent_alus_pack_by_fetch_width() {
+        let mut cpu = engine();
+        // 8 independent 1-cycle ALU ops on a 4-wide machine: fetched over
+        // two cycles.
+        let mut timings = Vec::new();
+        for _ in 0..8 {
+            let d = cpu.alloc_reg();
+            timings.push(cpu.push(Uop::alu(1, Some(d), &[])));
+        }
+        assert_eq!(timings[0].fetch, 0);
+        assert_eq!(timings[3].fetch, 0);
+        assert_eq!(timings[4].fetch, 1);
+        assert_eq!(timings[7].fetch, 1);
+    }
+
+    #[test]
+    fn dependent_chain_serialises() {
+        let mut cpu = engine();
+        let mut prev: Option<Reg> = None;
+        let mut last = None;
+        for _ in 0..10 {
+            let d = cpu.alloc_reg();
+            let srcs: Vec<Reg> = prev.into_iter().collect();
+            last = Some(cpu.push(Uop::alu(3, Some(d), &srcs)));
+            prev = Some(d);
+        }
+        let t = last.unwrap();
+        // 10 ops × 3 cycles on the dataflow chain.
+        assert!(t.complete >= 30);
+    }
+
+    #[test]
+    fn load_latency_comes_from_hierarchy() {
+        let mut cpu = engine();
+        let d = cpu.alloc_reg();
+        let t = cpu.push(Uop::load(0x100, d, &[]));
+        assert_eq!(t.mem.unwrap().latency, 230); // cold DRAM + page walk
+        let d2 = cpu.alloc_reg();
+        let t2 = cpu.push(Uop::load(0x100, d2, &[]));
+        assert_eq!(t2.mem.unwrap().latency, 4); // now L1 (and TLB)
+    }
+
+    #[test]
+    fn store_commits_without_waiting_for_memory() {
+        let mut cpu = engine();
+        let v = cpu.alloc_reg();
+        cpu.push(Uop::alu(1, Some(v), &[]));
+        let t = cpu.push(Uop::store(0x2000, &[v]));
+        // Cold store to DRAM, yet it retires almost immediately.
+        assert!(t.commit < 20, "store stalled commit: {t:?}");
+    }
+
+    #[test]
+    fn load_miss_stalls_commit_of_younger_uops() {
+        let mut cpu = engine();
+        let d = cpu.alloc_reg();
+        let tl = cpu.push(Uop::load(0x3000, d, &[])); // cold miss
+        let e = cpu.alloc_reg();
+        let ta = cpu.push(Uop::alu(1, Some(e), &[])); // independent
+        // The ALU op completes early but cannot retire before the load.
+        assert!(ta.complete < tl.complete);
+        assert!(ta.commit >= tl.commit);
+    }
+
+    #[test]
+    fn mispredict_redirects_fetch() {
+        let mut cpu = engine();
+        let f = cpu.alloc_reg();
+        cpu.push(Uop::alu(1, Some(f), &[]));
+        let tb = cpu.push(Uop::branch(true, &[f]));
+        let d = cpu.alloc_reg();
+        let tn = cpu.push(Uop::alu(1, Some(d), &[]));
+        assert!(tn.fetch >= tb.complete + 15);
+    }
+
+    #[test]
+    fn predicted_branch_is_cheap() {
+        let mut cpu = engine();
+        let f = cpu.alloc_reg();
+        cpu.push(Uop::alu(1, Some(f), &[]));
+        cpu.push(Uop::branch(false, &[f]));
+        let d = cpu.alloc_reg();
+        let tn = cpu.push(Uop::alu(1, Some(d), &[]));
+        assert_eq!(tn.fetch, 0, "predicted branch should not stall fetch");
+    }
+
+    #[test]
+    fn rob_limits_runahead() {
+        let mut cpu = Engine::new(
+            CoreConfig {
+                rob_size: 4,
+                ..CoreConfig::haswell()
+            },
+            Hierarchy::default(),
+        );
+        // A long-latency cold load at the head of the window...
+        let d = cpu.alloc_reg();
+        let tl = cpu.push(Uop::load(0x4000, d, &[]));
+        // ...followed by many independent ALU ops. With a 4-entry ROB the
+        // 6th op cannot even fetch until the load commits.
+        let mut last = None;
+        for _ in 0..8 {
+            let r = cpu.alloc_reg();
+            last = Some(cpu.push(Uop::alu(1, Some(r), &[])));
+        }
+        assert!(last.unwrap().fetch >= tl.commit);
+    }
+
+    #[test]
+    fn commit_is_width_limited_and_monotone() {
+        let mut cpu = engine();
+        let mut commits = Vec::new();
+        for _ in 0..12 {
+            let d = cpu.alloc_reg();
+            commits.push(cpu.push(Uop::alu(1, Some(d), &[])).commit);
+        }
+        for w in commits.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // At most 4 retire in any single cycle.
+        for &c in &commits {
+            assert!(commits.iter().filter(|&&x| x == c).count() <= 4);
+        }
+    }
+
+    #[test]
+    fn prefetch_data_arrival_is_later_than_commit() {
+        let mut cpu = engine();
+        let t = cpu.push(Uop::prefetch(0x5000, &[]));
+        assert!(t.commit <= t.ready + 2);
+        assert_eq!(t.data_arrival(), t.ready + 230);
+    }
+
+    #[test]
+    fn skip_to_cycle_moves_time_forward() {
+        let mut cpu = engine();
+        cpu.skip_to_cycle(1000);
+        let d = cpu.alloc_reg();
+        let t = cpu.push(Uop::alu(1, Some(d), &[]));
+        assert!(t.fetch >= 1000);
+        assert!(t.commit >= 1000);
+    }
+
+    #[test]
+    fn live_in_registers() {
+        let mut cpu = engine();
+        let live = cpu.alloc_reg();
+        cpu.set_reg_available_at(live, 500);
+        let d = cpu.alloc_reg();
+        let t = cpu.push(Uop::alu(1, Some(d), &[live]));
+        assert!(t.ready >= 500);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut cpu = engine();
+        let d = cpu.alloc_reg();
+        cpu.push(Uop::load(0x0, d, &[]));
+        cpu.push(Uop::store(0x40, &[d]));
+        cpu.push(Uop::prefetch(0x80, &[]));
+        cpu.push(Uop::branch(true, &[d]));
+        let s = cpu.stats();
+        assert_eq!(s.uops, 4);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.prefetches, 1);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.mispredicts, 1);
+    }
+
+    #[test]
+    fn cpi_stack_sums_to_elapsed_cycles() {
+        let mut cpu = engine();
+        let mut prev = None;
+        for i in 0..200u64 {
+            let d = cpu.alloc_reg();
+            let t = if i % 7 == 0 {
+                cpu.push(Uop::load(i * 64, d, &[]))
+            } else {
+                let srcs: Vec<Reg> = prev.into_iter().collect();
+                cpu.push(Uop::alu(2, Some(d), &srcs))
+            };
+            let _ = t;
+            prev = Some(d);
+        }
+        let stack = cpu.cpi_stack();
+        assert_eq!(stack.total(), cpu.now(), "attribution must cover time");
+        assert!(stack.memory > 0, "cold loads must charge memory cycles");
+        assert!(stack.execute > 0, "alu chain must charge execute cycles");
+    }
+
+    #[test]
+    fn memory_bound_code_charges_memory() {
+        let mut cpu = engine();
+        let mut prev: Option<Reg> = None;
+        for i in 0..32u64 {
+            let d = cpu.alloc_reg();
+            let srcs: Vec<Reg> = prev.into_iter().collect();
+            cpu.push(Uop::load(i * 1_000_000, d, &srcs));
+            prev = Some(d);
+        }
+        let stack = cpu.cpi_stack();
+        assert!(
+            stack.memory as f64 > 0.8 * stack.total() as f64,
+            "dependent cold loads should dominate: {stack:?}"
+        );
+    }
+
+    #[test]
+    fn ipc_of_microbenchmark_like_code_is_high() {
+        // Mirrors the paper's observation that back-to-back allocation
+        // microbenchmark code reaches IPC ≈ 3 on a 4-wide core: mostly
+        // independent short ops with an occasional dependent load.
+        let mut cpu = engine();
+        for i in 0..64u64 {
+            cpu.mem_mut().warm(i * 64);
+        }
+        let n = 400;
+        let mut last = 0;
+        for i in 0..n {
+            let d = cpu.alloc_reg();
+            let t = if i % 4 == 0 {
+                cpu.push(Uop::load((i as u64 % 64) * 64, d, &[]))
+            } else {
+                cpu.push(Uop::alu(1, Some(d), &[]))
+            };
+            last = t.commit;
+        }
+        let ipc = n as f64 / last as f64;
+        assert!(ipc > 2.0, "ipc too low: {ipc}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Exact empirical weighted CDFs.
+
+/// An empirical, weighted cumulative distribution over `f64` samples.
+///
+/// Unlike [`crate::LogHistogram`], which bins, `Cdf` keeps every sample and
+/// answers exact quantile/fraction queries. The reproduction uses it for the
+/// size-class coverage curves of Figure 6 ("how many size classes cover 90 %
+/// of malloc calls").
+///
+/// # Example
+///
+/// ```
+/// use mallacc_stats::Cdf;
+///
+/// let mut cdf = Cdf::new();
+/// cdf.record(1.0, 70.0);
+/// cdf.record(2.0, 20.0);
+/// cdf.record(3.0, 10.0);
+/// assert_eq!(cdf.quantile(0.5), Some(1.0));
+/// assert_eq!(cdf.quantile(0.95), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    /// (value, weight) pairs; sorted lazily.
+    samples: Vec<(f64, f64)>,
+    sorted: bool,
+    total_weight: f64,
+}
+
+impl Cdf {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample with the given non-negative weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or `weight` is negative/NaN.
+    pub fn record(&mut self, value: f64, weight: f64) {
+        assert!(!value.is_nan(), "NaN sample");
+        assert!(weight >= 0.0, "negative weight {weight}");
+        if weight == 0.0 {
+            return;
+        }
+        self.samples.push((value, weight));
+        self.total_weight += weight;
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN by construction"));
+            self.sorted = true;
+        }
+    }
+
+    /// Total recorded weight.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Number of recorded (non-zero-weight) samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Fraction (0–1) of weight at values `<= x`.
+    pub fn fraction_at_or_below(&mut self, x: f64) -> f64 {
+        if self.total_weight == 0.0 {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let mut acc = 0.0;
+        for &(v, w) in &self.samples {
+            if v > x {
+                break;
+            }
+            acc += w;
+        }
+        acc / self.total_weight
+    }
+
+    /// Smallest value `v` such that at least `q` (0–1) of the weight lies at
+    /// or below `v`. Returns `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let target = q * self.total_weight;
+        let mut acc = 0.0;
+        for &(v, w) in &self.samples {
+            acc += w;
+            if acc >= target - 1e-12 {
+                return Some(v);
+            }
+        }
+        self.samples.last().map(|&(v, _)| v)
+    }
+
+    /// The full CDF as `(value, cumulative percent)` steps.
+    pub fn steps_percent(&mut self) -> Vec<(f64, f64)> {
+        if self.total_weight == 0.0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        let mut acc = 0.0;
+        for &(v, w) in &self.samples {
+            acc += w;
+            let pct = 100.0 * acc / self.total_weight;
+            match out.last_mut() {
+                Some(last) if last.0 == v => last.1 = pct,
+                _ => out.push((v, pct)),
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(f64, f64)> for Cdf {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut c = Cdf::new();
+        for (v, w) in iter {
+            c.record(v, w);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.fraction_at_or_below(100.0), 0.0);
+        assert!(c.steps_percent().is_empty());
+    }
+
+    #[test]
+    fn zero_weight_ignored() {
+        let mut c = Cdf::new();
+        c.record(5.0, 0.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn quantiles_on_weighted_data() {
+        let mut c: Cdf = [(1.0, 70.0), (2.0, 20.0), (3.0, 10.0)].into_iter().collect();
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(0.7), Some(1.0));
+        assert_eq!(c.quantile(0.71), Some(2.0));
+        assert_eq!(c.quantile(0.9), Some(2.0));
+        assert_eq!(c.quantile(0.91), Some(3.0));
+        assert_eq!(c.quantile(1.0), Some(3.0));
+    }
+
+    #[test]
+    fn fraction_at_or_below_is_monotone() {
+        let mut c: Cdf = [(10.0, 1.0), (20.0, 1.0), (30.0, 2.0)].into_iter().collect();
+        let f10 = c.fraction_at_or_below(10.0);
+        let f20 = c.fraction_at_or_below(20.0);
+        let f25 = c.fraction_at_or_below(25.0);
+        let f30 = c.fraction_at_or_below(30.0);
+        assert!((f10 - 0.25).abs() < 1e-12);
+        assert!((f20 - 0.5).abs() < 1e-12);
+        assert_eq!(f20, f25);
+        assert!((f30 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steps_merge_duplicate_values() {
+        let mut c: Cdf = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)].into_iter().collect();
+        let steps = c.steps_percent();
+        assert_eq!(steps.len(), 2);
+        assert!((steps[0].1 - 50.0).abs() < 1e-12);
+        assert!((steps[1].1 - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn records_after_query_resort() {
+        let mut c = Cdf::new();
+        c.record(5.0, 1.0);
+        assert_eq!(c.quantile(1.0), Some(5.0));
+        c.record(1.0, 3.0);
+        assert_eq!(c.quantile(0.5), Some(1.0));
+    }
+}

@@ -1,0 +1,244 @@
+//! Special functions needed for Student's t p-values.
+//!
+//! The Mallacc paper's Table 2 reports one-sided t-test p-values on
+//! full-program speedups. Computing those requires the CDF of the Student's
+//! t distribution, which reduces to the regularised incomplete beta function
+//! `I_x(a, b)`. We implement the standard Lentz continued-fraction evaluation
+//! (Numerical Recipes §6.4) to double precision.
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation (g = 7, n = 9 coefficients), accurate to
+/// roughly 15 significant digits over the positive reals.
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the reproduction only ever needs positive arguments,
+/// so a non-positive argument indicates a caller bug).
+///
+/// # Example
+///
+/// ```
+/// // Γ(5) = 4! = 24
+/// let g5 = mallacc_stats::ln_gamma(5.0).exp();
+/// assert!((g5 - 24.0).abs() < 1e-10);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` for `a, b > 0` and
+/// `x ∈ [0, 1]`.
+///
+/// Evaluated with the Lentz modified continued fraction; converges in a few
+/// dozen iterations for all arguments the t-test needs.
+///
+/// # Panics
+///
+/// Panics if `x` is outside `[0, 1]` or if `a` or `b` is not positive.
+///
+/// # Example
+///
+/// ```
+/// // I_x(1, 1) is the identity on [0, 1].
+/// let v = mallacc_stats::regularized_incomplete_beta(0.3, 1.0, 1.0);
+/// assert!((v - 0.3).abs() < 1e-12);
+/// ```
+pub fn regularized_incomplete_beta(x: f64, a: f64, b: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0, 1], got {x}");
+    assert!(a > 0.0 && b > 0.0, "a and b must be positive, got a={a} b={b}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Prefactor x^a (1-x)^b / (a B(a, b)).
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    // The continued fraction converges fastest for x < (a+1)/(a+b+2);
+    // otherwise use the symmetry I_x(a,b) = 1 − I_{1−x}(b,a).
+    if x < (a + 1.0) / (a + b + 2.0) {
+        ln_front.exp() * beta_cf(x, a, b) / a
+    } else {
+        // Symmetry I_x(a,b) = 1 − I_{1−x}(b,a), evaluated directly so the
+        // two branches cannot recurse into each other.
+        1.0 - ln_front.exp() * beta_cf(1.0 - x, b, a) / b
+    }
+}
+
+/// Lentz continued fraction for the incomplete beta function.
+fn beta_cf(x: f64, a: f64, b: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-16;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// CDF of the Student's t distribution with `df` degrees of freedom,
+/// `P(T ≤ t)`.
+///
+/// # Panics
+///
+/// Panics if `df` is not positive.
+///
+/// # Example
+///
+/// ```
+/// // The t distribution is symmetric around zero.
+/// let p = mallacc_stats::student_t_cdf(0.0, 7.0);
+/// assert!((p - 0.5).abs() < 1e-12);
+/// ```
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * regularized_incomplete_beta(x, 0.5 * df, 0.5);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn gamma_of_integers_matches_factorial() {
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            close(ln_gamma(n as f64).exp(), fact, fact * 1e-10);
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn gamma_of_half_is_sqrt_pi() {
+        close(ln_gamma(0.5).exp(), std::f64::consts::PI.sqrt(), 1e-12);
+    }
+
+    #[test]
+    fn gamma_reflection_below_half() {
+        // Γ(0.25) ≈ 3.625609908
+        close(ln_gamma(0.25).exp(), 3.625_609_908_2, 1e-8);
+    }
+
+    #[test]
+    fn beta_identity_ab_one() {
+        for &x in &[0.0, 0.1, 0.37, 0.5, 0.9, 1.0] {
+            close(regularized_incomplete_beta(x, 1.0, 1.0), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_symmetry() {
+        for &(x, a, b) in &[(0.3, 2.0, 5.0), (0.7, 0.5, 0.5), (0.42, 10.0, 3.0)] {
+            let lhs = regularized_incomplete_beta(x, a, b);
+            let rhs = 1.0 - regularized_incomplete_beta(1.0 - x, b, a);
+            close(lhs, rhs, 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_known_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry; I_{0.25}(2, 2) = 5/32.
+        close(regularized_incomplete_beta(0.5, 2.0, 2.0), 0.5, 1e-12);
+        close(regularized_incomplete_beta(0.25, 2.0, 2.0), 5.0 / 32.0, 1e-12);
+    }
+
+    #[test]
+    fn t_cdf_symmetry_and_tails() {
+        for &df in &[1.0, 2.0, 5.0, 30.0] {
+            for &t in &[0.5, 1.0, 2.5] {
+                let p_pos = student_t_cdf(t, df);
+                let p_neg = student_t_cdf(-t, df);
+                close(p_pos + p_neg, 1.0, 1e-12);
+                assert!(p_pos > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn t_cdf_matches_tables() {
+        // Standard critical values: P(T ≤ 2.015) with df=5 ≈ 0.95.
+        close(student_t_cdf(2.015, 5.0), 0.95, 5e-4);
+        // df=1 is the Cauchy distribution: P(T ≤ 1) = 0.75.
+        close(student_t_cdf(1.0, 1.0), 0.75, 1e-10);
+        // Large df approaches the normal: P(T ≤ 1.96) → 0.975.
+        close(student_t_cdf(1.96, 1e6), 0.975, 1e-3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Scalar sample summaries: mean, variance, standard deviation, extrema.
+
+/// Running summary of a set of `f64` samples.
+///
+/// Uses Welford's online algorithm so that variance is numerically stable
+/// even for long runs of near-identical cycle counts (exactly what repeated
+/// fast-path malloc calls produce).
+///
+/// # Example
+///
+/// ```
+/// use mallacc_stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Builds a summary from an iterator of samples (also available via
+    /// the [`FromIterator`] impl; this inherent form reads better at call
+    /// sites that pass arrays).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let s = mallacc_stats::Summary::from_iter([1.0, 3.0]);
+    /// assert_eq!(s.count(), 2);
+    /// ```
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.record(x);
+        }
+        s
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean. Returns 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased (n−1) sample variance. Returns 0 with fewer than two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population (n) variance. Returns 0 for an empty summary.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Summary::from_iter(iter)
+    }
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// The paper summarises per-workload speedups with a geomean row
+/// (Figures 13 and 14); this helper mirrors that.
+///
+/// Returns `None` if the input is empty or contains a non-positive value.
+///
+/// # Example
+///
+/// ```
+/// let g = mallacc_stats::geometric_mean([1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        if v <= 0.0 {
+            return None;
+        }
+        log_sum += v.ln();
+        n += 1;
+    }
+    (n > 0).then(|| (log_sum / n as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_inert() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_iter([42.0]);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), Some(42.0));
+        assert_eq!(s.max(), Some(42.0));
+    }
+
+    #[test]
+    fn variance_matches_definition() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::from_iter(data);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a_data = [1.0, 2.0, 3.0, 10.5];
+        let b_data = [4.0, 5.5, -2.0];
+        let mut merged = Summary::from_iter(a_data);
+        merged.merge(&Summary::from_iter(b_data));
+        let all = Summary::from_iter(a_data.into_iter().chain(b_data));
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-12);
+        assert!((merged.sample_variance() - all.sample_variance()).abs() < 1e-12);
+        assert_eq!(merged.min(), all.min());
+        assert_eq!(merged.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::from_iter([1.0, 2.0]);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut empty = Summary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geometric_mean([]), None);
+        assert_eq!(geometric_mean([1.0, -1.0]), None);
+        assert_eq!(geometric_mean([0.0]), None);
+        let g = geometric_mean([2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_and_from_iterator_impls() {
+        let mut s: Summary = [1.0, 2.0].into_iter().collect();
+        s.extend([3.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+    }
+}

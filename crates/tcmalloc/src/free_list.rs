@@ -1,0 +1,173 @@
+//! Singly-linked free lists with the `next` pointer stored *inside* the
+//! free block.
+//!
+//! TCMalloc saves metadata memory by storing each free block's `next`
+//! pointer at the block's own address (§3.3: "*head is the value of the
+//! next pointer"). The model keeps the list as a stack of addresses; the
+//! block at depth `i` conceptually stores the address of the block at depth
+//! `i + 1`. This is enough to know exactly which addresses a push or pop
+//! dereferences — the two loads of the paper's Figure 7 — without a real
+//! backing memory.
+
+use mallacc_cache::Addr;
+
+/// Result of a successful pop: the block handed to the caller and the new
+/// head (the `next` value loaded from inside the popped block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Popped {
+    /// The block returned to the application.
+    pub block: Addr,
+    /// The new list head, i.e. `*block` (None when the list drained).
+    pub new_head: Option<Addr>,
+}
+
+/// A LIFO free list of simulated block addresses.
+///
+/// # Example
+///
+/// ```
+/// use mallacc_tcmalloc::FreeList;
+///
+/// let mut l = FreeList::new();
+/// l.push(0x100);
+/// l.push(0x200);
+/// let p = l.pop().unwrap();
+/// assert_eq!(p.block, 0x200);           // LIFO
+/// assert_eq!(p.new_head, Some(0x100));  // next pointer loaded from *0x200
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FreeList {
+    /// Stack of blocks; the head is the last element.
+    items: Vec<Addr>,
+    /// High-water mark used by scavenging heuristics.
+    max_observed: usize,
+}
+
+impl FreeList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of blocks on the list.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the list has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The current head (the block a pop would return).
+    pub fn head(&self) -> Option<Addr> {
+        self.items.last().copied()
+    }
+
+    /// The second element — the head's stored `next` pointer.
+    pub fn next_after_head(&self) -> Option<Addr> {
+        if self.items.len() >= 2 {
+            Some(self.items[self.items.len() - 2])
+        } else {
+            None
+        }
+    }
+
+    /// Pushes a freed block onto the head.
+    pub fn push(&mut self, block: Addr) {
+        self.items.push(block);
+        self.max_observed = self.max_observed.max(self.items.len());
+    }
+
+    /// Pushes a batch, preserving order so the last element becomes head.
+    pub fn push_batch<I: IntoIterator<Item = Addr>>(&mut self, blocks: I) {
+        for b in blocks {
+            self.push(b);
+        }
+    }
+
+    /// Pops the head.
+    pub fn pop(&mut self) -> Option<Popped> {
+        let block = self.items.pop()?;
+        Some(Popped {
+            block,
+            new_head: self.items.last().copied(),
+        })
+    }
+
+    /// Pops up to `n` blocks (for batch transfers back to the central list).
+    pub fn pop_batch(&mut self, n: usize) -> Vec<Addr> {
+        let take = n.min(self.items.len());
+        self.items.split_off(self.items.len() - take)
+    }
+
+    /// Iterates from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.items.iter().rev().copied()
+    }
+}
+
+impl Extend<Addr> for FreeList {
+    fn extend<I: IntoIterator<Item = Addr>>(&mut self, iter: I) {
+        self.push_batch(iter);
+    }
+}
+
+impl FromIterator<Addr> for FreeList {
+    fn from_iter<I: IntoIterator<Item = Addr>>(iter: I) -> Self {
+        let mut l = FreeList::new();
+        l.push_batch(iter);
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut l = FreeList::new();
+        l.push(1);
+        l.push(2);
+        l.push(3);
+        assert_eq!(l.pop().unwrap().block, 3);
+        assert_eq!(l.pop().unwrap().block, 2);
+        assert_eq!(l.pop().unwrap().block, 1);
+        assert_eq!(l.pop(), None);
+    }
+
+    #[test]
+    fn new_head_tracks_next() {
+        let mut l: FreeList = [10u64, 20, 30].into_iter().collect();
+        assert_eq!(l.head(), Some(30));
+        assert_eq!(l.next_after_head(), Some(20));
+        let p = l.pop().unwrap();
+        assert_eq!(p.new_head, Some(20));
+        l.pop();
+        let last = l.pop().unwrap();
+        assert_eq!(last.new_head, None);
+    }
+
+    #[test]
+    fn pop_batch_takes_from_head() {
+        let mut l: FreeList = (1..=5u64).collect();
+        let batch = l.pop_batch(2);
+        assert_eq!(batch, vec![4, 5]);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.head(), Some(3));
+    }
+
+    #[test]
+    fn pop_batch_clamps() {
+        let mut l: FreeList = (1..=2u64).collect();
+        assert_eq!(l.pop_batch(10).len(), 2);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn iter_is_head_to_tail() {
+        let l: FreeList = [1u64, 2, 3].into_iter().collect();
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![3, 2, 1]);
+    }
+}

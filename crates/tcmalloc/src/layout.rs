@@ -1,0 +1,175 @@
+//! The simulated address-space layout of the allocator's own data
+//! structures.
+//!
+//! The timing model needs *addresses* for every allocator memory touch —
+//! the class-index array load, the size-table load, the thread-cache free
+//! list header, the freed blocks themselves, the central list and page-map
+//! structures — because which of those are resident in the simulated caches
+//! is precisely what separates an 18-cycle fast path from a 100-cycle one
+//! (§3.2 of the paper).
+//!
+//! Addresses here are synthetic but stable and non-overlapping, laid out the
+//! way the real structures are: the two static tables are contiguous and
+//! dense (they cache extremely well), each thread-cache free list header is
+//! a small struct at a fixed TLS offset, central free lists are cache-line
+//! padded (they are lock-protected), and the page map is a three-level
+//! radix tree.
+
+use mallacc_cache::Addr;
+
+use crate::size_class::ClassId;
+
+/// Base of the static tables (`class_array`, `size_table`, ...).
+pub const STATIC_BASE: Addr = 0x0100_0000;
+/// Base of the thread-local allocator state (thread cache, sampler).
+pub const TLS_BASE: Addr = 0x0200_0000;
+/// Base of the central free list structures.
+pub const CENTRAL_BASE: Addr = 0x0300_0000;
+/// Base of the synthetic page-map radix nodes.
+pub const PAGEMAP_BASE: Addr = 0x0400_0000;
+/// Base of span metadata objects (above the 128 MiB page-map arena).
+pub const SPAN_META_BASE: Addr = 0x0C00_0000;
+/// Base of the simulated heap the allocator carves objects from.
+pub const HEAP_BASE: Addr = 0x10_0000_0000;
+
+/// Byte stride of one thread-cache `FreeList` header (head pointer, length,
+/// max-length, low-water mark — half a cache line, as in TCMalloc).
+pub const FREE_LIST_STRIDE: u64 = 32;
+
+/// Address of `class_array[idx]` (one byte per entry).
+pub fn class_array_entry(idx: u64) -> Addr {
+    STATIC_BASE + idx
+}
+
+/// Address of `size_table[cls]` (eight bytes per entry).
+pub fn size_table_entry(cls: ClassId) -> Addr {
+    STATIC_BASE + 0x1_0000 + u64::from(cls.as_u8()) * 8
+}
+
+/// Byte stride between the TLS blocks of successive threads.
+pub const TLS_THREAD_STRIDE: u64 = 0x2_0000;
+
+/// Address of thread `tid`'s free-list header for `cls`.
+pub fn thread_list_header_on(tid: usize, cls: ClassId) -> Addr {
+    TLS_BASE + tid as u64 * TLS_THREAD_STRIDE + 0x100 + u64::from(cls.as_u8()) * FREE_LIST_STRIDE
+}
+
+/// Address of the thread-cache free list header for `cls` (thread 0).
+pub fn thread_list_header(cls: ClassId) -> Addr {
+    thread_list_header_on(0, cls)
+}
+
+/// Address of thread `tid`'s aggregate metadata (total size field).
+pub fn thread_cache_meta_on(tid: usize) -> Addr {
+    TLS_BASE + tid as u64 * TLS_THREAD_STRIDE + 0x40
+}
+
+/// Address of the thread cache's aggregate metadata (thread 0).
+pub fn thread_cache_meta() -> Addr {
+    thread_cache_meta_on(0)
+}
+
+/// Address of thread `tid`'s bytes-until-sample counter.
+pub fn sampler_counter_on(tid: usize) -> Addr {
+    TLS_BASE + tid as u64 * TLS_THREAD_STRIDE + 0x80
+}
+
+/// Address of the sampler's bytes-until-sample counter (thread 0).
+pub fn sampler_counter() -> Addr {
+    sampler_counter_on(0)
+}
+
+/// Address of the central free list structure for `cls` (cache-line padded
+/// because each holds a lock).
+pub fn central_list(cls: ClassId) -> Addr {
+    CENTRAL_BASE + u64::from(cls.as_u8()) * 256
+}
+
+/// Addresses of the three radix-tree nodes visited when looking up `page`
+/// in the page map. The root is tiny and hot; interior and leaf nodes are
+/// heap-allocated on demand and land on *scattered* pages — which is why
+/// the paper notes the free() lookup "tends to cache poorly, especially in
+/// the TLB". Each leaf node covers 512 heap pages; its own placement is a
+/// multiplicative hash of its index so consecutive heap regions map to
+/// distant translation pages, as real on-demand radix allocation does.
+pub fn pagemap_node_addrs(page: u64) -> [Addr; 3] {
+    let interior = (page >> 12) & 0xFF_FFFF;
+    // Each leaf covers 64 heap pages. (Real TCMalloc leaves cover more of
+    // a multi-GiB heap; our simulated heaps are ~100× smaller, so the leaf
+    // granularity is scaled down to preserve the *density* of distinct,
+    // scattered radix pages a production free() stream touches.)
+    let leaf_node = page >> 6;
+    // Fibonacci hashing spreads node placements over two 64 MiB arenas
+    // (interior nodes, then leaves), within the 128 MiB page-map region.
+    let scatter = |n: u64| (n.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 50) & 0x3FFF;
+    [
+        PAGEMAP_BASE + ((page >> 24) & 0x1FF) * 8,
+        PAGEMAP_BASE + 0x2000 + scatter(interior) * 4096 + (interior & 0x1FF) * 8,
+        PAGEMAP_BASE + 0x400_0000 + scatter(leaf_node) * 4096 + (page & 0x3F) * 8,
+    ]
+}
+
+/// Address of the span metadata object with slab index `span_id`
+/// (64 bytes per span).
+pub fn span_meta(span_id: usize) -> Addr {
+    SPAN_META_BASE + span_id as u64 * 64
+}
+
+/// Byte address of the start of heap page `page`.
+pub fn page_addr(page: u64) -> Addr {
+    HEAP_BASE + page * crate::size_class::consts::PAGE_SIZE
+}
+
+/// Heap page containing byte address `addr`.
+///
+/// # Panics
+///
+/// Panics if `addr` is below the heap base.
+pub fn addr_to_page(addr: Addr) -> u64 {
+    assert!(addr >= HEAP_BASE, "address {addr:#x} is not a heap address");
+    (addr - HEAP_BASE) >> crate::size_class::consts::PAGE_SHIFT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size_class::SizeClasses;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let sc = SizeClasses::tcmalloc_2007();
+        let last_cls = sc.largest_class();
+        assert!(class_array_entry(2170) < size_table_entry(ClassId(1)));
+        assert!(size_table_entry(last_cls) < TLS_BASE);
+        assert!(thread_list_header(last_cls) < CENTRAL_BASE);
+        assert!(central_list(last_cls) < PAGEMAP_BASE);
+        assert!(span_meta(1_000_000) < HEAP_BASE);
+    }
+
+    #[test]
+    fn page_round_trip() {
+        for page in [0u64, 1, 17, 12345] {
+            assert_eq!(addr_to_page(page_addr(page)), page);
+            assert_eq!(addr_to_page(page_addr(page) + 8191), page);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a heap address")]
+    fn non_heap_address_rejected() {
+        addr_to_page(STATIC_BASE);
+    }
+
+    #[test]
+    fn list_headers_are_distinct() {
+        let a = thread_list_header(ClassId(1));
+        let b = thread_list_header(ClassId(2));
+        assert_eq!(b - a, FREE_LIST_STRIDE);
+    }
+
+    #[test]
+    fn pagemap_nodes_distinct_per_level() {
+        let [a, b, c] = pagemap_node_addrs(42);
+        assert!(a < b && b < c);
+    }
+}

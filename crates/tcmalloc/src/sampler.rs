@@ -1,0 +1,128 @@
+//! The allocation sampler.
+//!
+//! TCMalloc samples allocations every N bytes for heap profiling: a
+//! thread-local byte counter is decremented by each request's size and,
+//! when it crosses zero, the allocation is sampled (stack trace captured)
+//! and the counter reset (§3.3 "Sampling"). The decrement-and-branch on
+//! every fast-path call is one of the three costs Mallacc removes, by
+//! promoting the counter into a dedicated performance counter (§4.2).
+
+/// The byte-countdown sampler.
+///
+/// # Example
+///
+/// ```
+/// use mallacc_tcmalloc::Sampler;
+///
+/// let mut s = Sampler::new(1024);
+/// let mut sampled = 0;
+/// for _ in 0..100 {
+///     if s.record_allocation(64) {
+///         sampled += 1;
+///     }
+/// }
+/// // 100 × 64 bytes = 6400 bytes ≈ 6 sampling events at a 1 KiB interval.
+/// assert!((5..=7).contains(&sampled));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sampler {
+    interval: u64,
+    remaining: i64,
+    samples: u64,
+}
+
+impl Sampler {
+    /// TCMalloc's default sampling interval (512 KiB).
+    pub const DEFAULT_INTERVAL: u64 = 512 * 1024;
+
+    /// Creates a sampler firing every `interval_bytes` allocated bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_bytes` is zero.
+    pub fn new(interval_bytes: u64) -> Self {
+        assert!(interval_bytes > 0, "sampling interval must be positive");
+        Self {
+            interval: interval_bytes,
+            remaining: interval_bytes as i64,
+            samples: 0,
+        }
+    }
+
+    /// The configured interval in bytes.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of sampling events so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples
+    }
+
+    /// Bytes left until the next sample fires.
+    pub fn bytes_until_sample(&self) -> i64 {
+        self.remaining
+    }
+
+    /// Accounts one allocation; returns `true` if this one is sampled.
+    pub fn record_allocation(&mut self, bytes: u64) -> bool {
+        self.remaining -= bytes as i64;
+        if self.remaining <= 0 {
+            self.remaining += self.interval as i64;
+            if self.remaining <= 0 {
+                // Huge allocation spanning multiple intervals: realign.
+                self.remaining = self.interval as i64;
+            }
+            self.samples += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Default for Sampler {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_INTERVAL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_at_expected_rate() {
+        let mut s = Sampler::new(1000);
+        let mut hits = 0;
+        for _ in 0..1000 {
+            if s.record_allocation(100) {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 100, "100k bytes at 1k interval = 100 samples");
+        assert_eq!(s.samples_taken(), 100);
+    }
+
+    #[test]
+    fn huge_allocation_samples_once() {
+        let mut s = Sampler::new(1000);
+        assert!(s.record_allocation(50_000));
+        assert_eq!(s.samples_taken(), 1);
+        assert!(s.bytes_until_sample() > 0);
+    }
+
+    #[test]
+    fn small_allocations_do_not_sample_early() {
+        let mut s = Sampler::new(1_000_000);
+        for _ in 0..100 {
+            assert!(!s.record_allocation(8));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_interval_rejected() {
+        Sampler::new(0);
+    }
+}

@@ -1,0 +1,375 @@
+//! TCMalloc size-class generation and the size → class index mapping.
+//!
+//! This reimplements the size-class machinery of TCMalloc as open-sourced in
+//! 2007 (the revision the paper studies):
+//!
+//! * the two-piece *class index* function of the paper's Figure 5 —
+//!   `(size + 7) >> 3` for sizes ≤ 1024 and `(size + 15487) >> 7` above —
+//!   giving 2169 class-index slots ("slightly above 2100" per the paper);
+//! * the class construction loop that walks candidate sizes at
+//!   alignment-dependent strides, picks a span length whose slack is at most
+//!   1/8 of the span, and merges classes with identical span/object layout —
+//!   producing the familiar ≈ 88 classes;
+//! * `num_objects_to_move`, the batch size used when migrating objects
+//!   between thread caches and central free lists.
+
+/// Identifier of one size class (1-based like TCMalloc; 0 is reserved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub(crate) u8);
+
+impl ClassId {
+    /// The raw class number, in `1..=num_classes`.
+    pub fn as_u8(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds a class id from its raw number — the 8-bit form the
+    /// hardware's size-class CAM stores. The number is not range-checked
+    /// against a particular table; use [`SizeClasses::class_info`] with a
+    /// valid table to validate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is zero (class 0 is reserved).
+    pub fn from_raw(raw: u8) -> Self {
+        assert!(raw > 0, "class 0 is reserved");
+        ClassId(raw)
+    }
+}
+
+impl std::fmt::Display for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "class{}", self.0)
+    }
+}
+
+/// Allocator geometry constants (the 2007 open-sourcing values).
+pub mod consts {
+    /// Minimum alignment of any allocation, bytes.
+    pub const ALIGNMENT: u64 = 8;
+    /// Largest "small" allocation served by thread caches, bytes (256 KiB).
+    pub const MAX_SIZE: u64 = 256 * 1024;
+    /// TCMalloc page size, bytes (8 KiB).
+    pub const PAGE_SIZE: u64 = 8 * 1024;
+    /// Log2 of the page size.
+    pub const PAGE_SHIFT: u32 = 13;
+    /// Boundary between the two class-index encodings.
+    pub const SMALL_INDEX_LIMIT: u64 = 1024;
+    /// Maximum per-thread cache size before scavenging (2 MiB, §3.1).
+    pub const MAX_THREAD_CACHE_BYTES: u64 = 2 * 1024 * 1024;
+}
+
+/// Static description of one size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassInfo {
+    /// Rounded allocation size in bytes.
+    pub size: u64,
+    /// Pages per span fetched from the page heap for this class.
+    pub pages: u64,
+    /// Objects moved per thread-cache ↔ central-list batch.
+    pub num_to_move: u32,
+}
+
+/// The full size-class table: class metadata plus the `class_array` mapping
+/// class indices to classes.
+///
+/// # Example
+///
+/// ```
+/// use mallacc_tcmalloc::SizeClasses;
+///
+/// let sc = SizeClasses::tcmalloc_2007();
+/// // The paper: "TCMalloc currently has 88 size classes".
+/// assert!((80..=96).contains(&sc.num_classes()));
+/// let cls = sc.size_class(13).unwrap();
+/// assert_eq!(sc.class_to_size(cls), 16); // 13 rounds up to 16
+/// ```
+#[derive(Debug, Clone)]
+pub struct SizeClasses {
+    classes: Vec<ClassInfo>,
+    /// class_array: class index → size class (1-based; entry 0 unused).
+    class_array: Vec<u8>,
+}
+
+/// The paper's Figure 5 class-index function.
+///
+/// Returns `None` for sizes above the small-allocation threshold (256 KiB),
+/// which bypass the thread caches entirely.
+///
+/// # Example
+///
+/// ```
+/// use mallacc_tcmalloc::class_index;
+///
+/// assert_eq!(class_index(0), Some(0));
+/// assert_eq!(class_index(8), Some(1));
+/// assert_eq!(class_index(1024), Some(128));
+/// assert_eq!(class_index(1025), Some((1025 + 15487) >> 7));
+/// assert_eq!(class_index(256 * 1024 + 1), None);
+/// ```
+pub fn class_index(size: u64) -> Option<u64> {
+    if size <= consts::SMALL_INDEX_LIMIT {
+        Some((size + 7) >> 3)
+    } else if size <= consts::MAX_SIZE {
+        Some((size + 15487) >> 7)
+    } else {
+        None
+    }
+}
+
+/// Largest valid class index plus one (the length of `class_array`).
+pub fn class_array_len() -> usize {
+    (class_index(consts::MAX_SIZE).expect("MAX_SIZE is small") + 1) as usize
+}
+
+fn lg_floor(n: u64) -> u32 {
+    63 - n.leading_zeros()
+}
+
+/// TCMalloc's `AlignmentForSize`: the stride at which candidate class sizes
+/// are enumerated.
+fn alignment_for_size(size: u64) -> u64 {
+    let mut align = consts::ALIGNMENT;
+    if size > consts::MAX_SIZE {
+        align = consts::PAGE_SIZE;
+    } else if size >= 128 {
+        // Cap wasted space at ~12.5%: stride = 2^floor(lg size) / 8.
+        align = (1u64 << lg_floor(size)) / 8;
+    }
+    align.clamp(consts::ALIGNMENT, consts::PAGE_SIZE)
+}
+
+/// TCMalloc's batch size for moving objects between cache levels.
+fn num_objects_to_move(size: u64) -> u32 {
+    ((64 * 1024) / size).clamp(2, 32) as u32
+}
+
+impl SizeClasses {
+    /// Builds the 2007-era TCMalloc size-class table.
+    pub fn tcmalloc_2007() -> Self {
+        let mut classes: Vec<ClassInfo> = Vec::new();
+        let mut size = consts::ALIGNMENT;
+        while size <= consts::MAX_SIZE {
+            // Pick a span size whose leftover slack is ≤ 1/8 of the span.
+            let mut span_bytes = consts::PAGE_SIZE;
+            while (span_bytes % size) > (span_bytes >> 3) {
+                span_bytes += consts::PAGE_SIZE;
+            }
+            let pages = span_bytes / consts::PAGE_SIZE;
+            let my_objects = span_bytes / size;
+            // Merge with the previous class when the span layout is
+            // identical — the previous (smaller) class was redundant.
+            if let Some(prev) = classes.last_mut() {
+                let prev_span = prev.pages * consts::PAGE_SIZE;
+                if pages == prev.pages && prev_span / prev.size == my_objects {
+                    *prev = ClassInfo {
+                        size,
+                        pages,
+                        num_to_move: num_objects_to_move(size),
+                    };
+                    size += alignment_for_size(size);
+                    continue;
+                }
+            }
+            classes.push(ClassInfo {
+                size,
+                pages,
+                num_to_move: num_objects_to_move(size),
+            });
+            size += alignment_for_size(size);
+        }
+        assert!(
+            classes.len() < 256,
+            "class ids must fit in a byte, got {}",
+            classes.len()
+        );
+
+        // Populate class_array: every index maps to the smallest class whose
+        // size covers the largest request size with that index.
+        let mut class_array = vec![0u8; class_array_len()];
+        let mut next_size = 0u64;
+        for (c, info) in classes.iter().enumerate() {
+            while next_size <= info.size {
+                if let Some(idx) = class_index(next_size) {
+                    class_array[idx as usize] = (c + 1) as u8;
+                }
+                next_size += consts::ALIGNMENT;
+            }
+        }
+        Self {
+            classes,
+            class_array,
+        }
+    }
+
+    /// Number of size classes (≈ 88 for the 2007 parameters).
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Maps a requested size to its size class, or `None` for large
+    /// requests (> 256 KiB) that bypass the thread cache.
+    pub fn size_class(&self, size: u64) -> Option<ClassId> {
+        let idx = class_index(size)?;
+        let c = self.class_array[idx as usize];
+        debug_assert!(c > 0, "class_array not populated for index {idx}");
+        Some(ClassId(c))
+    }
+
+    /// The rounded allocation size for a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cls` is out of range.
+    pub fn class_to_size(&self, cls: ClassId) -> u64 {
+        self.classes[(cls.0 - 1) as usize].size
+    }
+
+    /// Full metadata for a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cls` is out of range.
+    pub fn class_info(&self, cls: ClassId) -> ClassInfo {
+        self.classes[(cls.0 - 1) as usize]
+    }
+
+    /// Iterates over `(ClassId, ClassInfo)` pairs in increasing size order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, ClassInfo)> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, &info)| (ClassId((i + 1) as u8), info))
+    }
+
+    /// The class covering the largest small request (256 KiB).
+    pub fn largest_class(&self) -> ClassId {
+        ClassId(self.classes.len() as u8)
+    }
+}
+
+impl Default for SizeClasses {
+    fn default() -> Self {
+        Self::tcmalloc_2007()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc() -> SizeClasses {
+        SizeClasses::tcmalloc_2007()
+    }
+
+    #[test]
+    fn class_count_is_roughly_88() {
+        let n = sc().num_classes();
+        assert!((80..=96).contains(&n), "got {n} classes");
+    }
+
+    #[test]
+    fn class_array_len_matches_paper() {
+        // "slightly above 2100" — exactly ((262144 + 15487) >> 7) + 1 = 2169.
+        assert_eq!(class_array_len(), 2169);
+    }
+
+    #[test]
+    fn rounding_is_monotone_and_covers() {
+        let sc = sc();
+        let mut prev = 0;
+        for size in (0..=consts::MAX_SIZE).step_by(61) {
+            let cls = sc.size_class(size).expect("small size has a class");
+            let rounded = sc.class_to_size(cls);
+            assert!(rounded >= size, "class size {rounded} < request {size}");
+            assert!(rounded >= prev, "rounded sizes must be monotone");
+            prev = rounded;
+        }
+    }
+
+    #[test]
+    fn rounding_is_idempotent() {
+        let sc = sc();
+        for size in [1u64, 8, 9, 100, 1024, 1025, 4096, 100_000, 262_144] {
+            let cls = sc.size_class(size).unwrap();
+            let rounded = sc.class_to_size(cls);
+            let cls2 = sc.size_class(rounded).unwrap();
+            assert_eq!(cls, cls2, "rounding {size} → {rounded} changed class");
+        }
+    }
+
+    #[test]
+    fn small_sizes_are_8_byte_spaced() {
+        let sc = sc();
+        assert_eq!(sc.class_to_size(sc.size_class(1).unwrap()), 8);
+        assert_eq!(sc.class_to_size(sc.size_class(9).unwrap()), 16);
+        assert_eq!(sc.class_to_size(sc.size_class(17).unwrap()), 24);
+        assert_eq!(sc.class_to_size(sc.size_class(33).unwrap()), 40);
+    }
+
+    #[test]
+    fn large_requests_have_no_class() {
+        let sc = sc();
+        assert_eq!(sc.size_class(consts::MAX_SIZE + 1), None);
+        assert!(sc.size_class(consts::MAX_SIZE).is_some());
+    }
+
+    #[test]
+    fn fragmentation_bound_holds() {
+        // Span slack ≤ 1/8 of the span for every class.
+        for (_, info) in sc().iter() {
+            let span = info.pages * consts::PAGE_SIZE;
+            let slack = span % info.size;
+            assert!(
+                slack <= span / 8,
+                "class size {} wastes {slack} of {span}",
+                info.size
+            );
+        }
+    }
+
+    #[test]
+    fn num_to_move_bounds() {
+        for (_, info) in sc().iter() {
+            assert!((2..=32).contains(&info.num_to_move));
+        }
+        let sc = sc();
+        let tiny = sc.size_class(8).unwrap();
+        assert_eq!(sc.class_info(tiny).num_to_move, 32);
+        let big = sc.largest_class();
+        assert_eq!(sc.class_info(big).num_to_move, 2);
+    }
+
+    #[test]
+    fn zero_size_request_is_class_one() {
+        let sc = sc();
+        // malloc(0) returns a minimal allocation in TCMalloc.
+        assert_eq!(sc.size_class(0), Some(ClassId(1)));
+    }
+
+    #[test]
+    fn class_sizes_strictly_increase() {
+        let sizes: Vec<u64> = sc().iter().map(|(_, i)| i.size).collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert_eq!(*sizes.last().unwrap(), consts::MAX_SIZE);
+    }
+
+    #[test]
+    fn figure5_index_function_values() {
+        // Spot checks straight from the paper's Figure 5 arithmetic.
+        assert_eq!(class_index(512), Some((512 + 7) >> 3));
+        assert_eq!(class_index(2000), Some((2000 + 15487) >> 7));
+    }
+
+    #[test]
+    fn alignment_for_size_steps() {
+        assert_eq!(alignment_for_size(8), 8);
+        assert_eq!(alignment_for_size(127), 8);
+        assert_eq!(alignment_for_size(128), 16);
+        assert_eq!(alignment_for_size(256), 32);
+        assert_eq!(alignment_for_size(4096), 512);
+        assert_eq!(alignment_for_size(300_000), consts::PAGE_SIZE);
+    }
+}

@@ -1,0 +1,404 @@
+//! Synthetic models of the paper's eight macro workloads.
+//!
+//! The paper evaluates the four SPEC CPU2006 benchmarks that use the system
+//! allocator plus two datacenter-style applications (the `xapian` search
+//! engine on two indices, and the `masstree` key-value store's `same` and
+//! `wcol1` performance tests). We cannot run those binaries inside a Rust
+//! µop-level model, but the paper itself characterises each workload's
+//! allocator-relevant behaviour precisely:
+//!
+//! * the size-class usage distribution (Figure 6: all but xalancbmk cover
+//!   90 % of calls with < 5 classes; xalancbmk needs ≈ 30; masstree is
+//!   nearly single-class);
+//! * the malloc/free balance (the masstree performance tests never free,
+//!   so they continuously hit the page allocator — §3.2);
+//! * the fraction of execution time in the allocator (Figure 18, from
+//!   ≈ 1 % for tonto to 18.6 % for masstree, vs. 6.9 % fleet-wide);
+//! * cache-heaviness (application accesses evicting allocator state —
+//!   §3.2's "a cheap 18-cycle fast-path call can turn into a hefty
+//!   100-cycle stall").
+//!
+//! Each [`MacroWorkload`] is a generator parameterised on exactly those
+//! published axes; replaying its trace exercises the same accelerator code
+//! paths the real binaries would.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ops::{Op, Trace};
+
+/// A weighted allocation-size palette.
+#[derive(Debug, Clone)]
+pub struct SizePalette {
+    /// `(size, weight)` pairs; weights need not be normalised.
+    entries: Vec<(u64, f64)>,
+}
+
+impl SizePalette {
+    /// Builds a palette from `(size, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or any weight is non-positive.
+    pub fn new(entries: Vec<(u64, f64)>) -> Self {
+        assert!(!entries.is_empty(), "palette cannot be empty");
+        assert!(
+            entries.iter().all(|&(_, w)| w > 0.0),
+            "weights must be positive"
+        );
+        Self { entries }
+    }
+
+    /// A geometric tail over `n` distinct sizes starting at `base`,
+    /// each subsequent size rarer by `decay` — models workloads like
+    /// xalancbmk that spread over dozens of classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `decay` is not in `(0, 1]`.
+    pub fn geometric(base: u64, n: usize, decay: f64) -> Self {
+        assert!(n > 0 && decay > 0.0 && decay <= 1.0);
+        let mut entries = Vec::with_capacity(n);
+        let mut w = 1.0;
+        for i in 0..n {
+            // Spread across distinct size classes: 8-byte steps up to 1 KiB,
+            // then coarser.
+            let size = if i < 120 {
+                base + (i as u64) * 8
+            } else {
+                1024 + (i as u64 - 120) * 256
+            };
+            entries.push((size, w));
+            w *= decay;
+        }
+        Self::new(entries)
+    }
+
+    /// Samples a size.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let total: f64 = self.entries.iter().map(|&(_, w)| w).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for &(size, w) in &self.entries {
+            if x < w {
+                return size;
+            }
+            x -= w;
+        }
+        self.entries.last().expect("non-empty").0
+    }
+
+    /// Number of distinct sizes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the palette is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One synthetic macro workload.
+#[derive(Debug, Clone)]
+pub struct MacroWorkload {
+    /// The paper's workload name.
+    pub name: &'static str,
+    /// Allocation-size palette.
+    pub sizes: SizePalette,
+    /// Probability that an allocation is balanced by freeing a random live
+    /// block (0 for the never-freeing masstree tests).
+    pub free_prob: f64,
+    /// Fraction of frees lacking a compile-time size (no sized delete).
+    pub unsized_frac: f64,
+    /// Application cycles between allocator calls (sets Figure 18's
+    /// allocator-time fraction).
+    pub app_gap_cycles: u32,
+    /// Application cache pressure: lines touched per gap.
+    pub app_touch_lines: u16,
+    /// Application working-set size in 64-byte lines.
+    pub app_working_set_lines: u32,
+    /// Mean run length of same-size allocation bursts (real programs
+    /// allocate like-sized objects in batches — parser nodes, string
+    /// copies — which is the "size class locality" §6.1 credits for
+    /// xalancbmk's gains despite its broad class mix).
+    pub burst_mean: f64,
+}
+
+impl MacroWorkload {
+    /// The eight workloads of the paper's evaluation, in Figure 13's order.
+    pub fn all() -> Vec<MacroWorkload> {
+        vec![
+            MacroWorkload {
+                // Perl interpreter: string/list churn over a handful of
+                // small classes; ~4 % of time in tcmalloc.
+                name: "400.perlbench",
+                sizes: SizePalette::new(vec![
+                    (16, 0.28),
+                    (24, 0.22),
+                    (32, 0.18),
+                    (48, 0.14),
+                    (64, 0.08),
+                    (80, 0.04),
+                    (128, 0.03),
+                    (256, 0.02),
+                    (512, 0.01),
+                ]),
+                free_prob: 0.93,
+                unsized_frac: 0.0,
+                app_gap_cycles: 420,
+                app_touch_lines: 24,
+                app_working_set_lines: 6_000,
+                burst_mean: 3.0,
+            },
+            MacroWorkload {
+                // Fortran chemistry: rare, regular allocations.
+                name: "465.tonto",
+                sizes: SizePalette::new(vec![(32, 0.5), (64, 0.3), (1024, 0.2)]),
+                free_prob: 0.95,
+                unsized_frac: 0.0,
+                app_gap_cycles: 1_850,
+                app_touch_lines: 32,
+                app_working_set_lines: 8_000,
+                burst_mean: 2.0,
+            },
+            MacroWorkload {
+                // Discrete-event simulator: message objects, a few classes.
+                name: "471.omnetpp",
+                sizes: SizePalette::new(vec![
+                    (24, 0.35),
+                    (40, 0.3),
+                    (64, 0.2),
+                    (96, 0.1),
+                    (208, 0.05),
+                ]),
+                free_prob: 0.97,
+                unsized_frac: 0.0,
+                app_gap_cycles: 960,
+                app_touch_lines: 40,
+                app_working_set_lines: 16_000,
+                burst_mean: 3.0,
+            },
+            MacroWorkload {
+                // XML transformer: the broadest class mix in the suite
+                // (≈ 30 classes for 90 % coverage) but with locality.
+                name: "483.xalancbmk",
+                sizes: SizePalette::geometric(16, 60, 0.90),
+                free_prob: 0.95,
+                unsized_frac: 0.0,
+                app_gap_cycles: 590,
+                app_touch_lines: 32,
+                app_working_set_lines: 12_000,
+                burst_mean: 6.0,
+            },
+            MacroWorkload {
+                // masstree `same` performance test: one key size, never
+                // frees — continuously grabs spans (§3.2); 18.6 % of time
+                // in the allocator.
+                name: "masstree.same",
+                sizes: SizePalette::new(vec![(64, 0.97), (1024, 0.03)]),
+                free_prob: 0.0,
+                unsized_frac: 0.0,
+                app_gap_cycles: 105,
+                app_touch_lines: 4,
+                app_working_set_lines: 3_000,
+                burst_mean: 8.0,
+            },
+            MacroWorkload {
+                // masstree `wcol1`: wide-column values, still never frees.
+                name: "masstree.wcol1",
+                sizes: SizePalette::new(vec![(112, 0.9), (256, 0.08), (2048, 0.02)]),
+                free_prob: 0.0,
+                unsized_frac: 0.0,
+                app_gap_cycles: 150,
+                app_touch_lines: 5,
+                app_working_set_lines: 3_000,
+                burst_mean: 8.0,
+            },
+            MacroWorkload {
+                // xapian over abstracts: short strings, two hot classes,
+                // almost pure fast path.
+                name: "xapian.abstracts",
+                sizes: SizePalette::new(vec![(32, 0.55), (64, 0.35), (128, 0.1)]),
+                free_prob: 1.0,
+                unsized_frac: 0.0,
+                app_gap_cycles: 505,
+                app_touch_lines: 12,
+                app_working_set_lines: 4_000,
+                burst_mean: 4.0,
+            },
+            MacroWorkload {
+                // xapian over full pages: slightly bigger postings buffers.
+                name: "xapian.pages",
+                sizes: SizePalette::new(vec![(48, 0.45), (96, 0.35), (192, 0.15), (512, 0.05)]),
+                free_prob: 1.0,
+                unsized_frac: 0.0,
+                app_gap_cycles: 590,
+                app_touch_lines: 24,
+                app_working_set_lines: 10_000,
+                burst_mean: 4.0,
+            },
+        ]
+    }
+
+    /// Finds a workload by its paper name.
+    pub fn by_name(name: &str) -> Option<MacroWorkload> {
+        Self::all().into_iter().find(|w| w.name == name)
+    }
+
+    /// Generates a deterministic trace with `calls` malloc operations.
+    pub fn trace(&self, calls: usize, seed: u64) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ 0x2545_F491_4F6C_DD1D);
+        let mut t = Trace::new();
+        let mut burst_size = 0u64;
+        let mut burst_left = 0u32;
+        for _ in 0..calls {
+            if self.app_gap_cycles > 0 {
+                // Jitter the inter-call gap ±50% so call-duration
+                // distributions are not artificially quantised.
+                let g = self.app_gap_cycles;
+                t.push(Op::AppRun {
+                    cycles: rng.gen_range(g / 2..=g + g / 2),
+                });
+            }
+            if self.app_touch_lines > 0 {
+                t.push(Op::AppTouch {
+                    lines: self.app_touch_lines,
+                    working_set_lines: self.app_working_set_lines,
+                });
+            }
+            if burst_left == 0 {
+                burst_size = self.sizes.sample(&mut rng);
+                // Geometric burst length with the configured mean.
+                let p = 1.0 / self.burst_mean.max(1.0);
+                burst_left = 1;
+                while !rng.gen_bool(p) && burst_left < 64 {
+                    burst_left += 1;
+                }
+            }
+            burst_left -= 1;
+            t.push(Op::Malloc { size: burst_size });
+            if self.free_prob > 0.0 && rng.gen_bool(self.free_prob) {
+                t.push(Op::Free {
+                    index: rng.gen(),
+                    sized: !rng.gen_bool(self.unsized_frac),
+                });
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mallacc::{MallocSim, Mode};
+
+    #[test]
+    fn eight_workloads_with_unique_names() {
+        let all = MacroWorkload::all();
+        assert_eq!(all.len(), 8);
+        let mut names: Vec<_> = all.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for w in MacroWorkload::all() {
+            assert_eq!(MacroWorkload::by_name(w.name).unwrap().name, w.name);
+        }
+        assert!(MacroWorkload::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let w = MacroWorkload::by_name("400.perlbench").unwrap();
+        assert_eq!(w.trace(300, 5), w.trace(300, 5));
+        assert_ne!(w.trace(300, 5), w.trace(300, 6));
+    }
+
+    #[test]
+    fn masstree_never_frees() {
+        let w = MacroWorkload::by_name("masstree.same").unwrap();
+        let t = w.trace(500, 1);
+        assert!(!t
+            .ops()
+            .iter()
+            .any(|o| matches!(o, Op::Free { .. } | Op::FreeNewest { .. })));
+    }
+
+    #[test]
+    fn class_coverage_matches_figure6_shape() {
+        // All but xalancbmk need < 6 classes for 90 % coverage; xalancbmk
+        // needs a lot more.
+        for w in MacroWorkload::all() {
+            let t = w.trace(3000, 11);
+            let mut sim = MallocSim::new(Mode::Baseline);
+            let stats = t.replay(&mut sim);
+            let n90 = stats.classes_for_coverage(0.9);
+            if w.name == "483.xalancbmk" {
+                assert!(n90 >= 15, "xalancbmk covered by only {n90} classes");
+            } else {
+                assert!(n90 <= 6, "{} needed {n90} classes", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn masstree_spends_most_allocator_time_off_the_fast_path() {
+        let w = MacroWorkload::by_name("masstree.same").unwrap();
+        let t = w.trace(2000, 3);
+        let mut sim = MallocSim::new(Mode::Baseline);
+        let stats = t.replay(&mut sim);
+        let fast = stats.malloc_hist.weight_fraction_below(100);
+        assert!(
+            fast < 0.7,
+            "never-freeing workload should have a heavy slow-path tail, fast={fast}"
+        );
+    }
+
+    #[test]
+    fn xapian_is_nearly_all_fast_path() {
+        let w = MacroWorkload::by_name("xapian.abstracts").unwrap();
+        // Warm, then measure.
+        let mut sim = MallocSim::new(Mode::Baseline);
+        w.trace(500, 21).replay(&mut sim);
+        let stats = w.trace(2000, 22).replay(&mut sim);
+        let fast = stats.malloc_hist.weight_fraction_below(100);
+        assert!(fast > 0.8, "xapian fast-path time fraction {fast}");
+    }
+
+    #[test]
+    fn allocator_fraction_orders_like_figure18() {
+        let frac = |name: &str| {
+            let w = MacroWorkload::by_name(name).unwrap();
+            let mut sim = MallocSim::new(Mode::Baseline);
+            w.trace(400, 31).replay(&mut sim);
+            sim.reset_totals();
+            let stats = w.trace(1500, 32).replay(&mut sim);
+            stats.totals.allocator_fraction()
+        };
+        let tonto = frac("465.tonto");
+        let perl = frac("400.perlbench");
+        let masstree = frac("masstree.same");
+        assert!(tonto < perl, "tonto {tonto} !< perlbench {perl}");
+        assert!(perl < masstree, "perl {perl} !< masstree {masstree}");
+        assert!(masstree > 0.08, "masstree fraction {masstree}");
+        assert!(tonto < 0.04, "tonto fraction {tonto}");
+    }
+
+    #[test]
+    fn palette_sampling_respects_weights() {
+        let p = SizePalette::new(vec![(8, 0.9), (4096, 0.1)]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let small = (0..2000).filter(|_| p.sample(&mut rng) == 8).count();
+        assert!((1700..=1900).contains(&small), "{small}");
+    }
+
+    #[test]
+    #[should_panic(expected = "palette cannot be empty")]
+    fn empty_palette_rejected() {
+        SizePalette::new(vec![]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Plain-text trace serialisation.
+//!
+//! Traces are the unit of reproducibility in this repository: the same
+//! trace replayed on two machines is what makes a speedup comparison
+//! valid. This module gives traces a stable, diffable, line-oriented text
+//! form so they can be archived alongside results, shipped to other
+//! implementations, or hand-written for regression cases.
+//!
+//! Format, one operation per line (`#` starts a comment):
+//!
+//! ```text
+//! m <size>             # malloc
+//! f <index> <s|u>      # free pool[index % len], sized|unsized
+//! fn <s|u>             # free newest
+//! ant <per_mille>      # antagonist eviction
+//! cs <quantum>         # context switch
+//! run <cycles>         # application compute
+//! touch <lines> <ws>   # application memory traffic
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::ops::{Op, Trace};
+
+/// Error parsing a serialised trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn sized_flag(s: bool) -> &'static str {
+    if s {
+        "s"
+    } else {
+        "u"
+    }
+}
+
+/// Serialises a trace to the text format.
+///
+/// # Example
+///
+/// ```
+/// use mallacc_workloads::{Op, Trace, to_text, from_text};
+///
+/// let t: Trace = [Op::Malloc { size: 64 }, Op::FreeNewest { sized: true }]
+///     .into_iter()
+///     .collect();
+/// let s = to_text(&t);
+/// assert_eq!(from_text(&s).unwrap(), t);
+/// ```
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 8);
+    for op in trace.ops() {
+        match *op {
+            Op::Malloc { size } => {
+                let _ = writeln!(out, "m {size}");
+            }
+            Op::Free { index, sized } => {
+                let _ = writeln!(out, "f {index} {}", sized_flag(sized));
+            }
+            Op::FreeNewest { sized } => {
+                let _ = writeln!(out, "fn {}", sized_flag(sized));
+            }
+            Op::Antagonize { per_mille } => {
+                let _ = writeln!(out, "ant {per_mille}");
+            }
+            Op::ContextSwitch { quantum } => {
+                let _ = writeln!(out, "cs {quantum}");
+            }
+            Op::AppRun { cycles } => {
+                let _ = writeln!(out, "run {cycles}");
+            }
+            Op::AppTouch {
+                lines,
+                working_set_lines,
+            } => {
+                let _ = writeln!(out, "touch {lines} {working_set_lines}");
+            }
+        }
+    }
+    out
+}
+
+fn parse_sized(tok: &str) -> Result<bool, String> {
+    match tok {
+        "s" => Ok(true),
+        "u" => Ok(false),
+        other => Err(format!("expected 's' or 'u', got {other:?}")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, String> {
+    tok.parse()
+        .map_err(|_| format!("invalid {what}: {tok:?}"))
+}
+
+/// Parses the text format back into a trace.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] naming the first malformed line.
+pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut trace = Trace::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseTraceError {
+            line: i + 1,
+            message,
+        };
+        let mut toks = line.split_whitespace();
+        let kw = toks.next().expect("non-empty line has a token");
+        let args: Vec<&str> = toks.collect();
+        let op = match (kw, args.as_slice()) {
+            ("m", [size]) => Op::Malloc {
+                size: parse_num(size, "size").map_err(&err)?,
+            },
+            ("f", [index, sized]) => Op::Free {
+                index: parse_num(index, "index").map_err(&err)?,
+                sized: parse_sized(sized).map_err(&err)?,
+            },
+            ("fn", [sized]) => Op::FreeNewest {
+                sized: parse_sized(sized).map_err(&err)?,
+            },
+            ("ant", [pm]) => Op::Antagonize {
+                per_mille: parse_num(pm, "per-mille").map_err(&err)?,
+            },
+            ("cs", [q]) => Op::ContextSwitch {
+                quantum: parse_num(q, "quantum").map_err(&err)?,
+            },
+            ("run", [c]) => Op::AppRun {
+                cycles: parse_num(c, "cycles").map_err(&err)?,
+            },
+            ("touch", [lines, ws]) => Op::AppTouch {
+                lines: parse_num(lines, "lines").map_err(&err)?,
+                working_set_lines: parse_num(ws, "working set").map_err(&err)?,
+            },
+            ("m" | "f" | "fn" | "ant" | "cs" | "run" | "touch", _) => {
+                return Err(err(format!("expected {} argument(s), got {}",
+                    match kw { "f" | "touch" => 2, _ => 1 }, args.len())));
+            }
+            (other, _) => return Err(err(format!("unknown op {other:?}"))),
+        };
+        trace.push(op);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro::Microbenchmark;
+
+    #[test]
+    fn round_trips_every_op_kind() {
+        let t: Trace = [
+            Op::Malloc { size: 123 },
+            Op::Free {
+                index: 42,
+                sized: true,
+            },
+            Op::Free {
+                index: 7,
+                sized: false,
+            },
+            Op::FreeNewest { sized: false },
+            Op::Antagonize { per_mille: 500 },
+            Op::ContextSwitch { quantum: 5000 },
+            Op::AppRun { cycles: 900 },
+            Op::AppTouch {
+                lines: 8,
+                working_set_lines: 4096,
+            },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(from_text(&to_text(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn round_trips_generated_workloads() {
+        for m in Microbenchmark::ALL {
+            let t = m.trace(300, 5);
+            assert_eq!(from_text(&to_text(&t)).unwrap(), t, "{m}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let t = from_text("# header\n\nm 64   # inline comment\n  \nfn s\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let e = from_text("m 64\nbogus 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown op"));
+        let e = from_text("m notanumber").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = from_text("f 1 x").unwrap_err();
+        assert!(e.message.contains("'s' or 'u'"));
+        let e = from_text("touch 1").unwrap_err();
+        assert!(e.message.contains("expected 2"));
+    }
+}

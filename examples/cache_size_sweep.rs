@@ -1,0 +1,70 @@
+//! Sizing the malloc cache for a workload — the Figure 17 methodology as a
+//! hardware-design exercise.
+//!
+//! ```sh
+//! cargo run --release --example cache_size_sweep [workload]
+//! ```
+//!
+//! Sweeps malloc cache sizes over a chosen workload (default:
+//! `483.xalancbmk`, the broadest size-class mix in the paper's suite),
+//! reports the allocator-time improvement and the marginal silicon cost per
+//! entry count, and picks the knee of the curve.
+
+use mallacc::{AccelConfig, AreaEstimate, MallocSim, Mode};
+use mallacc_workloads::MacroWorkload;
+
+fn allocator_cycles(mode: Mode, w: &MacroWorkload) -> f64 {
+    let mut sim = MallocSim::new(mode);
+    w.trace(1_500, 77).replay(&mut sim);
+    sim.reset_totals();
+    let stats = w.trace(8_000, 78).replay(&mut sim);
+    stats.allocator_cycles() as f64
+}
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "483.xalancbmk".to_string());
+    let w = MacroWorkload::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}; pick one of:");
+        for w in MacroWorkload::all() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(2);
+    });
+
+    println!("malloc cache sweep on {}", w.name);
+    println!("{:>8} {:>12} {:>12} {:>14}", "entries", "improvement", "area um2", "um2 per point");
+
+    let base = allocator_cycles(Mode::Baseline, &w);
+    let mut best = (0usize, f64::NEG_INFINITY);
+    let mut rows = Vec::new();
+    for entries in [2usize, 4, 8, 12, 16, 24, 32, 48, 64] {
+        let cfg = AccelConfig::with_entries(entries);
+        let cycles = allocator_cycles(Mode::Mallacc(cfg), &w);
+        let gain = 100.0 * (1.0 - cycles / base);
+        let area = AreaEstimate::for_entries(entries).total_um2();
+        rows.push((entries, gain, area));
+        // Knee selection: best gain-per-area beyond a minimum usefulness.
+        let score = gain - area / 400.0;
+        if score > best.1 {
+            best = (entries, score);
+        }
+    }
+    for (entries, gain, area) in &rows {
+        println!(
+            "{:>8} {:>11.1}% {:>12.0} {:>14.1}",
+            entries,
+            gain,
+            area,
+            if *gain > 0.0 { area / gain } else { f64::INFINITY }
+        );
+    }
+    let limit = allocator_cycles(Mode::limit_all(), &w);
+    println!(
+        "\nlimit study: {:.1}%   (the paper settles on 16 entries; this \
+         workload's knee: {} entries)",
+        100.0 * (1.0 - limit / base),
+        best.0
+    );
+}

@@ -1,0 +1,80 @@
+//! The datacenter-tax argument, end to end.
+//!
+//! ```sh
+//! cargo run --release --example datacenter_tax
+//! ```
+//!
+//! The paper's introduction: malloc consumes ~7 % of all cycles fleet-wide
+//! (Kanev et al.), so a sub-1 % full-program speedup from a tiny in-core
+//! block is a big deal when multiplied across a fleet. This example runs
+//! every macro workload on the baseline and Mallacc machines, reports
+//! statistically-tested full-program speedups (the Table 2 methodology),
+//! and projects a fleet-level saving at the published 6.9 % allocator-time
+//! fraction.
+
+use mallacc::{MallocSim, Mode};
+use mallacc_stats::ttest;
+use mallacc_workloads::MacroWorkload;
+
+fn program_cycles(mode: Mode, w: &MacroWorkload, seed: u64) -> f64 {
+    let mut sim = MallocSim::new(mode);
+    w.trace(1_000, seed).replay(&mut sim);
+    sim.reset_totals();
+    w.trace(6_000, seed + 1).replay(&mut sim);
+    sim.totals().program_cycles() as f64
+}
+
+fn main() {
+    const TRIALS: u64 = 4;
+    println!(
+        "{:<18} {:>10} {:>9} {:>9}  verdict",
+        "workload", "alloc frac", "speedup", "p-value"
+    );
+    let mut alloc_improvements = Vec::new();
+    for w in MacroWorkload::all() {
+        let mut speedups = Vec::new();
+        for t in 0..TRIALS {
+            let seed = 40 + t * 13;
+            let base = program_cycles(Mode::Baseline, &w, seed);
+            let accel = program_cycles(Mode::mallacc_default(), &w, seed);
+            speedups.push(100.0 * (base - accel) / base);
+        }
+        let mean = speedups.iter().sum::<f64>() / TRIALS as f64;
+
+        // Allocator-time fraction and improvement for the fleet projection.
+        let mut sim = MallocSim::new(Mode::Baseline);
+        w.trace(1_000, 40).replay(&mut sim);
+        sim.reset_totals();
+        let base_stats = w.trace(6_000, 41).replay(&mut sim);
+        let mut sim = MallocSim::new(Mode::mallacc_default());
+        w.trace(1_000, 40).replay(&mut sim);
+        sim.reset_totals();
+        let accel_stats = w.trace(6_000, 41).replay(&mut sim);
+        let alloc_impr = 1.0
+            - accel_stats.allocator_cycles() as f64 / base_stats.allocator_cycles() as f64;
+        alloc_improvements.push(alloc_impr);
+
+        let (p, verdict) = match ttest::one_sample(&speedups, 0.0) {
+            Some(t) if t.significant_at(0.05) => (format!("{:.3}", t.p_greater), "significant"),
+            Some(t) => (format!("{:.3}", t.p_greater), "noise-masked"),
+            None => ("n/a".into(), "degenerate"),
+        };
+        println!(
+            "{:<18} {:>9.1}% {:>8.2}% {:>9}  {}",
+            w.name,
+            100.0 * base_stats.totals.allocator_fraction(),
+            mean,
+            p,
+            verdict
+        );
+    }
+    let mean_alloc_impr =
+        alloc_improvements.iter().sum::<f64>() / alloc_improvements.len() as f64;
+    println!(
+        "\nfleet projection: {:.0}% mean allocator-time improvement at the \
+         WSC's 6.9% allocator share ≈ {:.2}% of all datacenter cycles \
+         saved by a <1500 um2 block per core",
+        100.0 * mean_alloc_impr,
+        100.0 * mean_alloc_impr * 0.069
+    );
+}

@@ -1,0 +1,61 @@
+//! Cross-thread memory migration — the §3.1 design requirement that
+//! "memory can migrate from thread to thread to avoid memory blowup in
+//! scenarios where one thread allocates and another thread frees".
+//!
+//! ```sh
+//! cargo run --release --example producer_consumer
+//! ```
+//!
+//! Runs a producer/consumer pipeline over the functional TCMalloc model
+//! with 2–8 thread caches and reports the allocator's footprint, the
+//! migration machinery at work (releases to the central list, neighbour
+//! steals), and the fast-path hit rate each thread still enjoys.
+
+use std::collections::VecDeque;
+
+use mallacc_tcmalloc::{TcMalloc, TcMallocConfig};
+
+fn main() {
+    const MESSAGES: usize = 40_000;
+    const IN_FLIGHT: usize = 64;
+    const MSG_SIZE: u64 = 128;
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>9} {:>8} {:>10}",
+        "threads", "OS pages", "fast hits", "refills", "steals", "releases"
+    );
+    for threads in [2usize, 4, 8] {
+        let mut a = TcMalloc::with_threads(TcMallocConfig::default(), threads);
+        let mut queue: VecDeque<u64> = VecDeque::new();
+        for i in 0..MESSAGES {
+            // Round-robin producers; the "last" thread consumes.
+            let producer = i % (threads - 1);
+            let consumer = threads - 1;
+            queue.push_back(a.malloc_on(producer, MSG_SIZE).ptr);
+            if queue.len() > IN_FLIGHT {
+                let p = queue.pop_front().expect("queue non-empty");
+                a.free_on(consumer, p, true);
+            }
+        }
+        for p in queue.drain(..) {
+            a.free_on(threads - 1, p, true);
+        }
+        assert_eq!(a.live_blocks(), 0, "everything freed");
+        let s = a.stats();
+        println!(
+            "{:>8} {:>10} {:>12} {:>9} {:>8} {:>10}",
+            threads,
+            a.page_heap().stats().os_pages,
+            s.fast_hits,
+            s.central_refills,
+            s.steals,
+            s.list_releases,
+        );
+    }
+    println!(
+        "\nWithout migration, {MESSAGES} x {MSG_SIZE} B one-way messages \
+         would demand ~{} pages; the central free list keeps the footprint \
+         at a handful of OS grants regardless of thread count.",
+        MESSAGES as u64 * MSG_SIZE / 8192
+    );
+}

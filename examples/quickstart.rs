@@ -1,0 +1,62 @@
+//! Quickstart: simulate TCMalloc's fast path with and without Mallacc.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds two simulated machines — a baseline Haswell-like core and the
+//! same core with the Mallacc malloc cache — runs identical warm
+//! malloc/free traffic on both, and reports per-call latencies, the malloc
+//! cache's hit rates, and the accelerator's silicon cost.
+
+use mallacc::{AreaEstimate, CallKind, MallocSim, Mode};
+
+fn measure(mode: Mode) -> (MallocSim, f64, f64) {
+    let mut sim = MallocSim::new(mode);
+    // Warm the allocator, the simulated caches and the malloc cache with
+    // malloc/free pairs over four size classes (like the paper's tp_small).
+    for i in 0..400u64 {
+        let r = sim.malloc(32 + (i % 4) * 32);
+        sim.free(r.ptr, true);
+    }
+    sim.reset_totals();
+    for i in 0..2_000u64 {
+        let r = sim.malloc(32 + (i % 4) * 32);
+        assert_eq!(r.kind, CallKind::MallocFast, "warm calls stay on the fast path");
+        sim.free(r.ptr, true);
+    }
+    let t = sim.totals();
+    let malloc = t.malloc_cycles as f64 / t.malloc_calls as f64;
+    let free = t.free_cycles as f64 / t.free_calls as f64;
+    (sim, malloc, free)
+}
+
+fn main() {
+    let (_, base_malloc, base_free) = measure(Mode::Baseline);
+    let (accel_sim, acc_malloc, acc_free) = measure(Mode::mallacc_default());
+    let (_, lim_malloc, _) = measure(Mode::limit_all());
+
+    println!("warm fast-path latency (cycles/call):");
+    println!("  baseline      malloc {base_malloc:5.1}   free {base_free:5.1}");
+    println!("  mallacc       malloc {acc_malloc:5.1}   free {acc_free:5.1}");
+    println!("  limit study   malloc {lim_malloc:5.1}");
+    println!(
+        "  malloc speedup: {:.1}% (paper: up to 50% on the fast path)",
+        100.0 * (1.0 - acc_malloc / base_malloc)
+    );
+
+    let mc = accel_sim.malloc_cache().stats();
+    let lookup_rate = mc.lookup_hits as f64 / (mc.lookup_hits + mc.lookup_misses) as f64;
+    let pop_rate = mc.pop_hits as f64 / (mc.pop_hits + mc.pop_misses).max(1) as f64;
+    println!("\nmalloc cache (16 entries):");
+    println!("  mcszlookup hit rate {:5.1}%", 100.0 * lookup_rate);
+    println!("  mchdpop    hit rate {:5.1}%", 100.0 * pop_rate);
+    println!("  mcnxtprefetch issued {}", mc.prefetches);
+
+    let area = AreaEstimate::for_entries(16);
+    println!(
+        "\nsilicon cost: {:.0} um2 total ({:.4}% of a Haswell core)",
+        area.total_um2(),
+        100.0 * area.core_fraction()
+    );
+}

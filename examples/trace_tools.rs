@@ -1,0 +1,62 @@
+//! Trace tooling: generate, save, reload and replay allocation traces.
+//!
+//! ```sh
+//! cargo run --release --example trace_tools [workload] [path]
+//! ```
+//!
+//! Traces are the reproducibility unit of this repository: the same trace
+//! replayed on two simulated machines is what makes a speedup claim valid.
+//! This example generates a workload trace (default: `gauss_free`), writes
+//! it to disk in the diffable text format, reads it back, verifies the
+//! round trip, and replays it on the baseline and Mallacc machines of both
+//! allocator substrates.
+
+use mallacc::{MallocSim, Mode};
+use mallacc_jemalloc::JeSim;
+use mallacc_workloads::{from_text, to_text, MacroWorkload, Microbenchmark, SimBackend, Trace};
+
+fn generate(name: &str) -> Option<Trace> {
+    if let Some(m) = Microbenchmark::from_name(name) {
+        return Some(m.trace(3_000, 99));
+    }
+    MacroWorkload::by_name(name).map(|w| w.trace(3_000, 99))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "gauss_free".to_string());
+    let path = args
+        .next()
+        .unwrap_or_else(|| std::env::temp_dir().join("mallacc_trace.txt").display().to_string());
+
+    let Some(trace) = generate(&name) else {
+        eprintln!("unknown workload {name}; use a microbenchmark or macro workload name");
+        std::process::exit(2);
+    };
+
+    let text = to_text(&trace);
+    std::fs::write(&path, &text)?;
+    let reloaded = from_text(&std::fs::read_to_string(&path)?)?;
+    assert_eq!(reloaded, trace, "round trip must be lossless");
+    println!(
+        "{name}: {} ops ({} mallocs) → {path} ({} bytes), round trip OK",
+        trace.len(),
+        trace.malloc_count(),
+        text.len()
+    );
+
+    let report = |label: &str, sim: &mut dyn SimBackend| {
+        reloaded.replay_on(sim); // warm
+        let stats = reloaded.replay_on(sim);
+        println!(
+            "  {label:<22} mean malloc {:6.1} cyc   mean free {:6.1} cyc",
+            stats.mean_malloc_cycles(),
+            stats.free.mean()
+        );
+    };
+    report("tcmalloc / baseline", &mut MallocSim::new(Mode::Baseline));
+    report("tcmalloc / mallacc", &mut MallocSim::new(Mode::mallacc_default()));
+    report("jemalloc / baseline", &mut JeSim::new(Mode::Baseline));
+    report("jemalloc / mallacc", &mut JeSim::new(Mode::mallacc_default()));
+    Ok(())
+}

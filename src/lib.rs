@@ -1,0 +1,19 @@
+//! Top-level umbrella for the Mallacc reproduction workspace.
+//!
+//! This crate exists to host the runnable [examples](https://github.com/example/mallacc-repro/tree/main/examples)
+//! and the cross-crate integration tests in `tests/`. It re-exports the
+//! member crates under short names so examples can write, e.g.,
+//! `use mallacc_repro::workloads::Microbenchmark`.
+//!
+//! See the workspace [README](https://github.com/example/mallacc-repro) for
+//! the architecture overview, and `DESIGN.md` for the per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use mallacc as accel;
+pub use mallacc_cache as cache;
+pub use mallacc_jemalloc as jemalloc;
+pub use mallacc_ooo as ooo;
+pub use mallacc_stats as stats;
+pub use mallacc_tcmalloc as tcmalloc;
+pub use mallacc_workloads as workloads;

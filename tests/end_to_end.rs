@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: the headline claims of the paper must
+//! hold end-to-end on the assembled simulator.
+
+use mallacc::{AccelConfig, AreaEstimate, MallocSim, Mode};
+use mallacc_workloads::{MacroWorkload, Microbenchmark};
+
+fn allocator_cycles(mode: Mode, w: &MacroWorkload, seed: u64) -> f64 {
+    let mut sim = MallocSim::new(mode);
+    w.trace(600, seed).replay(&mut sim);
+    sim.reset_totals();
+    let s = w.trace(2_500, seed + 1).replay(&mut sim);
+    s.allocator_cycles() as f64
+}
+
+#[test]
+fn mallacc_improves_every_macro_workload() {
+    for w in MacroWorkload::all() {
+        let base = allocator_cycles(Mode::Baseline, &w, 3);
+        let accel = allocator_cycles(Mode::Mallacc(AccelConfig::with_entries(32)), &w, 3);
+        assert!(
+            accel < base,
+            "{}: mallacc {accel} !< baseline {base}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn limit_study_bounds_mallacc_on_macro_workloads() {
+    for w in MacroWorkload::all() {
+        let accel = allocator_cycles(Mode::Mallacc(AccelConfig::with_entries(32)), &w, 4);
+        let limit = allocator_cycles(Mode::limit_all(), &w, 4);
+        // The idealised machine is at least as fast (small tolerance for
+        // second-order cache interactions).
+        assert!(
+            limit <= accel * 1.05,
+            "{}: limit {limit} !<= mallacc {accel}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn average_allocator_improvement_is_paper_scale() {
+    // Paper: 18% average allocator-time improvement, 28% limit (Fig. 13).
+    let mut accel_sum = 0.0;
+    let mut limit_sum = 0.0;
+    let all = MacroWorkload::all();
+    for w in &all {
+        let base = allocator_cycles(Mode::Baseline, w, 5);
+        accel_sum +=
+            1.0 - allocator_cycles(Mode::Mallacc(AccelConfig::with_entries(32)), w, 5) / base;
+        limit_sum += 1.0 - allocator_cycles(Mode::limit_all(), w, 5) / base;
+    }
+    let accel_avg = accel_sum / all.len() as f64;
+    let limit_avg = limit_sum / all.len() as f64;
+    assert!(
+        (0.10..=0.45).contains(&accel_avg),
+        "average Mallacc improvement {accel_avg} out of the paper's band"
+    );
+    assert!(
+        limit_avg > accel_avg,
+        "limit {limit_avg} must exceed Mallacc {accel_avg}"
+    );
+}
+
+#[test]
+fn tp_exhibits_prefetch_blocking_slowdown() {
+    // §6.2: "The lone exception is tp ... causing the slowdown."
+    let t = Microbenchmark::Tp.trace(2_500, 7);
+    let mut base = MallocSim::new(Mode::Baseline);
+    t.replay(&mut base);
+    base.reset_totals();
+    let b = t.replay(&mut base).totals.malloc_cycles;
+    let mut accel = MallocSim::new(Mode::Mallacc(AccelConfig::with_entries(32)));
+    t.replay(&mut accel);
+    accel.reset_totals();
+    let a = t.replay(&mut accel).totals.malloc_cycles;
+    assert!(a > b, "tp should slow down under Mallacc: {b} → {a}");
+}
+
+#[test]
+fn undersized_cache_slows_gaussian_benchmarks() {
+    for m in [Microbenchmark::Gauss, Microbenchmark::GaussFree] {
+        let t = m.trace(2_500, 8);
+        let run = |mode: Mode| {
+            let mut sim = MallocSim::new(mode);
+            t.replay(&mut sim);
+            sim.reset_totals();
+            t.replay(&mut sim).totals.malloc_cycles
+        };
+        let base = run(Mode::Baseline);
+        let tiny = run(Mode::Mallacc(AccelConfig::with_entries(2)));
+        let big = run(Mode::Mallacc(AccelConfig::with_entries(16)));
+        assert!(tiny > base, "{m}: 2-entry cache should thrash: {base} → {tiny}");
+        assert!(big < base, "{m}: 16-entry cache should win: {base} → {big}");
+    }
+}
+
+#[test]
+fn tp_small_inflects_at_four_entries() {
+    let t = Microbenchmark::TpSmall.trace(2_000, 9);
+    let run = |entries: usize| {
+        let mut sim = MallocSim::new(Mode::Mallacc(AccelConfig::with_entries(entries)));
+        t.replay(&mut sim);
+        sim.reset_totals();
+        t.replay(&mut sim).totals.malloc_cycles as f64
+    };
+    let at2 = run(2);
+    let at4 = run(4);
+    assert!(
+        at4 < at2 * 0.9,
+        "tp_small uses 4 classes; the jump must land at 4 entries ({at2} → {at4})"
+    );
+}
+
+#[test]
+fn functional_behaviour_is_mode_independent() {
+    // The accelerator is a pure performance optimisation: every mode must
+    // take the exact same allocator paths.
+    let w = MacroWorkload::by_name("400.perlbench").unwrap();
+    let t = w.trace(2_000, 10);
+    let stats = |mode: Mode| {
+        let mut sim = MallocSim::new(mode);
+        t.replay(&mut sim);
+        sim.allocator().stats()
+    };
+    let base = stats(Mode::Baseline);
+    let accel = stats(Mode::mallacc_default());
+    let limit = stats(Mode::limit_all());
+    assert_eq!(base, accel);
+    assert_eq!(base, limit);
+}
+
+#[test]
+fn area_stays_under_paper_bound() {
+    let a = AreaEstimate::for_entries(16);
+    assert!(a.total_um2() < 1_500.0);
+    assert!(a.core_fraction() < 0.0001);
+}
+
+#[test]
+fn xapian_gets_the_largest_malloc_gains() {
+    // Fig. 14: xapian sees > 40% malloc speedup; it should lead the suite.
+    let w = MacroWorkload::by_name("xapian.abstracts").unwrap();
+    let run = |mode: Mode| {
+        let mut sim = MallocSim::new(mode);
+        w.trace(600, 11).replay(&mut sim);
+        sim.reset_totals();
+        w.trace(2_500, 12).replay(&mut sim).totals.malloc_cycles as f64
+    };
+    let base = run(Mode::Baseline);
+    let accel = run(Mode::Mallacc(AccelConfig::with_entries(32)));
+    let gain = 1.0 - accel / base;
+    assert!(gain > 0.35, "xapian malloc gain {gain} below the paper's >40% band");
+}

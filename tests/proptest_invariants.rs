@@ -1,0 +1,171 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use proptest::prelude::*;
+
+use mallacc::{AccelConfig, MallocSim, Mode};
+use mallacc_tcmalloc::{SizeClasses, TcMalloc};
+use mallacc_workloads::{Op, Trace};
+
+/// Strategy: an arbitrary interleaving of mallocs (small and large),
+/// frees, antagonism and app activity.
+fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        6 => (1u64..300_000).prop_map(|size| Op::Malloc { size }),
+        3 => (any::<u64>(), any::<bool>()).prop_map(|(index, sized)| Op::Free { index, sized }),
+        1 => any::<bool>().prop_map(|sized| Op::FreeNewest { sized }),
+        1 => (0u16..=1000).prop_map(|per_mille| Op::Antagonize { per_mille }),
+        1 => (0u32..20_000).prop_map(|quantum| Op::ContextSwitch { quantum }),
+        1 => (0u32..2_000).prop_map(|cycles| Op::AppRun { cycles }),
+        1 => (1u16..32, 64u32..4_096)
+            .prop_map(|(lines, ws)| Op::AppTouch { lines, working_set_lines: ws }),
+    ];
+    prop::collection::vec(op, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The accelerator never changes functional allocator behaviour: every
+    /// mode walks the identical path sequence (same pool hits, refills,
+    /// span allocations, frees) for any operation interleaving.
+    #[test]
+    fn modes_are_functionally_identical(ops in arb_ops(120)) {
+        let trace: Trace = ops.into_iter().collect();
+        let run = |mode: Mode| {
+            let mut sim = MallocSim::new(mode);
+            trace.replay(&mut sim);
+            (sim.allocator().stats(), sim.allocator().live_blocks())
+        };
+        let base = run(Mode::Baseline);
+        let accel = run(Mode::mallacc_default());
+        let tiny = run(Mode::Mallacc(AccelConfig::with_entries(2)));
+        let limit = run(Mode::limit_all());
+        prop_assert_eq!(&base, &accel);
+        prop_assert_eq!(&base, &tiny);
+        prop_assert_eq!(&base, &limit);
+    }
+
+    /// Live allocations never overlap, for any malloc/free interleaving.
+    #[test]
+    fn live_allocations_never_overlap(ops in arb_ops(100)) {
+        let mut a = TcMalloc::default();
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Malloc { size } => {
+                    let o = a.malloc(size);
+                    for &(p, s) in &live {
+                        let disjoint = o.ptr + o.alloc_size <= p || p + s <= o.ptr;
+                        prop_assert!(disjoint, "overlap at {:#x}", o.ptr);
+                    }
+                    live.push((o.ptr, o.alloc_size));
+                }
+                Op::Free { index, sized } if !live.is_empty() => {
+                    let i = (index % live.len() as u64) as usize;
+                    let (p, _) = live.swap_remove(i);
+                    a.free(p, sized);
+                }
+                Op::FreeNewest { sized } => {
+                    if let Some((p, _)) = live.pop() {
+                        a.free(p, sized);
+                    }
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(a.live_blocks(), live.len());
+    }
+
+    /// malloc never hands out a block below the requested size, and the
+    /// rounding is exactly the size-class table's.
+    #[test]
+    fn allocation_size_is_rounded_up(size in 1u64..300_000) {
+        let sc = SizeClasses::tcmalloc_2007();
+        let mut a = TcMalloc::default();
+        let o = a.malloc(size);
+        prop_assert!(o.alloc_size >= size);
+        if let Some(cls) = o.cls {
+            prop_assert_eq!(o.alloc_size, sc.class_to_size(cls));
+        } else {
+            prop_assert!(size > 256 * 1024);
+        }
+    }
+
+    /// Call cycle accounting is internally consistent: per-kind cycles sum
+    /// to the totals the simulator reports.
+    #[test]
+    fn cycle_accounting_balances(ops in arb_ops(80)) {
+        let trace: Trace = ops.into_iter().collect();
+        let mut sim = MallocSim::new(Mode::Baseline);
+        let stats = trace.replay(&mut sim);
+        let kind_total: u64 = stats.kind_cycles.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(kind_total, stats.totals.allocator_cycles());
+        let kind_calls: u64 = stats.kind_counts.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(
+            kind_calls,
+            stats.totals.malloc_calls + stats.totals.free_calls
+        );
+    }
+
+    /// Multi-threaded allocation preserves the no-overlap invariant and
+    /// balances across caches for any producer/consumer interleaving.
+    #[test]
+    fn multithreaded_allocations_never_overlap(
+        ops in prop::collection::vec((0usize..4, 1u64..4096, any::<bool>()), 1..200)
+    ) {
+        let mut a = TcMalloc::with_threads(Default::default(), 4);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (tid, size, do_free) in ops {
+            let o = a.malloc_on(tid, size);
+            for &(p, s) in &live {
+                let disjoint = o.ptr + o.alloc_size <= p || p + s <= o.ptr;
+                prop_assert!(disjoint, "overlap at {:#x}", o.ptr);
+            }
+            live.push((o.ptr, o.alloc_size));
+            if do_free && !live.is_empty() {
+                // Free from a *different* thread than allocated (migration).
+                let (p, _) = live.swap_remove(size as usize % live.len());
+                a.free_on((tid + 1) % 4, p, true);
+            }
+        }
+        prop_assert_eq!(a.live_blocks(), live.len());
+    }
+
+    /// Serialisation round-trips every generatable trace.
+    #[test]
+    fn trace_text_round_trips(ops in arb_ops(100)) {
+        let trace: Trace = ops.into_iter().collect();
+        let text = mallacc_workloads::to_text(&trace);
+        let back = mallacc_workloads::from_text(&text).expect("own output parses");
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Context switches (malloc-cache flushes) never change functional
+    /// behaviour — §4.1's "no writebacks or correctness concerns".
+    #[test]
+    fn context_switches_are_functionally_invisible(ops in arb_ops(80)) {
+        let with_switches: Trace = ops.iter().copied().flat_map(|op| {
+            [op, Op::ContextSwitch { quantum: 1_000 }]
+        }).collect();
+        let without: Trace = ops.into_iter().collect();
+        let run = |trace: &Trace| {
+            let mut sim = MallocSim::new(Mode::mallacc_default());
+            trace.replay(&mut sim);
+            (sim.allocator().stats(), sim.allocator().live_blocks())
+        };
+        prop_assert_eq!(run(&with_switches), run(&without));
+    }
+
+    /// Replays are deterministic: identical traces on identical machines
+    /// give identical cycle totals.
+    #[test]
+    fn replay_is_deterministic(ops in arb_ops(60)) {
+        let trace: Trace = ops.into_iter().collect();
+        let run = || {
+            let mut sim = MallocSim::new(Mode::mallacc_default());
+            trace.replay(&mut sim);
+            (sim.totals(), sim.malloc_cache().stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
