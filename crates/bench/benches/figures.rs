@@ -11,6 +11,7 @@ fn bench_scale() -> Scale {
         calls: 400,
         warmup: 100,
         trials: 2,
+        seed: 0,
     }
 }
 
@@ -18,9 +19,7 @@ fn figure_benches(c: &mut Criterion) {
     let s = bench_scale();
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
-    g.bench_function("fig1_perlbench_call_pdf", |b| {
-        b.iter(|| figures::fig1(s))
-    });
+    g.bench_function("fig1_perlbench_call_pdf", |b| b.iter(|| figures::fig1(s)));
     g.bench_function("fig2_malloc_time_cdf", |b| b.iter(|| figures::fig2(s)));
     g.bench_function("fig4_fastpath_components", |b| b.iter(|| figures::fig4(s)));
     g.bench_function("fig6_size_class_coverage", |b| b.iter(|| figures::fig6(s)));

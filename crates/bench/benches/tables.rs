@@ -10,6 +10,7 @@ fn table_benches(c: &mut Criterion) {
         calls: 400,
         warmup: 100,
         trials: 2,
+        seed: 0,
     };
     let mut g = c.benchmark_group("tables");
     g.sample_size(10);

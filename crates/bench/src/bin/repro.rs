@@ -1,20 +1,20 @@
 //! `repro` — regenerate every table and figure of the Mallacc paper.
 //!
 //! ```text
-//! repro <experiment> [--quick] [--calls N] [--trials N] [--no-index-opt]
+//! repro <experiment> [--quick] [--calls N] [--trials N] [--seed N] [--no-index-opt]
 //!
 //! experiments:
 //!   fig1 fig2 fig4 fig6 fig13 fig14 fig15 fig16 fig17 fig18
-//!   table1 table2 area ablate all
+//!   table1 table2 area ablate mt all
 //! ```
 
-use mallacc_bench::{figures, tables, Scale};
+use mallacc_bench::{figures, mt, tables, Scale};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <fig1|fig2|fig4|fig6|fig13|fig14|fig15|fig16|fig17|\
-         fig18|table1|table2|area|ablate|generality|resilience|sensitivity|sized-delete|cpi|all> [--quick] [--calls N] \
-         [--trials N] [--no-index-opt]"
+         fig18|table1|table2|area|ablate|generality|resilience|sensitivity|sized-delete|cpi|mt|all> [--quick] [--calls N] \
+         [--trials N] [--seed N] [--no-index-opt]"
     );
     std::process::exit(2);
 }
@@ -40,6 +40,13 @@ fn main() {
             "--trials" => {
                 i += 1;
                 scale.trials = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -70,6 +77,7 @@ fn main() {
             "sized-delete" => figures::sized_delete(scale),
             "cpi" => figures::cpi(scale),
             "sensitivity" => figures::sensitivity(scale),
+            "mt" => mt::mt(scale),
             _ => return None,
         })
     };
@@ -77,9 +85,26 @@ fn main() {
     match cmd.as_str() {
         "all" => {
             for name in [
-                "fig1", "fig2", "fig4", "fig6", "table1", "fig13", "fig14",
-                "fig15", "fig16", "fig17", "fig18", "table2", "area", "ablate", "generality", "resilience",
-                "sensitivity", "sized-delete", "cpi",
+                "fig1",
+                "fig2",
+                "fig4",
+                "fig6",
+                "table1",
+                "fig13",
+                "fig14",
+                "fig15",
+                "fig16",
+                "fig17",
+                "fig18",
+                "table2",
+                "area",
+                "ablate",
+                "generality",
+                "resilience",
+                "sensitivity",
+                "sized-delete",
+                "cpi",
+                "mt",
             ] {
                 println!("{}", run(name).expect("known experiment"));
                 println!();

@@ -13,6 +13,9 @@ pub struct Scale {
     pub warmup: usize,
     /// Independent trials (distinct seeds) for Table 2.
     pub trials: usize,
+    /// Base trace seed. Every experiment derives its per-run seeds from
+    /// this (`repro --seed N`); 0 reproduces the recorded numbers.
+    pub seed: u64,
 }
 
 impl Scale {
@@ -22,6 +25,7 @@ impl Scale {
             calls: 12_000,
             warmup: 2_000,
             trials: 5,
+            seed: 0,
         }
     }
 
@@ -31,7 +35,14 @@ impl Scale {
             calls: 1_500,
             warmup: 300,
             trials: 3,
+            seed: 0,
         }
+    }
+
+    /// The run seed for a fixed per-experiment `stream` offset: distinct
+    /// streams stay distinct for any base seed.
+    pub fn seed_for(&self, stream: u64) -> u64 {
+        self.seed.wrapping_add(stream)
     }
 }
 
@@ -86,12 +97,7 @@ mod tests {
 
     #[test]
     fn micro_runner_produces_measurements() {
-        let s = run_micro(
-            Mode::Baseline,
-            Microbenchmark::TpSmall,
-            Scale::quick(),
-            1,
-        );
+        let s = run_micro(Mode::Baseline, Microbenchmark::TpSmall, Scale::quick(), 1);
         assert_eq!(s.totals.malloc_calls as usize, Scale::quick().calls);
         assert!(s.mean_malloc_cycles() > 0.0);
     }

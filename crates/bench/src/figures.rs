@@ -27,12 +27,16 @@ fn histogram_rows(out: &mut String, title: &str, hist: &LogHistogram) {
 /// central-list refills, and span/OS allocations.
 pub fn fig1(scale: Scale) -> String {
     let w = MacroWorkload::by_name("400.perlbench").expect("workload exists");
-    let stats = run_macro(Mode::Baseline, &w, scale, 1);
+    let stats = run_macro(Mode::Baseline, &w, scale, scale.seed_for(1));
     let mut out = String::from(
         "Figure 1 — the costs of hits and misses in the allocation pools \
          (400.perlbench)\n",
     );
-    histogram_rows(&mut out, "time in malloc calls (PDF %):", &stats.malloc_hist);
+    histogram_rows(
+        &mut out,
+        "time in malloc calls (PDF %):",
+        &stats.malloc_hist,
+    );
     out.push_str(&format!(
         "\npath mix: {:?}\n",
         stats
@@ -53,15 +57,9 @@ pub fn fig1(scale: Scale) -> String {
 /// workload; the paper's headline is that most workloads spend > 60 % of
 /// malloc time on calls shorter than 100 cycles.
 pub fn fig2(scale: Scale) -> String {
-    let mut t = Table::new(&[
-        "workload",
-        "<30cyc",
-        "<100cyc",
-        "<1000cyc",
-        "mean(cyc)",
-    ]);
+    let mut t = Table::new(&["workload", "<30cyc", "<100cyc", "<1000cyc", "mean(cyc)"]);
     for w in MacroWorkload::all() {
-        let s = run_macro(Mode::Baseline, &w, scale, 2);
+        let s = run_macro(Mode::Baseline, &w, scale, scale.seed_for(2));
         t.row_owned(vec![
             w.name.to_string(),
             pct(s.malloc_hist.weight_fraction_below(30)),
@@ -93,7 +91,7 @@ pub fn fig4(scale: Scale) -> String {
     ]);
     for m in Microbenchmark::ALL {
         let pair = |mode: Mode| {
-            let s = run_micro(mode, m, scale, 3);
+            let s = run_micro(mode, m, scale, scale.seed_for(3));
             (s.totals.malloc_cycles + s.totals.free_cycles) as f64
                 / s.totals.malloc_calls.max(1) as f64
         };
@@ -134,7 +132,7 @@ pub fn fig4(scale: Scale) -> String {
 pub fn fig6(scale: Scale) -> String {
     let mut t = Table::new(&["workload", "50%", "90%", "99%", "distinct"]);
     for w in MacroWorkload::all() {
-        let s = run_macro(Mode::Baseline, &w, scale, 4);
+        let s = run_macro(Mode::Baseline, &w, scale, scale.seed_for(4));
         t.row_owned(vec![
             w.name.to_string(),
             s.classes_for_coverage(0.5).to_string(),
@@ -155,14 +153,14 @@ fn improvement_figure(scale: Scale, malloc_only: bool) -> String {
     // The paper evaluates Figures 13/14 with a 32-entry cache, and plots
     // run-to-run variation as error bars; we re-run with three trace seeds.
     let accel = Mode::Mallacc(AccelConfig::with_entries(32));
-    const SEEDS: [u64; 3] = [5, 105, 205];
+    let seeds = [scale.seed_for(5), scale.seed_for(105), scale.seed_for(205)];
     let mut t = Table::new(&["workload", "mallacc", "±sd", "limit study", "±sd"]);
     let mut accel_ratios = Vec::new();
     let mut limit_ratios = Vec::new();
     for w in MacroWorkload::all() {
         let mut a_impr = Summary::new();
         let mut l_impr = Summary::new();
-        for seed in SEEDS {
+        for seed in seeds {
             let metric = |mode: Mode| {
                 let s = run_macro(mode, &w, scale, seed);
                 if malloc_only {
@@ -219,7 +217,10 @@ fn duration_pdf_figure(name: &str, scale: Scale, seed: u64) -> String {
     for (label, mode) in [
         ("baseline", Mode::Baseline),
         ("limit study", Mode::limit_all()),
-        ("all optimizations (Mallacc)", Mode::Mallacc(AccelConfig::with_entries(32))),
+        (
+            "all optimizations (Mallacc)",
+            Mode::Mallacc(AccelConfig::with_entries(32)),
+        ),
     ] {
         let s = run_macro(mode, &w, scale, seed);
         out.push_str(&format!(
@@ -235,13 +236,19 @@ fn duration_pdf_figure(name: &str, scale: Scale, seed: u64) -> String {
 
 /// Figure 15: xapian sees a significant improvement on already-fast calls.
 pub fn fig15(scale: Scale) -> String {
-    format!("Figure 15 — {}", duration_pdf_figure("xapian.pages", scale, 6))
+    format!(
+        "Figure 15 — {}",
+        duration_pdf_figure("xapian.pages", scale, scale.seed_for(6))
+    )
 }
 
 /// Figure 16: xalancbmk benefits both from latency reduction and from
 /// cache isolation.
 pub fn fig16(scale: Scale) -> String {
-    format!("Figure 16 — {}", duration_pdf_figure("483.xalancbmk", scale, 7))
+    format!(
+        "Figure 16 — {}",
+        duration_pdf_figure("483.xalancbmk", scale, scale.seed_for(7))
+    )
 }
 
 /// Figure 17: malloc speedup of each microbenchmark as the malloc cache
@@ -255,7 +262,7 @@ pub fn fig17(scale: Scale, index_keying: bool) -> String {
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut t = Table::new(&header_refs);
     for m in Microbenchmark::ALL {
-        let base = run_micro(Mode::Baseline, m, scale, 8)
+        let base = run_micro(Mode::Baseline, m, scale, scale.seed_for(8))
             .totals
             .malloc_cycles as f64;
         let mut row = vec![m.name().to_string()];
@@ -264,12 +271,12 @@ pub fn fig17(scale: Scale, index_keying: bool) -> String {
             if !index_keying {
                 cfg.cache.keying = RangeKeying::RequestedSize;
             }
-            let a = run_micro(Mode::Mallacc(cfg), m, scale, 8)
+            let a = run_micro(Mode::Mallacc(cfg), m, scale, scale.seed_for(8))
                 .totals
                 .malloc_cycles as f64;
             row.push(format!("{:.0}%", improvement_pct(base, a)));
         }
-        let l = run_micro(Mode::limit_all(), m, scale, 8)
+        let l = run_micro(Mode::limit_all(), m, scale, scale.seed_for(8))
             .totals
             .malloc_cycles as f64;
         row.push(format!("{:.0}%", improvement_pct(base, l)));
@@ -278,7 +285,11 @@ pub fn fig17(scale: Scale, index_keying: bool) -> String {
     format!(
         "Figure 17 — effect of malloc cache size on malloc speedup \
          ({} keying)\n{}",
-        if index_keying { "class-index" } else { "requested-size" },
+        if index_keying {
+            "class-index"
+        } else {
+            "requested-size"
+        },
         t.render()
     )
 }
@@ -289,13 +300,13 @@ pub fn fig18(scale: Scale) -> String {
     let mut t = Table::new(&["workload", "time in tcmalloc"]);
     t.row(&["WSC (Kanev et al.)", "6.9%"]);
     for w in MacroWorkload::all() {
-        let s = run_macro(Mode::Baseline, &w, scale, 9);
-        t.row_owned(vec![
-            w.name.to_string(),
-            pct(s.totals.allocator_fraction()),
-        ]);
+        let s = run_macro(Mode::Baseline, &w, scale, scale.seed_for(9));
+        t.row_owned(vec![w.name.to_string(), pct(s.totals.allocator_fraction())]);
     }
-    format!("Figure 18 — fraction of time spent in the allocator\n{}", t.render())
+    format!(
+        "Figure 18 — fraction of time spent in the allocator\n{}",
+        t.render()
+    )
 }
 
 /// Component ablation (beyond the paper's headline): which of Mallacc's
@@ -304,55 +315,78 @@ pub fn ablation(scale: Scale) -> String {
     let full = AccelConfig::paper_default;
     let configs: Vec<(&str, AccelConfig)> = vec![
         ("full", full()),
-        ("size-class only", AccelConfig {
-            list_opt: false,
-            sampling_opt: false,
-            prefetch: false,
-            ..full()
-        }),
-        ("list only", AccelConfig {
-            size_class_opt: false,
-            sampling_opt: false,
-            ..full()
-        }),
-        ("sampling only", AccelConfig {
-            size_class_opt: false,
-            list_opt: false,
-            prefetch: false,
-            ..full()
-        }),
-        ("no prefetch", AccelConfig {
-            prefetch: false,
-            ..full()
-        }),
-        ("generic keying", AccelConfig {
-            cache: mallacc::MallocCacheConfig {
-                keying: RangeKeying::RequestedSize,
-                ..mallacc::MallocCacheConfig::paper_default()
+        (
+            "size-class only",
+            AccelConfig {
+                list_opt: false,
+                sampling_opt: false,
+                prefetch: false,
+                ..full()
             },
-            ..full()
-        }),
+        ),
+        (
+            "list only",
+            AccelConfig {
+                size_class_opt: false,
+                sampling_opt: false,
+                ..full()
+            },
+        ),
+        (
+            "sampling only",
+            AccelConfig {
+                size_class_opt: false,
+                list_opt: false,
+                prefetch: false,
+                ..full()
+            },
+        ),
+        (
+            "no prefetch",
+            AccelConfig {
+                prefetch: false,
+                ..full()
+            },
+        ),
+        (
+            "generic keying",
+            AccelConfig {
+                cache: mallacc::MallocCacheConfig {
+                    keying: RangeKeying::RequestedSize,
+                    ..mallacc::MallocCacheConfig::paper_default()
+                },
+                ..full()
+            },
+        ),
     ];
     let mut headers: Vec<&str> = vec!["workload"];
     headers.extend(configs.iter().map(|(n, _)| *n));
     let mut t = Table::new(&headers);
 
-    let micro = [Microbenchmark::TpSmall, Microbenchmark::GaussFree, Microbenchmark::Antagonist];
+    let micro = [
+        Microbenchmark::TpSmall,
+        Microbenchmark::GaussFree,
+        Microbenchmark::Antagonist,
+    ];
     for m in micro {
-        let base = run_micro(Mode::Baseline, m, scale, 10).allocator_cycles() as f64;
+        let base =
+            run_micro(Mode::Baseline, m, scale, scale.seed_for(10)).allocator_cycles() as f64;
         let mut row = vec![m.name().to_string()];
         for (_, cfg) in &configs {
-            let a = run_micro(Mode::Mallacc(*cfg), m, scale, 10).allocator_cycles() as f64;
+            let a = run_micro(Mode::Mallacc(*cfg), m, scale, scale.seed_for(10)).allocator_cycles()
+                as f64;
             row.push(format!("{:.0}%", improvement_pct(base, a)));
         }
         t.row_owned(row);
     }
     for name in ["xapian.abstracts", "483.xalancbmk"] {
         let w = MacroWorkload::by_name(name).expect("workload exists");
-        let base = run_macro(Mode::Baseline, &w, scale, 10).allocator_cycles() as f64;
+        let base =
+            run_macro(Mode::Baseline, &w, scale, scale.seed_for(10)).allocator_cycles() as f64;
         let mut row = vec![name.to_string()];
         for (_, cfg) in &configs {
-            let a = run_macro(Mode::Mallacc(*cfg), &w, scale, 10).allocator_cycles() as f64;
+            let a = run_macro(Mode::Mallacc(*cfg), &w, scale, scale.seed_for(10)).allocator_cycles()
+                as f64;
             row.push(format!("{:.0}%", improvement_pct(base, a)));
         }
         t.row_owned(row);
@@ -383,8 +417,8 @@ pub fn generality(scale: Scale) -> String {
         Microbenchmark::GaussFree,
         Microbenchmark::Antagonist,
     ] {
-        let warm = m.trace(scale.warmup.max(200), 23);
-        let measure = m.trace(scale.calls, 24);
+        let warm = m.trace(scale.warmup.max(200), scale.seed_for(23));
+        let measure = m.trace(scale.calls, scale.seed_for(24));
         let run = |sim: &mut dyn SimBackend| {
             warm.replay_on(sim);
             measure.replay_on(sim).mean_malloc_cycles()
@@ -421,8 +455,13 @@ pub fn resilience(scale: Scale) -> String {
     use mallacc::MallocSim;
     use mallacc_workloads::{Op, Trace};
 
-    let base_trace = Microbenchmark::GaussFree.trace(scale.calls, 13);
-    let mut t = Table::new(&["switch every N mallocs", "baseline", "mallacc", "improvement"]);
+    let base_trace = Microbenchmark::GaussFree.trace(scale.calls, scale.seed_for(13));
+    let mut t = Table::new(&[
+        "switch every N mallocs",
+        "baseline",
+        "mallacc",
+        "improvement",
+    ]);
     for period in [0usize, 1000, 200, 50, 10] {
         let mut trace = Trace::new();
         let mut since = 0usize;
@@ -445,7 +484,11 @@ pub fn resilience(scale: Scale) -> String {
         let base = run(Mode::Baseline);
         let accel = run(Mode::mallacc_default());
         t.row_owned(vec![
-            if period == 0 { "never".into() } else { period.to_string() },
+            if period == 0 {
+                "never".into()
+            } else {
+                period.to_string()
+            },
             format!("{base:.0}"),
             format!("{accel:.0}"),
             format!("{:.1}%", improvement_pct(base, accel)),
@@ -475,12 +518,14 @@ pub fn cpi(scale: Scale) -> String {
     ]);
     for name in ["400.perlbench", "483.xalancbmk", "xapian.abstracts"] {
         let w = MacroWorkload::by_name(name).expect("workload exists");
-        for (label, mode) in [("baseline", Mode::Baseline), ("mallacc", Mode::mallacc_default())]
-        {
+        for (label, mode) in [
+            ("baseline", Mode::Baseline),
+            ("mallacc", Mode::mallacc_default()),
+        ] {
             let mut sim = MallocSim::new(mode);
-            w.trace(scale.warmup, 18).replay(&mut sim);
+            w.trace(scale.warmup, scale.seed_for(18)).replay(&mut sim);
             let before = sim.cpi_stack();
-            w.trace(scale.calls, 19).replay(&mut sim);
+            w.trace(scale.calls, scale.seed_for(19)).replay(&mut sim);
             let after = sim.cpi_stack();
             let d = mallacc_ooo::CpiStack {
                 base: after.base - before.base,
@@ -526,9 +571,9 @@ pub fn sized_delete(scale: Scale) -> String {
             let mut w = base.clone();
             w.unsized_frac = unsized_frac;
             let mut sim = MallocSim::new(mode);
-            w.trace(scale.warmup, 16).replay(&mut sim);
+            w.trace(scale.warmup, scale.seed_for(16)).replay(&mut sim);
             sim.reset_totals();
-            let s = w.trace(scale.calls, 17).replay(&mut sim);
+            let s = w.trace(scale.calls, scale.seed_for(17)).replay(&mut sim);
             s.mean_free_cycles()
         };
         let b_sized = run(Mode::Baseline, 0.0);
@@ -554,7 +599,7 @@ pub fn sized_delete(scale: Scale) -> String {
             for _ in 0..6_000 {
                 tr.push(Op::Malloc { size: 2048 });
             }
-            let mut seed = 0x1234_5678_9ABC_DEF0u64;
+            let mut seed = 0x1234_5678_9ABC_DEF0u64 ^ scale.seed;
             for _ in 0..scale.calls {
                 seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
                 tr.push(Op::Free { index: seed, sized });
@@ -623,9 +668,9 @@ pub fn sensitivity(scale: Scale) -> String {
     for (name, core) in cores {
         let run = |mode: Mode| {
             let mut sim = MallocSim::with_configs(mode, TcMallocConfig::default(), core);
-            w.trace(scale.warmup, 14).replay(&mut sim);
+            w.trace(scale.warmup, scale.seed_for(14)).replay(&mut sim);
             sim.reset_totals();
-            let s = w.trace(scale.calls, 15).replay(&mut sim);
+            let s = w.trace(scale.calls, scale.seed_for(15)).replay(&mut sim);
             s.mean_malloc_cycles()
         };
         let base = run(Mode::Baseline);

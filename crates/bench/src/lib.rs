@@ -21,13 +21,15 @@
 //!
 //! Plus the [`figures::ablation`] study for the design choices DESIGN.md
 //! calls out (per-component accelerator configs, prefetch on/off, generic
-//! size keying).
+//! size keying), and the beyond-the-paper [`mt::mt`] multi-core report
+//! (per-core malloc caches over a shared L3 at 1/2/4/8 cores).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod figures;
+pub mod mt;
 pub mod tables;
 
 pub use experiments::Scale;

@@ -1,0 +1,139 @@
+//! Multi-core experiments: the `repro mt` report.
+//!
+//! This goes beyond the paper (which simulates one core) and asks whether
+//! Mallacc's per-core malloc caches hold up under multi-threaded
+//! allocation: a producer–consumer ring (remote frees through the
+//! transfer cache) and N-way scaled macro workloads (central-structure and
+//! L3 contention only), each at 1/2/4/8 cores.
+//!
+//! Scaling is *strong*: total allocator calls stay fixed while the core
+//! count grows, so both the simulated work and the host work are
+//! comparable across rows (and an 8-core run costs nowhere near 8× the
+//! 1-core run).
+
+use mallacc::Mode;
+use mallacc_multicore::{MtRunResult, MulticoreSim};
+use mallacc_stats::table::Table;
+use mallacc_workloads::{MacroWorkload, MtTrace};
+
+use crate::experiments::{improvement_pct, Scale};
+
+const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn run(mode: Mode, trace: &MtTrace) -> MtRunResult {
+    MulticoreSim::new(mode, trace.cores()).run(trace)
+}
+
+fn mc_hit_rates(r: &MtRunResult) -> String {
+    let rates: Vec<String> = r
+        .per_core
+        .iter()
+        .map(|c| {
+            format!(
+                "{:.0}/{:.0}",
+                100.0 * c.mc.lookup_hit_rate(),
+                100.0 * c.mc.pop_hit_rate()
+            )
+        })
+        .collect();
+    rates.join(" ")
+}
+
+fn workload_block(name: &str, scale: Scale, make: impl Fn(usize, usize) -> MtTrace) -> String {
+    let mut t = Table::new(&[
+        "cores",
+        "base cyc/call",
+        "mallacc",
+        "impr",
+        "limit",
+        "impr",
+        "remote frees",
+        "steals",
+        "mc lookup/pop hit% per core",
+    ]);
+    for &cores in &CORE_COUNTS {
+        // Strong scaling: the same total calls, split across cores.
+        let calls_per_core = (scale.calls / cores).max(40);
+        let trace = make(cores, calls_per_core);
+        let base = run(Mode::Baseline, &trace);
+        let accel = run(Mode::mallacc_default(), &trace);
+        let limit = run(Mode::limit_all(), &trace);
+        t.row_owned(vec![
+            cores.to_string(),
+            format!("{:.1}", base.cycles_per_call()),
+            format!("{:.1}", accel.cycles_per_call()),
+            format!(
+                "{:.1}%",
+                improvement_pct(base.cycles_per_call(), accel.cycles_per_call())
+            ),
+            format!("{:.1}", limit.cycles_per_call()),
+            format!(
+                "{:.1}%",
+                improvement_pct(base.cycles_per_call(), limit.cycles_per_call())
+            ),
+            base.alloc.remote_frees.to_string(),
+            base.alloc.steals.to_string(),
+            mc_hit_rates(&accel),
+        ]);
+    }
+    format!("{name}\n{}", t.render())
+}
+
+/// The `repro mt` experiment: per-core and aggregate allocator-time
+/// improvement and malloc-cache hit rates vs. core count.
+pub fn mt(scale: Scale) -> String {
+    let seed = scale.seed_for(21);
+    let mut out = String::from(
+        "Multi-core — allocator time and malloc-cache hit rates vs. core \
+         count\n(strong scaling: total calls fixed as cores grow; \
+         hit-rates column is lookup%/pop% per core)\n\n",
+    );
+    out.push_str(&workload_block(
+        "producer-consumer ring (cross-core frees)",
+        scale,
+        |cores, calls| MtTrace::producer_consumer(cores, calls, seed),
+    ));
+    for name in ["483.xalancbmk", "xapian.abstracts"] {
+        let w = MacroWorkload::by_name(name).expect("workload exists");
+        out.push('\n');
+        out.push_str(&workload_block(
+            &format!("{name} ×N (scaled, core-local frees)"),
+            scale,
+            |cores, calls| MtTrace::scaled(&w, cores, calls, seed),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mt_report_renders_all_blocks() {
+        let s = mt(Scale {
+            calls: 320,
+            warmup: 0,
+            trials: 1,
+            seed: 0,
+        });
+        assert!(s.contains("producer-consumer ring"));
+        assert!(s.contains("483.xalancbmk"));
+        assert!(s.contains("xapian.abstracts"));
+        // One row per core count per block.
+        for cores in ["1", "2", "4", "8"] {
+            assert!(s.lines().any(|l| l.trim_start().starts_with(cores)));
+        }
+    }
+
+    #[test]
+    fn mt_report_is_seed_stable() {
+        let s = Scale {
+            calls: 160,
+            warmup: 0,
+            trials: 1,
+            seed: 3,
+        };
+        assert_eq!(mt(s), mt(s));
+    }
+}

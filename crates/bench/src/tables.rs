@@ -47,7 +47,12 @@ pub fn table1(scale: Scale) -> String {
             let d = cpu.alloc_reg();
             last = cpu.push(Uop::alu(1, Some(d), &[])).commit;
         }
-        add(&mut t, "alu stream (4-wide fetch)", n as f64 / 4.0, last as f64);
+        add(
+            &mut t,
+            "alu stream (4-wide fetch)",
+            n as f64 / 4.0,
+            last as f64,
+        );
     }
     // (b) dependent 3-cycle ALU chain: latency-bound.
     {
@@ -60,7 +65,12 @@ pub fn table1(scale: Scale) -> String {
             last = cpu.push(Uop::alu(3, Some(d), &srcs)).commit;
             prev = Some(d);
         }
-        add(&mut t, "dependent alu chain (3 cyc)", 3.0 * n as f64, last as f64);
+        add(
+            &mut t,
+            "dependent alu chain (3 cyc)",
+            3.0 * n as f64,
+            last as f64,
+        );
     }
     // (c) dependent L1 load chain: 4 cycles per hop.
     {
@@ -74,7 +84,12 @@ pub fn table1(scale: Scale) -> String {
             last = cpu.push(Uop::load(0x100, d, &srcs)).commit;
             prev = Some(d);
         }
-        add(&mut t, "dependent L1 load chain", 4.0 * n as f64, last as f64);
+        add(
+            &mut t,
+            "dependent L1 load chain",
+            4.0 * n as f64,
+            last as f64,
+        );
     }
     // (d) independent L1 loads: bound by the two load ports.
     {
@@ -110,7 +125,12 @@ pub fn table1(scale: Scale) -> String {
     );
 
     // Native calibration point from the paper's text.
-    let s = run_micro(Mode::Baseline, Microbenchmark::TpSmall, scale, 11);
+    let s = run_micro(
+        Mode::Baseline,
+        Microbenchmark::TpSmall,
+        scale,
+        scale.seed_for(11),
+    );
     out.push_str(&format!(
         "\ncalibration vs paper's native Haswell: tp_small mean malloc = \
          {:.1} cyc simulated vs ~18 cyc reported (retirement-attributed \
@@ -130,7 +150,7 @@ pub fn table2(scale: Scale) -> String {
     for w in MacroWorkload::all() {
         let mut speedups = Vec::with_capacity(scale.trials);
         for trial in 0..scale.trials as u64 {
-            let seed = 100 + trial * 17;
+            let seed = scale.seed_for(100 + trial * 17);
             let program = |mode: Mode| {
                 let mut sim = MallocSim::new(mode);
                 w.trace(scale.warmup, seed).replay(&mut sim);
@@ -244,6 +264,7 @@ mod tests {
             calls: 800,
             warmup: 200,
             trials: 2,
+            seed: 0,
         });
         for w in MacroWorkload::all() {
             assert!(s.contains(w.name));

@@ -139,9 +139,22 @@ impl SetAssocCache {
         self.stats = CacheStats::default();
     }
 
+    /// Adds `other`'s counters onto this cache's statistics. Used when a
+    /// shared-L3 snapshot replaces a per-core replica: the replica's
+    /// accumulated hit/miss history is folded into the fresh copy.
+    pub fn add_stats(&mut self, other: CacheStats) {
+        self.stats.hits += other.hits;
+        self.stats.misses += other.misses;
+        self.stats.evictions += other.evictions;
+        self.stats.invalidations += other.invalidations;
+    }
+
     fn index_and_tag(&self, addr: Addr) -> (usize, u64) {
         let block = addr >> self.line_shift;
-        ((block & self.set_mask) as usize, block >> self.set_mask.count_ones())
+        (
+            (block & self.set_mask) as usize,
+            block >> self.set_mask.count_ones(),
+        )
     }
 
     /// Looks up `addr`; on a hit, refreshes LRU state and returns `true`.
@@ -178,16 +191,13 @@ impl SetAssocCache {
         let clock = self.clock;
         let set = &mut self.sets[set_idx];
         // Prefer an invalid way; otherwise evict LRU.
-        let victim = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .map(|(i, _)| i)
-                    .expect("associativity > 0")
-            });
+        let victim = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("associativity > 0")
+        });
         let old = set[victim];
         set[victim] = Line {
             valid: true,
@@ -227,7 +237,10 @@ impl SetAssocCache {
     ///
     /// Panics if `fraction` is outside `[0, 1]`.
     pub fn evict_lru_fraction(&mut self, fraction: f64) {
-        assert!((0.0..=1.0).contains(&fraction), "fraction {fraction} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction {fraction} outside [0, 1]"
+        );
         let ways = self.config.associativity as usize;
         // "The less used half of each set": in the paper's simulator the
         // sets are full of application data, so evicting the LRU half kills

@@ -1,6 +1,7 @@
 //! The three-level cache hierarchy plus DRAM.
 
 use crate::cache::{CacheConfig, CacheStats, SetAssocCache};
+use crate::shared::L3Access;
 use crate::tlb::{Tlb, TlbConfig, TlbStats};
 use crate::Addr;
 
@@ -110,6 +111,10 @@ pub struct Hierarchy {
     l3: SetAssocCache,
     tlb: Tlb,
     memory_accesses: u64,
+    /// When `Some`, every access that misses L1 and L2 (and therefore
+    /// reaches the L3 level) is recorded here for the multi-core shared-L3
+    /// epoch merge. `None` (the default) costs nothing.
+    l3_log: Option<Vec<L3Access>>,
 }
 
 impl Hierarchy {
@@ -122,6 +127,7 @@ impl Hierarchy {
             l3: SetAssocCache::new(config.l3),
             tlb: Tlb::new(config.tlb),
             memory_accesses: 0,
+            l3_log: None,
         }
     }
 
@@ -150,6 +156,12 @@ impl Hierarchy {
                 latency: self.config.l2.hit_latency + xlat,
                 level: Level::L2,
             };
+        }
+        // The access reaches the L3 level: record it for the shared-L3
+        // epoch merge if logging is on (hit or miss — the master must see
+        // both to keep its LRU state faithful).
+        if let Some(log) = &mut self.l3_log {
+            log.push(L3Access { addr, write });
         }
         if self.l3.access(addr, write) {
             self.l2.fill(addr, write);
@@ -239,6 +251,39 @@ impl Hierarchy {
         self.l2.reset_stats();
         self.l3.reset_stats();
         self.memory_accesses = 0;
+    }
+
+    /// Turns recording of L3-level accesses on or off. Turning it on
+    /// starts with an empty log; turning it off discards any entries.
+    pub fn set_l3_logging(&mut self, on: bool) {
+        self.l3_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains and returns the accesses recorded since logging was enabled
+    /// or last drained. Empty if logging is off.
+    pub fn take_l3_log(&mut self) -> Vec<L3Access> {
+        match &mut self.l3_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Replaces the private L3 replica with `snapshot` — the epoch refresh
+    /// from a [`crate::SharedL3`] master. The replica's accumulated
+    /// statistics are carried over so per-core L3 hit rates survive epoch
+    /// boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's geometry differs from this hierarchy's L3.
+    pub fn install_l3(&mut self, mut snapshot: SetAssocCache) {
+        assert_eq!(
+            *snapshot.config(),
+            self.config.l3,
+            "shared-L3 snapshot geometry must match the hierarchy's L3"
+        );
+        snapshot.add_stats(self.l3.stats());
+        self.l3 = snapshot;
     }
 }
 

@@ -31,10 +31,12 @@
 
 mod cache;
 mod hierarchy;
+mod shared;
 mod tlb;
 
 pub use cache::{CacheConfig, CacheStats, SetAssocCache};
 pub use hierarchy::{AccessKind, AccessResult, Hierarchy, HierarchyConfig, Level};
+pub use shared::{L3Access, SharedL3};
 pub use tlb::{Tlb, TlbConfig, TlbStats};
 
 /// A simulated 64-bit byte address.

@@ -103,7 +103,11 @@ impl Tlb {
         Self {
             config,
             l1: level(config.l1_entries, config.l1_associativity, 0),
-            l2: level(config.l2_entries, config.l2_associativity, config.l2_latency),
+            l2: level(
+                config.l2_entries,
+                config.l2_associativity,
+                config.l2_latency,
+            ),
             stats: TlbStats::default(),
         }
     }

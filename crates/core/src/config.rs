@@ -126,10 +126,13 @@ mod tests {
     fn limit_all_removes_all() {
         let l = LimitRemove::all();
         assert!(l.size_class && l.sampling && l.push_pop);
-        assert_eq!(LimitRemove::default(), LimitRemove {
-            size_class: false,
-            sampling: false,
-            push_pop: false
-        });
+        assert_eq!(
+            LimitRemove::default(),
+            LimitRemove {
+                size_class: false,
+                sampling: false,
+                push_pop: false
+            }
+        );
     }
 }

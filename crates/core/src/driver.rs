@@ -80,6 +80,24 @@ pub struct CallRecord {
     pub sampled: bool,
 }
 
+/// Post-call snapshot of the serving thread-cache free list, consumed by
+/// the timing layer.
+///
+/// The µop emitters need two values the functional allocator only exposes
+/// *after* a call: the list head (software republishes it; `mchdpush`-style
+/// syncs mirror it) and the element after the head (the value an
+/// `mcnxtprefetch` learns). In single-core mode the driver reads them off
+/// its own allocator; the multi-core layer captures them during its serial
+/// functional phase and replays timing later — see
+/// [`MallocSim::time_malloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PostList {
+    /// Head of the class's free list after the call.
+    pub head: Option<Addr>,
+    /// Second element of the list after the call.
+    pub next: Option<Addr>,
+}
+
 /// Aggregate cycle totals maintained by the driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SimTotals {
@@ -224,6 +242,18 @@ impl MallocSim {
         &self.cpu
     }
 
+    /// Read access to the core's cache hierarchy.
+    pub fn memory(&self) -> &mallacc_cache::Hierarchy {
+        self.cpu.mem()
+    }
+
+    /// Mutable access to the core's cache hierarchy. The multi-core layer
+    /// uses this to install shared-L3 snapshots and turn on L3 access
+    /// logging for the epoch merge.
+    pub fn memory_mut(&mut self) -> &mut mallacc_cache::Hierarchy {
+        self.cpu.mem_mut()
+    }
+
     /// The retirement-side CPI stack of everything simulated so far.
     pub fn cpi_stack(&self) -> mallacc_ooo::CpiStack {
         self.cpu.cpi_stack()
@@ -300,16 +330,54 @@ impl MallocSim {
         self.totals.app_cycles += quantum_cycles;
     }
 
+    /// Invalidates the malloc cache's cached list for `cls` (the size
+    /// mapping survives). The multi-core layer issues this on the victim
+    /// core when a neighbour-cache steal mutates its free list out from
+    /// under the accelerator — the §4.1 copies-only design makes the drop
+    /// free of writebacks, so it costs no µops.
+    pub fn invalidate_mc_list(&mut self, cls: ClassId) {
+        self.mc.invalidate_list(u16::from(cls.as_u8()));
+    }
+
+    /// Post-call list state of `cls` on this sim's own allocator.
+    fn own_post_list(&self, cls: Option<ClassId>) -> PostList {
+        match cls {
+            Some(c) => PostList {
+                head: self.alloc.list_head(c),
+                next: self.alloc.list_next_after_head(c),
+            },
+            None => PostList::default(),
+        }
+    }
+
     /// Simulates one malloc call.
     pub fn malloc(&mut self, size: u64) -> CallRecord {
         let outcome = self.alloc.malloc(size);
+        let post = self.own_post_list(outcome.cls);
+        self.time_malloc(&outcome, post, 0)
+    }
+
+    /// Replays the timing of an already-performed malloc: pushes the call's
+    /// µop program through the core without touching this sim's functional
+    /// allocator. `post` is the serving list's post-call state as captured
+    /// by whoever performed the call; `contention_cycles` stalls the call
+    /// up front (the multi-core central-list/transfer-cache lock model).
+    pub fn time_malloc(
+        &mut self,
+        outcome: &MallocOutcome,
+        post: PostList,
+        contention_cycles: u64,
+    ) -> CallRecord {
         // Per-call time is attributed by retirement: the cycles between the
         // previous call's last retired µop and this call's. Summed over a
         // run this equals total wall-clock time, exactly how "time spent in
         // the allocator" is accounted in the paper's figures.
         let start = self.cpu.now();
+        if contention_cycles > 0 {
+            self.cpu.skip_to_cycle(start + contention_cycles);
+        }
         self.call_boundary();
-        let kind = self.emit_malloc(&outcome);
+        let kind = self.emit_malloc(outcome, post);
         self.call_boundary();
         let end = self.cpu.now();
         let cycles = end.saturating_sub(start);
@@ -319,7 +387,7 @@ impl MallocSim {
             cycles,
             kind,
             ptr: outcome.ptr,
-            size,
+            size: outcome.requested,
             cls: outcome.cls.map(|c| u16::from(c.as_u8())),
             sampled: outcome.sampled,
         }
@@ -332,9 +400,24 @@ impl MallocSim {
     /// Panics on an invalid or double free.
     pub fn free(&mut self, ptr: Addr, sized: bool) -> CallRecord {
         let outcome = self.alloc.free(ptr, sized);
+        let post = self.own_post_list(outcome.cls);
+        self.time_free(&outcome, post, 0)
+    }
+
+    /// Replays the timing of an already-performed free; the counterpart of
+    /// [`MallocSim::time_malloc`].
+    pub fn time_free(
+        &mut self,
+        outcome: &mallacc_tcmalloc::FreeOutcome,
+        post: PostList,
+        contention_cycles: u64,
+    ) -> CallRecord {
         let start = self.cpu.now();
+        if contention_cycles > 0 {
+            self.cpu.skip_to_cycle(start + contention_cycles);
+        }
         self.call_boundary();
-        let kind = self.emit_free(&outcome);
+        let kind = self.emit_free(outcome, post);
         self.call_boundary();
         let end = self.cpu.now();
         let cycles = end.saturating_sub(start);
@@ -343,7 +426,7 @@ impl MallocSim {
         CallRecord {
             cycles,
             kind,
-            ptr,
+            ptr: outcome.ptr,
             size: outcome.alloc_size,
             cls: outcome.cls.map(|c| u16::from(c.as_u8())),
             sampled: false,
@@ -440,6 +523,7 @@ impl MallocSim {
         list: Addr,
         block: Addr,
         next: Option<Addr>,
+        post_next: Option<Addr>,
     ) -> Reg {
         let raw = u16::from(cls.as_u8());
         let la = prog::emit_list_addr(&mut self.cpu, cls_reg);
@@ -462,7 +546,8 @@ impl MallocSim {
         let pop = if blocked_until > t.ready {
             let stalled = self.cpu.alloc_reg();
             let wait = (blocked_until - t.ready) as u32;
-            self.cpu.push(Uop::alu(wait.max(1), Some(stalled), &[pop_raw]));
+            self.cpu
+                .push(Uop::alu(wait.max(1), Some(stalled), &[pop_raw]));
             stalled
         } else {
             pop_raw
@@ -477,7 +562,11 @@ impl MallocSim {
                 next: cached_next,
             } => {
                 debug_assert_eq!(head, block, "malloc cache returned the wrong block");
-                debug_assert_eq!(Some(cached_next), next, "cached next diverged from the list");
+                debug_assert_eq!(
+                    Some(cached_next),
+                    next,
+                    "cached next diverged from the list"
+                );
                 // Software still publishes the new head (store only — the
                 // two loads are gone).
                 self.cpu.push(Uop::store(list, &[pop, la]));
@@ -489,7 +578,7 @@ impl MallocSim {
             if let Some(new_head) = next {
                 // mcnxtprefetch rax, QWORD PTR [new_head]: hardware learns
                 // (new_head, *new_head) and blocks the entry until arrival.
-                let value = self.alloc.list_next_after_head(cls);
+                let value = post_next;
                 let t = self.cpu.push(Uop::prefetch(new_head, &[head_reg]));
                 self.mc
                     .prefetch(raw, new_head, value, t.data_arrival() + MC_TRANSFER_LATENCY);
@@ -499,7 +588,7 @@ impl MallocSim {
         head_reg
     }
 
-    fn emit_malloc(&mut self, outcome: &MallocOutcome) -> CallKind {
+    fn emit_malloc(&mut self, outcome: &MallocOutcome, post: PostList) -> CallKind {
         prog::emit_overhead(&mut self.cpu, prog::PROLOGUE_UOPS);
         let size_reg = self.cpu.alloc_reg();
         self.cpu.push(Uop::alu(1, Some(size_reg), &[]));
@@ -514,7 +603,7 @@ impl MallocSim {
                 let (cls_reg, sz_reg) = self.emit_size_class(size_reg, outcome);
                 self.emit_sampling(sz_reg, outcome.sampled);
                 let cls = outcome.cls.expect("small path");
-                self.emit_fast_pop(cls, cls_reg, *list, outcome.ptr, *next);
+                self.emit_fast_pop(cls, cls_reg, *list, outcome.ptr, *next, post.next);
                 CallKind::MallocFast
             }
             MallocPath::CentralRefill {
@@ -522,7 +611,7 @@ impl MallocSim {
                 central,
                 batch,
                 populate,
-                next: _,
+                ..
             } => {
                 let (cls_reg, sz_reg) = self.emit_size_class(size_reg, outcome);
                 self.emit_sampling(sz_reg, outcome.sampled);
@@ -544,11 +633,7 @@ impl MallocSim {
                     if a.needs_cache() {
                         // Software rebuilds the cached copy with
                         // mchdpush-style updates as it relinks the list.
-                        self.mc.sync_list(
-                            raw,
-                            self.alloc.list_head(cls),
-                            self.alloc.list_next_after_head(cls),
-                        );
+                        self.mc.sync_list(raw, post.head, post.next);
                         let d = self.cpu.alloc_reg();
                         self.cpu.push(Uop::alu(1, Some(d), &[cls_reg]));
                     }
@@ -564,7 +649,7 @@ impl MallocSim {
         kind
     }
 
-    fn emit_free(&mut self, outcome: &mallacc_tcmalloc::FreeOutcome) -> CallKind {
+    fn emit_free(&mut self, outcome: &mallacc_tcmalloc::FreeOutcome, post: PostList) -> CallKind {
         prog::emit_overhead(&mut self.cpu, prog::PROLOGUE_UOPS - 1);
         let ptr_reg = self.cpu.alloc_reg();
         self.cpu.push(Uop::alu(1, Some(ptr_reg), &[]));
@@ -575,11 +660,7 @@ impl MallocSim {
                 prog::emit_large_path(&mut self.cpu, *pages, false, start_page);
                 CallKind::FreeLarge
             }
-            FreePath::ThreadCachePush {
-                list,
-                old_head: _,
-                released,
-            } => {
+            FreePath::ThreadCachePush { list, released, .. } => {
                 let cls = outcome.cls.expect("small free");
                 let raw = u16::from(cls.as_u8());
                 // Size-class resolution.
@@ -606,8 +687,7 @@ impl MallocSim {
                         None => {
                             let idx = mallacc_tcmalloc::class_index(outcome.alloc_size)
                                 .expect("small size");
-                            let (c, _) =
-                                prog::emit_size_class_sw(&mut self.cpu, ptr_reg, idx, raw);
+                            let (c, _) = prog::emit_size_class_sw(&mut self.cpu, ptr_reg, idx, raw);
                             self.mc.update(outcome.alloc_size, outcome.alloc_size, raw);
                             c
                         }
@@ -637,18 +717,9 @@ impl MallocSim {
                 prog::emit_metadata(&mut self.cpu, *list, la);
 
                 if let Some(moved) = released {
-                    prog::emit_release(
-                        &mut self.cpu,
-                        layout::central_list(cls),
-                        *list,
-                        moved,
-                    );
+                    prog::emit_release(&mut self.cpu, layout::central_list(cls), *list, moved);
                     if self.accel().map(|a| a.needs_cache()).unwrap_or(false) {
-                        self.mc.sync_list(
-                            raw,
-                            self.alloc.list_head(cls),
-                            self.alloc.list_next_after_head(cls),
-                        );
+                        self.mc.sync_list(raw, post.head, post.next);
                     }
                     CallKind::FreeRelease
                 } else {
@@ -713,7 +784,10 @@ mod tests {
         let accel = run(Mode::mallacc_default());
         let limit = run(Mode::limit_all());
         assert!(accel < base, "mallacc {accel} !< baseline {base}");
-        assert!(limit <= accel + 1.0, "limit {limit} should bound mallacc {accel}");
+        assert!(
+            limit <= accel + 1.0,
+            "limit {limit} should bound mallacc {accel}"
+        );
         assert!(
             accel < base * 0.85,
             "expected >15% fast-path gain, got {base} → {accel}"

@@ -59,7 +59,7 @@ pub mod programs;
 
 pub use area::{AreaBits, AreaEstimate, HASWELL_CORE_MM2};
 pub use config::{AccelConfig, LimitRemove, Mode};
-pub use driver::{CallKind, CallRecord, MallocSim, SimTotals};
+pub use driver::{CallKind, CallRecord, MallocSim, PostList, SimTotals};
 pub use malloc_cache::{
     MallocCache, MallocCacheConfig, MallocCacheStats, PopResult, RangeKeying, SizeLookup,
 };

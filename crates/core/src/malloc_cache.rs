@@ -122,6 +122,30 @@ pub struct MallocCacheStats {
     pub prefetches: u64,
     /// Cycles spent stalled on prefetch-blocked entries.
     pub blocked_cycles: u64,
+    /// Per-class list invalidations (multi-core steal consistency).
+    pub list_invalidations: u64,
+}
+
+impl MallocCacheStats {
+    /// `mcszlookup` hit rate in `[0, 1]` (0 when there were no lookups).
+    pub fn lookup_hit_rate(&self) -> f64 {
+        let total = self.lookup_hits + self.lookup_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.lookup_hits as f64 / total as f64
+        }
+    }
+
+    /// `mchdpop` hit rate in `[0, 1]` (0 when there were no pops).
+    pub fn pop_hit_rate(&self) -> f64 {
+        let total = self.pop_hits + self.pop_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pop_hits as f64 / total as f64
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -202,9 +226,7 @@ impl MallocCache {
 
     fn key_of(&self, requested: u64) -> u64 {
         match self.config.keying {
-            RangeKeying::ClassIndex => {
-                mallacc_tcmalloc::class_index(requested).unwrap_or(u64::MAX)
-            }
+            RangeKeying::ClassIndex => mallacc_tcmalloc::class_index(requested).unwrap_or(u64::MAX),
             RangeKeying::RequestedSize => requested,
         }
     }
@@ -381,6 +403,22 @@ impl MallocCache {
         }
     }
 
+    /// Drops the cached list state (head and next) for one size class,
+    /// keeping the size mapping. Software issues this when a thread-cache
+    /// free list is mutated outside the accelerated instructions — in this
+    /// model, when a neighbour-cache steal pops blocks from the victim's
+    /// list. Like [`MallocCache::flush`] it needs no writeback: the cache
+    /// only holds copies (§4.1), so dropping them is always safe.
+    pub fn invalidate_list(&mut self, size_class: u16) {
+        if let Some(i) = self.find_class(size_class) {
+            let e = self.entries[i].as_mut().expect("found index is valid");
+            e.head = None;
+            e.next = None;
+            e.blocked_until = 0;
+            self.stats.list_invalidations += 1;
+        }
+    }
+
     /// The cached `(head, next)` pair for a class, for tests and debugging.
     pub fn cached_list(&self, size_class: u16) -> Option<(Option<Addr>, Option<Addr>)> {
         self.find_class(size_class)
@@ -498,6 +536,32 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_list_drops_list_but_keeps_mapping() {
+        let mut mc = cache(4);
+        mc.update(64, 64, 9);
+        mc.push(9, 0x1000, 0);
+        mc.push(9, 0x2000, 0);
+        mc.invalidate_list(9);
+        assert_eq!(mc.cached_list(9), Some((None, None)));
+        assert_eq!(mc.pop(9, 0), PopResult::Miss, "stale list must be gone");
+        assert!(mc.lookup(64, 1).is_some(), "size mapping survives");
+        assert_eq!(mc.stats().list_invalidations, 1);
+        // Unknown class: silently ignored.
+        mc.invalidate_list(33);
+        assert_eq!(mc.stats().list_invalidations, 1);
+        // The list rebuilds from subsequent (functionally grounded) pushes.
+        mc.push(9, 0x5000, 0);
+        mc.push(9, 0x6000, 0);
+        assert_eq!(
+            mc.pop(9, 0),
+            PopResult::Hit {
+                head: 0x6000,
+                next: 0x5000
+            }
+        );
+    }
+
+    #[test]
     fn head_next_invariant_survives_interleaved_push() {
         // The hazard discussed in the module docs: miss-path prefetch then a
         // push before the next pop.
@@ -541,7 +605,7 @@ mod tests {
         mc.push(9, 0x1000, 0);
         mc.push(9, 0x2000, 0);
         let _ = mc.pop(9, 0); // head = 0x1000
-        // Prefetch whose address does not match the cached head: dropped.
+                              // Prefetch whose address does not match the cached head: dropped.
         mc.prefetch(9, 0xBAD0, Some(0xBEEF), 1);
         assert_eq!(mc.cached_list(9), Some((Some(0x1000), None)));
     }

@@ -88,7 +88,11 @@ pub fn emit_size_class_sw(
     cpu.push(Uop::branch(false, &[size_reg]));
     // cls = class_array[idx]
     let cls = cpu.alloc_reg();
-    cpu.push(Uop::load(layout::class_array_entry(class_index), cls, &[idx]));
+    cpu.push(Uop::load(
+        layout::class_array_entry(class_index),
+        cls,
+        &[idx],
+    ));
     // alloc_size = size_table[cls]
     let sz = cpu.alloc_reg();
     let cls_id = mallacc_tcmalloc::ClassId::from_raw(class_id as u8);
@@ -342,7 +346,10 @@ mod tests {
         let batch_big: Vec<Addr> = (0..32u64).map(|i| 0xA0000 + i * 64).collect();
         emit_refill(&mut b, layout::CENTRAL_BASE, 0x9000, &batch_big);
         let big = b.now();
-        assert!(big > small * 3, "32-object refill should dwarf 4-object one");
+        assert!(
+            big > small * 3,
+            "32-object refill should dwarf 4-object one"
+        );
     }
 
     #[test]

@@ -253,8 +253,7 @@ impl JeMalloc {
             .live
             .remove(&ptr)
             .unwrap_or_else(|| panic!("invalid or double free of {ptr:#x}"));
-        let chunk_map =
-            (!sized).then(|| layout::chunk_map_entries(layout::addr_to_page(ptr)));
+        let chunk_map = (!sized).then(|| layout::chunk_map_entries(layout::addr_to_page(ptr)));
         let Some(bin) = live.bin else {
             let pages = self.arena.dalloc_large(ptr);
             self.stats.large_frees += 1;

@@ -327,7 +327,10 @@ impl Arena {
         for p in start_page..start_page + pages {
             self.page_map.remove(&p);
         }
-        self.free_page_runs.entry(pages).or_default().push(start_page);
+        self.free_page_runs
+            .entry(pages)
+            .or_default()
+            .push(start_page);
         pages
     }
 }

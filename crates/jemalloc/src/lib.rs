@@ -48,9 +48,7 @@ mod sim;
 mod size_class;
 mod tcache;
 
-pub use allocator::{
-    JeFreeOutcome, JeFreePath, JeMalloc, JeMallocOutcome, JeMallocPath, JeStats,
-};
+pub use allocator::{JeFreeOutcome, JeFreePath, JeMalloc, JeMallocOutcome, JeMallocPath, JeStats};
 pub use arena::{Arena, ArenaFill, ArenaStats, PageUse, Run, RunId};
 pub use sim::{JeCallKind, JeCallRecord, JeSim, JeTotals};
 pub use size_class::{consts, BinId, BinInfo, SizeClasses};

@@ -219,11 +219,7 @@ impl JeSim {
         let cycles = self.cpu.now().saturating_sub(start);
         self.totals.free_calls += 1;
         self.totals.free_cycles += cycles;
-        JeCallRecord {
-            cycles,
-            kind,
-            ptr,
-        }
+        JeCallRecord { cycles, kind, ptr }
     }
 
     // ---- µop emission -----------------------------------------------------
@@ -259,8 +255,11 @@ impl JeSim {
         let now = self.cpu.now();
         let hit = self.mc.lookup(outcome.requested, now);
         let lk = self.cpu.alloc_reg();
-        self.cpu
-            .push(Uop::alu(self.mc.config().lookup_latency(), Some(lk), &[size_reg]));
+        self.cpu.push(Uop::alu(
+            self.mc.config().lookup_latency(),
+            Some(lk),
+            &[size_reg],
+        ));
         self.cpu.push(Uop::branch(false, &[lk]));
         match hit {
             Some(h) => {
@@ -354,7 +353,8 @@ impl JeSim {
         for _ in 0..fill.new_runs {
             // Run headers + chunk-map registration.
             for j in 0..4u64 {
-                self.cpu.push(Uop::store(layout::CHUNK_MAP_BASE + j * 64, &[dep]));
+                self.cpu
+                    .push(Uop::store(layout::CHUNK_MAP_BASE + j * 64, &[dep]));
             }
         }
         self.cpu.push(Uop::store(lock_addr, &[dep]));
@@ -449,8 +449,7 @@ impl JeSim {
                             // push(below) then push(top) leaves
                             // Head = top, Next = below, no entry blocking.
                             let value = self.alloc.tcache_below_top(bin);
-                            let slot =
-                                layout::tcache_avail_slot(bin, ncached.saturating_sub(2));
+                            let slot = layout::tcache_avail_slot(bin, ncached.saturating_sub(2));
                             let below_reg = self.cpu.alloc_reg();
                             self.cpu.push(Uop::load(slot, below_reg, &[head_reg]));
                             let p1 = self.cpu.alloc_reg();
@@ -479,8 +478,11 @@ impl JeSim {
                 self.emit_fill(bin, fill);
                 self.emit_pop_sw(bin, fill.batch.len() as u64, bin_reg);
                 if self.accel().map(|a| a.needs_cache()).unwrap_or(false) {
-                    self.mc
-                        .sync_list(raw, self.alloc.tcache_top(bin), self.alloc.tcache_below_top(bin));
+                    self.mc.sync_list(
+                        raw,
+                        self.alloc.tcache_top(bin),
+                        self.alloc.tcache_below_top(bin),
+                    );
                 }
                 self.emit_overhead(6);
                 JeCallKind::MallocFill

@@ -99,8 +99,7 @@ impl SizeClasses {
                 // Pick run length so slack stays under ~3% (jemalloc packs
                 // runs tightly; headers are ignored in this model).
                 let mut run_pages = 1u64;
-                while (run_pages * consts::PAGE_SIZE) % size
-                    > (run_pages * consts::PAGE_SIZE) / 32
+                while (run_pages * consts::PAGE_SIZE) % size > (run_pages * consts::PAGE_SIZE) / 32
                     && run_pages < 8
                 {
                     run_pages += 1;

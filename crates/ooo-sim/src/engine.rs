@@ -518,7 +518,7 @@ mod tests {
         let tl = cpu.push(Uop::load(0x3000, d, &[])); // cold miss
         let e = cpu.alloc_reg();
         let ta = cpu.push(Uop::alu(1, Some(e), &[])); // independent
-        // The ALU op completes early but cannot retire before the load.
+                                                      // The ALU op completes early but cannot retire before the load.
         assert!(ta.complete < tl.complete);
         assert!(ta.commit >= tl.commit);
     }

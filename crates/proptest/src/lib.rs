@@ -1,0 +1,568 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! crate reimplements the subset of the proptest API the reproduction's
+//! property tests use: the [`proptest!`] macro with optional
+//! `#![proptest_config(...)]`, strategies over integer ranges, tuples,
+//! `prop_oneof!` weighted unions, `prop::collection::vec`, `any::<T>()`,
+//! [`Just`], `prop_map`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its seed and generated
+//!   input size but is not minimised.
+//! * **Deterministic case seeds.** Case `i` of test `name` derives its
+//!   RNG from `hash(name, i)`, so failures reproduce exactly across
+//!   runs and machines — there is no persistence file.
+//! * Rejections from `prop_assume!` are retried with fresh seeds, up to
+//!   a global cap, mirroring proptest's local-reject behaviour.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// How a test case ends short of success.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the message explains which.
+    Fail(String),
+    /// The case did not satisfy a `prop_assume!` precondition.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The deterministic generator handed to strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Seeds a generator as a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                Self::splitmix(&mut sm),
+                Self::splitmix(&mut sm),
+                Self::splitmix(&mut sm),
+                Self::splitmix(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of values for one property-test argument.
+///
+/// Object-safe core (`generate`) plus sized combinators, so strategies
+/// can be boxed for heterogeneous unions.
+pub trait Strategy {
+    /// The value type generated.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident . $i:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical "arbitrary" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A weighted union of strategies over a common value type; built by
+/// [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(
+            arms.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+            "prop_oneof needs positive total weight"
+        );
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut x = rng.below(total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if x < w {
+                return s.generate(rng);
+            }
+            x -= w;
+        }
+        unreachable!("weights sum covers the draw")
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy with element strategy `elem` and length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// The runner behind the [`proptest!`] macro.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    rejects: u32,
+}
+
+impl TestRunner {
+    /// Cap on consecutive `prop_assume!` rejections before giving up.
+    pub const MAX_REJECTS: u32 = 65_536;
+
+    /// Builds a runner for the named property.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        Self {
+            config,
+            name,
+            rejects: 0,
+        }
+    }
+
+    /// Number of successful cases required.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for `(test name, case, attempt)` — a pure function, so
+    /// failures are reproducible by rerunning the test.
+    pub fn rng_for(&self, case: u32, attempt: u32) -> TestRng {
+        // FNV-1a over the name, mixed with case and attempt indices.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in self.name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(
+            h ^ (u64::from(case) << 32) ^ u64::from(attempt).wrapping_mul(0x9E37_79B9),
+        )
+    }
+
+    /// Handles one case result; returns `true` when the case counts
+    /// toward the success total (i.e. it was not rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on assertion failure or
+    /// when the rejection cap is exhausted.
+    pub fn check(&mut self, case: u32, attempt: u32, result: Result<(), TestCaseError>) -> bool {
+        match result {
+            Ok(()) => true,
+            Err(TestCaseError::Reject) => {
+                self.rejects += 1;
+                assert!(
+                    self.rejects < Self::MAX_REJECTS,
+                    "property '{}' rejected {} inputs without finding enough valid cases",
+                    self.name,
+                    self.rejects
+                );
+                false
+            }
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "property '{}' failed at case {case} (attempt {attempt}): {msg}",
+                self.name
+            ),
+        }
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking mid-generation) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Declares property tests. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, flag in any::<bool>()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($cfg, stringify!($name));
+            let mut done = 0u32;
+            let mut attempt = 0u32;
+            while done < runner.cases() {
+                let mut __rng = runner.rng_for(done, attempt);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let result = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if runner.check(done, attempt, result) {
+                    done += 1;
+                    attempt = 0;
+                } else {
+                    attempt += 1;
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    (($cfg:expr)) => {};
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+
+    /// Namespace alias so `prop::collection::vec` works as in proptest.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u = prop_oneof![9 => Just(1u32), 1 => Just(2u32)];
+        let mut rng = TestRng::seed_from_u64(5);
+        let ones = (0..1000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!((800..=980).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn vec_strategy_bounds_length() {
+        let s = prop::collection::vec(0u64..10, 2..5);
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 1u64..100, pair in (0u16..4, any::<bool>())) {
+            prop_assert!((1..100).contains(&x));
+            let (cls, flag) = pair;
+            prop_assert!(cls < 4, "cls {cls} flag {flag}");
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(n in 0u32..10) {
+            prop_assume!(n >= 5);
+            prop_assert!(n >= 5);
+        }
+
+        #[test]
+        fn mapped_strategies_compose(v in (1u64..5).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0 && (2..10).contains(&v));
+        }
+    }
+}

@@ -163,7 +163,9 @@ mod tests {
 
     #[test]
     fn quantiles_on_weighted_data() {
-        let mut c: Cdf = [(1.0, 70.0), (2.0, 20.0), (3.0, 10.0)].into_iter().collect();
+        let mut c: Cdf = [(1.0, 70.0), (2.0, 20.0), (3.0, 10.0)]
+            .into_iter()
+            .collect();
         assert_eq!(c.quantile(0.0), Some(1.0));
         assert_eq!(c.quantile(0.7), Some(1.0));
         assert_eq!(c.quantile(0.71), Some(2.0));
@@ -174,7 +176,9 @@ mod tests {
 
     #[test]
     fn fraction_at_or_below_is_monotone() {
-        let mut c: Cdf = [(10.0, 1.0), (20.0, 1.0), (30.0, 2.0)].into_iter().collect();
+        let mut c: Cdf = [(10.0, 1.0), (20.0, 1.0), (30.0, 2.0)]
+            .into_iter()
+            .collect();
         let f10 = c.fraction_at_or_below(10.0);
         let f20 = c.fraction_at_or_below(20.0);
         let f25 = c.fraction_at_or_below(25.0);

@@ -263,7 +263,10 @@ impl LinearHistogram {
     ///
     /// Panics if `width` is not strictly positive and finite.
     pub fn new(width: f64) -> Self {
-        assert!(width > 0.0 && width.is_finite(), "invalid bin width {width}");
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "invalid bin width {width}"
+        );
         Self {
             width,
             bins: Vec::new(),

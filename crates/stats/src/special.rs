@@ -70,7 +70,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// ```
 pub fn regularized_incomplete_beta(x: f64, a: f64, b: f64) -> f64 {
     assert!((0.0..=1.0).contains(&x), "x must be in [0, 1], got {x}");
-    assert!(a > 0.0 && b > 0.0, "a and b must be positive, got a={a} b={b}");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "a and b must be positive, got a={a} b={b}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -217,7 +220,11 @@ mod tests {
     fn beta_known_value() {
         // I_{0.5}(2, 2) = 0.5 by symmetry; I_{0.25}(2, 2) = 5/32.
         close(regularized_incomplete_beta(0.5, 2.0, 2.0), 0.5, 1e-12);
-        close(regularized_incomplete_beta(0.25, 2.0, 2.0), 5.0 / 32.0, 1e-12);
+        close(
+            regularized_incomplete_beta(0.25, 2.0, 2.0),
+            5.0 / 32.0,
+            1e-12,
+        );
     }
 
     #[test]

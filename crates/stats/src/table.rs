@@ -57,7 +57,11 @@ impl Table {
     ///
     /// Panics if `aligns.len()` differs from the number of columns.
     pub fn with_aligns(mut self, aligns: &[Align]) -> Self {
-        assert_eq!(aligns.len(), self.headers.len(), "alignment/column count mismatch");
+        assert_eq!(
+            aligns.len(),
+            self.headers.len(),
+            "alignment/column count mismatch"
+        );
         self.aligns = aligns.to_vec();
         self
     }
@@ -69,7 +73,8 @@ impl Table {
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.headers.len(), "row/column count mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of already-owned cells.

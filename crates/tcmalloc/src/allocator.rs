@@ -19,6 +19,7 @@ use crate::layout;
 use crate::page_heap::{PageHeap, SpanId};
 use crate::sampler::Sampler;
 use crate::size_class::{class_index, consts, ClassId, SizeClasses};
+use crate::transfer::{TransferCache, TransferStats};
 
 /// Which pool ultimately served a malloc call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +43,14 @@ pub enum MallocPath {
         populate: Option<Populate>,
         /// New head after popping the returned object.
         next: Option<Addr>,
+        /// The batch came from a transfer-cache slot, not the central
+        /// list's span free lists — a cheaper, lower-contention fetch.
+        via_transfer: bool,
+        /// A dry central list was restocked by stealing from this
+        /// neighbour's thread cache. The victim's list head changed
+        /// underneath it, so the multi-core timing layer must invalidate
+        /// the victim core's malloc-cache entry for this class.
+        stole_from: Option<usize>,
     },
     /// Large request (> 256 KiB): served by the page heap directly.
     Large {
@@ -82,6 +91,9 @@ pub enum FreePath {
         old_head: Option<Addr>,
         /// Objects released to the central list when the list overflowed.
         released: Option<Vec<Addr>>,
+        /// The released batch parked in a transfer-cache slot instead of
+        /// going through the central list's lock.
+        released_to_transfer: bool,
     },
     /// Large free: span returned to the page heap.
     Large {
@@ -102,6 +114,11 @@ pub struct FreeOutcome {
     /// Whether the size class came from a sized delete (compile-time size)
     /// rather than a page-map lookup.
     pub sized: bool,
+    /// The freeing thread is not the thread that allocated the block (the
+    /// producer–consumer cross-thread pattern). Remote frees migrate
+    /// memory between caches and are priced differently by the multi-core
+    /// timing layer.
+    pub remote: bool,
     /// Radix nodes visited when `sized` is false.
     pub pagemap_addrs: Option<[Addr; 3]>,
     /// Which path the free took.
@@ -131,6 +148,12 @@ pub struct AllocStats {
     pub list_releases: u64,
     /// Batches stolen from neighbouring thread caches on a refill.
     pub steals: u64,
+    /// Refills served from a transfer-cache slot.
+    pub transfer_hits: u64,
+    /// Released batches parked in a transfer-cache slot.
+    pub transfer_inserts: u64,
+    /// Frees issued by a thread other than the allocating one.
+    pub remote_frees: u64,
     /// Large frees.
     pub large_frees: u64,
     /// Bytes handed out.
@@ -144,6 +167,9 @@ struct LiveAlloc {
     alloc_size: u64,
     cls: Option<ClassId>,
     span: Option<SpanId>,
+    /// The thread whose cache served the allocation; a free from any
+    /// other thread is a remote free.
+    owner: usize,
 }
 
 /// Configuration knobs for the model.
@@ -219,10 +245,16 @@ impl ThreadCache {
 pub struct TcMalloc {
     size_classes: SizeClasses,
     threads: Vec<ThreadCache>,
+    /// Per-class batch slots in front of the central lists (slot 0 dummy).
+    transfer: Vec<TransferCache>,
     central: Vec<CentralFreeList>,
     heap: PageHeap,
     span_class: HashMap<SpanId, ClassId>,
     live: HashMap<Addr, LiveAlloc>,
+    /// Objects carved out of spans so far, per class (slot 0 unused).
+    /// Small-class blocks never return to the page heap, so at any point
+    /// `carved[c] == live(c) + thread lists + transfer cache + central`.
+    carved: Vec<u64>,
     config: TcMallocConfig,
     stats: AllocStats,
 }
@@ -244,13 +276,16 @@ impl TcMalloc {
         let size_classes = SizeClasses::tcmalloc_2007();
         let n = size_classes.num_classes() + 1;
         let mut central = Vec::with_capacity(n);
+        let mut transfer = Vec::with_capacity(n);
         // Slot 0 is a dummy so ClassId indexes directly.
         central.push(CentralFreeList::new(
             ClassId(1),
             size_classes.class_info(ClassId(1)),
         ));
+        transfer.push(TransferCache::new(1));
         for (cls, info) in size_classes.iter() {
             central.push(CentralFreeList::new(cls, info));
+            transfer.push(TransferCache::new(info.num_to_move as usize));
         }
         let threads = (0..num_threads)
             .map(|_| ThreadCache::new(&size_classes, &config))
@@ -258,10 +293,12 @@ impl TcMalloc {
         Self {
             size_classes,
             threads,
+            transfer,
             central,
             heap: PageHeap::new(),
             span_class: HashMap::new(),
             live: HashMap::new(),
+            carved: vec![0; n],
             config,
             stats: AllocStats::default(),
         }
@@ -323,7 +360,57 @@ impl TcMalloc {
 
     /// Length of a class's free list in thread 0's cache.
     pub fn list_len(&self, cls: ClassId) -> usize {
-        self.threads[0].lists[cls.0 as usize].len()
+        self.list_len_on(0, cls)
+    }
+
+    /// Length of a class's free list in thread `tid`'s cache.
+    pub fn list_len_on(&self, tid: usize, cls: ClassId) -> usize {
+        self.threads[tid].lists[cls.0 as usize].len()
+    }
+
+    /// Every block on thread `tid`'s free list for `cls`, head first.
+    /// Used by the cross-thread invariant tests: a block must never sit
+    /// on two thread caches at once.
+    pub fn free_list_blocks_on(&self, tid: usize, cls: ClassId) -> Vec<Addr> {
+        self.threads[tid].lists[cls.0 as usize].iter().collect()
+    }
+
+    /// Objects currently parked in the transfer cache for `cls`.
+    pub fn transfer_len(&self, cls: ClassId) -> usize {
+        self.transfer[cls.0 as usize].len()
+    }
+
+    /// Transfer-cache statistics for `cls`.
+    pub fn transfer_stats(&self, cls: ClassId) -> TransferStats {
+        self.transfer[cls.0 as usize].stats()
+    }
+
+    /// Objects currently in the central free list for `cls`.
+    pub fn central_len(&self, cls: ClassId) -> usize {
+        self.central[cls.0 as usize].len()
+    }
+
+    /// Total objects carved out of spans for `cls` since construction.
+    /// Small-class objects never return to the page heap, so this is the
+    /// conserved total of the class's block population.
+    pub fn carved_objects(&self, cls: ClassId) -> u64 {
+        self.carved[cls.0 as usize]
+    }
+
+    /// Live (allocated, not yet freed) blocks of class `cls`.
+    pub fn live_blocks_of(&self, cls: ClassId) -> usize {
+        self.live.values().filter(|l| l.cls == Some(cls)).count()
+    }
+
+    /// Free blocks of `cls` across every tier: all thread caches, the
+    /// transfer cache and the central list. Together with
+    /// [`TcMalloc::live_blocks_of`] this must equal
+    /// [`TcMalloc::carved_objects`] at all times.
+    pub fn free_blocks_of(&self, cls: ClassId) -> usize {
+        let in_threads: usize = (0..self.threads.len())
+            .map(|tid| self.list_len_on(tid, cls))
+            .sum();
+        in_threads + self.transfer_len(cls) + self.central_len(cls)
     }
 
     /// Number of live (allocated, not yet freed) blocks.
@@ -344,7 +431,7 @@ impl TcMalloc {
     pub fn malloc_on(&mut self, tid: usize, requested: u64) -> MallocOutcome {
         self.stats.mallocs += 1;
         if requested > consts::MAX_SIZE {
-            return self.malloc_large(requested);
+            return self.malloc_large(tid, requested);
         }
         let cls = self
             .size_classes
@@ -370,6 +457,7 @@ impl TcMalloc {
                     alloc_size,
                     cls: Some(cls),
                     span: None,
+                    owner: tid,
                 },
             );
             return MallocOutcome {
@@ -386,31 +474,43 @@ impl TcMalloc {
             };
         }
 
-        // Miss: refill a batch — stealing from a flush neighbour cache
-        // first (§3.1: "it either attempts to 'steal' some memory from
-        // neighboring thread caches, or gets it from a central free list"),
-        // then from the central list.
+        // Miss: refill a batch. A parked transfer-cache batch (from another
+        // thread's release) is cheapest; otherwise steal from a flush
+        // neighbour cache (§3.1: "it either attempts to 'steal' some memory
+        // from neighboring thread caches, or gets it from a central free
+        // list") and go through the central list.
         self.stats.central_refills += 1;
         let batch_size = info.num_to_move as usize;
-        if self.central[cls.0 as usize].len() < batch_size {
-            self.try_steal(tid, cls, batch_size, alloc_size);
-        }
-        let r = self.central[cls.0 as usize].remove_range(batch_size, &mut self.heap);
-        if let Some(p) = &r.populate {
-            self.stats.populates += 1;
-            self.span_class.insert(p.span.id, cls);
-        }
+        let (batch, populate, via_transfer, stole_from) =
+            if let Some(b) = self.transfer[cls.0 as usize].try_remove(batch_size) {
+                self.stats.transfer_hits += 1;
+                (b, None, true, None)
+            } else {
+                let stole_from = if self.central[cls.0 as usize].len() < batch_size {
+                    self.try_steal(tid, cls, batch_size, alloc_size)
+                } else {
+                    None
+                };
+                let r = self.central[cls.0 as usize].remove_range(batch_size, &mut self.heap);
+                if let Some(p) = &r.populate {
+                    self.stats.populates += 1;
+                    self.span_class.insert(p.span.id, cls);
+                    self.carved[cls.0 as usize] += p.object_count;
+                }
+                (r.batch, r.populate, false, stole_from)
+            };
         let t = &mut self.threads[tid];
         let list = &mut t.lists[cls.0 as usize];
-        list.push_batch(r.batch.iter().copied());
+        list.push_batch(batch.iter().copied());
         let p = list.pop().expect("refill guarantees at least one object");
-        t.cache_bytes += (r.batch.len() as u64 - 1) * alloc_size;
+        t.cache_bytes += (batch.len() as u64 - 1) * alloc_size;
         self.live.insert(
             p.block,
             LiveAlloc {
                 alloc_size,
                 cls: Some(cls),
                 span: None,
+                owner: tid,
             },
         );
         MallocOutcome {
@@ -423,37 +523,45 @@ impl TcMalloc {
             path: MallocPath::CentralRefill {
                 list: list_addr,
                 central: layout::central_list(cls),
-                batch: r.batch,
-                populate: r.populate,
+                batch,
+                populate,
                 next: p.new_head,
+                via_transfer,
+                stole_from,
             },
         }
     }
 
     /// Moves a batch from the best-stocked *other* thread cache into the
-    /// central list, if any neighbour can spare one.
-    fn try_steal(&mut self, tid: usize, cls: ClassId, batch: usize, alloc_size: u64) {
+    /// central list, if any neighbour can spare one. Returns the victim.
+    fn try_steal(
+        &mut self,
+        tid: usize,
+        cls: ClassId,
+        batch: usize,
+        alloc_size: u64,
+    ) -> Option<usize> {
         let victim = (0..self.threads.len())
             .filter(|&v| v != tid)
-            .max_by_key(|&v| self.threads[v].lists[cls.0 as usize].len());
-        let Some(victim) = victim else { return };
+            .max_by_key(|&v| self.threads[v].lists[cls.0 as usize].len())?;
         if self.threads[victim].lists[cls.0 as usize].len() < 2 * batch {
-            return;
+            return None;
         }
         let moved = self.threads[victim].lists[cls.0 as usize].pop_batch(batch);
         self.threads[victim].cache_bytes -= moved.len() as u64 * alloc_size;
         self.central[cls.0 as usize].insert_range(moved);
         self.stats.steals += 1;
+        Some(victim)
     }
 
-    fn malloc_large(&mut self, requested: u64) -> MallocOutcome {
+    fn malloc_large(&mut self, tid: usize, requested: u64) -> MallocOutcome {
         let pages = requested.div_ceil(consts::PAGE_SIZE);
         let span = self.heap.allocate(pages);
         let ptr = layout::page_addr(span.start_page);
         let alloc_size = pages * consts::PAGE_SIZE;
         self.stats.large_allocs += 1;
         self.stats.bytes_allocated += alloc_size;
-        let sampled = self.threads[0].sampler.record_allocation(alloc_size);
+        let sampled = self.threads[tid].sampler.record_allocation(alloc_size);
         if sampled {
             self.stats.sampled += 1;
         }
@@ -463,6 +571,7 @@ impl TcMalloc {
                 alloc_size,
                 cls: None,
                 span: Some(span.id),
+                owner: tid,
             },
         );
         MallocOutcome {
@@ -504,6 +613,10 @@ impl TcMalloc {
             .remove(&ptr)
             .unwrap_or_else(|| panic!("invalid or double free of {ptr:#x}"));
         self.stats.bytes_freed += live.alloc_size;
+        let remote = tid != live.owner;
+        if remote {
+            self.stats.remote_frees += 1;
+        }
 
         let Some(cls) = live.cls else {
             // Large free.
@@ -516,13 +629,14 @@ impl TcMalloc {
                 cls: None,
                 alloc_size: live.alloc_size,
                 sized,
-                pagemap_addrs: (!sized).then(|| layout::pagemap_node_addrs(layout::addr_to_page(ptr))),
+                remote,
+                pagemap_addrs: (!sized)
+                    .then(|| layout::pagemap_node_addrs(layout::addr_to_page(ptr))),
                 path: FreePath::Large { pages },
             };
         };
 
-        let pagemap_addrs =
-            (!sized).then(|| layout::pagemap_node_addrs(layout::addr_to_page(ptr)));
+        let pagemap_addrs = (!sized).then(|| layout::pagemap_node_addrs(layout::addr_to_page(ptr)));
         let list_addr = layout::thread_list_header_on(tid, cls);
         let t = &mut self.threads[tid];
         let list = &mut t.lists[cls.0 as usize];
@@ -537,7 +651,7 @@ impl TcMalloc {
         let info = self.size_classes.class_info(cls);
         let over_len = list.len() > t.max_len[cls.0 as usize];
         let over_bytes = t.cache_bytes > self.config.max_cache_bytes;
-        let released = if over_len || over_bytes {
+        let (released, released_to_transfer) = if over_len || over_bytes {
             if over_len {
                 // Slow-start growth, capped so lists cannot grow unbounded.
                 let cap = (8192 / info.size).max(2) as usize * 4;
@@ -546,11 +660,23 @@ impl TcMalloc {
             }
             let batch = list.pop_batch(info.num_to_move as usize);
             t.cache_bytes -= batch.len() as u64 * info.size;
-            self.central[cls.0 as usize].insert_range(batch.clone());
             self.stats.list_releases += 1;
-            Some(batch)
+            // Full batches park in a transfer-cache slot; partial batches
+            // and slot overflow spill through the central list's lock.
+            let released = batch.clone();
+            let to_transfer = match self.transfer[cls.0 as usize].try_insert(batch) {
+                Ok(()) => {
+                    self.stats.transfer_inserts += 1;
+                    true
+                }
+                Err(spill) => {
+                    self.central[cls.0 as usize].insert_range(spill);
+                    false
+                }
+            };
+            (Some(released), to_transfer)
         } else {
-            None
+            (None, false)
         };
 
         FreeOutcome {
@@ -558,11 +684,13 @@ impl TcMalloc {
             cls: Some(cls),
             alloc_size: live.alloc_size,
             sized,
+            remote,
             pagemap_addrs,
             path: FreePath::ThreadCachePush {
                 list: list_addr,
                 old_head,
                 released,
+                released_to_transfer,
             },
         }
     }
@@ -775,7 +903,10 @@ mod tests {
         }
         assert_eq!(a.live_blocks(), 0);
         let s = a.stats();
-        assert!(s.list_releases > 0, "consumer cache must overflow to central");
+        assert!(
+            s.list_releases > 0,
+            "consumer cache must overflow to central"
+        );
         // Bounded footprint: the heap must not grow linearly with the 5000
         // allocations (5000 × 64 B = 320 KiB would be 40+ pages per round
         // without migration).
@@ -795,24 +926,104 @@ mod tests {
         for p in ptrs {
             a.free_on(1, p, true);
         }
-        let victim_len_before = a.list_len(ClassId(
-            a.size_classes().size_class(64).unwrap().as_u8(),
-        ));
+        let victim_len_before =
+            a.list_len(ClassId(a.size_classes().size_class(64).unwrap().as_u8()));
         let _ = victim_len_before;
         let before = a.stats().steals;
         // Force thread 0 to miss repeatedly; at some point central runs
         // dry and a steal from thread 1 must occur.
         let mut grabbed = Vec::new();
+        let mut victims = Vec::new();
         for _ in 0..512 {
-            grabbed.push(a.malloc_on(0, 64).ptr);
+            let o = a.malloc_on(0, 64);
+            if let MallocPath::CentralRefill {
+                stole_from: Some(v),
+                ..
+            } = o.path
+            {
+                victims.push(v);
+            }
+            grabbed.push(o.ptr);
         }
         assert!(
             a.stats().steals > before,
             "expected a neighbour steal: {:?}",
             a.stats()
         );
+        assert!(
+            victims.iter().all(|&v| v == 1),
+            "the only possible victim is thread 1: {victims:?}"
+        );
+        assert_eq!(victims.len() as u64, a.stats().steals - before);
         for p in grabbed {
             a.free_on(0, p, true);
+        }
+    }
+
+    #[test]
+    fn remote_free_is_detected() {
+        let mut a = TcMalloc::with_threads(TcMallocConfig::default(), 2);
+        let o = a.malloc_on(0, 64);
+        let f = a.free_on(1, o.ptr, true);
+        assert!(f.remote, "cross-thread free must be remote");
+        assert_eq!(a.stats().remote_frees, 1);
+        let o2 = a.malloc_on(0, 64);
+        let f2 = a.free_on(0, o2.ptr, true);
+        assert!(!f2.remote, "same-thread free is local");
+        assert_eq!(a.stats().remote_frees, 1);
+    }
+
+    #[test]
+    fn released_batches_park_in_transfer_cache() {
+        let mut a = TcMalloc::with_threads(TcMallocConfig::default(), 2);
+        // Overflow thread 1's list until a full batch is released; it must
+        // park in a transfer slot rather than the central list.
+        let ptrs: Vec<Addr> = (0..200).map(|_| a.malloc_on(0, 64).ptr).collect();
+        for p in ptrs {
+            a.free_on(1, p, true);
+        }
+        let s = a.stats();
+        assert!(s.transfer_inserts > 0, "no batch parked: {s:?}");
+        let cls = a.size_classes().size_class(64).unwrap();
+        assert!(a.transfer_len(cls) > 0);
+    }
+
+    #[test]
+    fn refill_prefers_transfer_cache() {
+        let mut a = TcMalloc::with_threads(TcMallocConfig::default(), 2);
+        let ptrs: Vec<Addr> = (0..200).map(|_| a.malloc_on(0, 64).ptr).collect();
+        for p in ptrs {
+            a.free_on(1, p, true);
+        }
+        assert!(a.stats().transfer_inserts > 0);
+        // Allocate on thread 0 until its leftover list drains and it
+        // refills; that refill must come from a parked batch.
+        let before = a.stats().transfer_hits;
+        loop {
+            let o = a.malloc_on(0, 64);
+            if let MallocPath::CentralRefill { via_transfer, .. } = o.path {
+                assert!(via_transfer, "refill should hit the transfer cache");
+                break;
+            }
+        }
+        assert_eq!(a.stats().transfer_hits, before + 1);
+    }
+
+    #[test]
+    fn block_population_is_conserved() {
+        let mut a = TcMalloc::with_threads(TcMallocConfig::default(), 3);
+        let cls = a.size_classes().size_class(64).unwrap();
+        let mut ptrs = Vec::new();
+        for i in 0..500u64 {
+            ptrs.push(a.malloc_on((i % 3) as usize, 64).ptr);
+            if i % 7 == 0 {
+                if let Some(p) = ptrs.pop() {
+                    a.free_on(((i + 1) % 3) as usize, p, true);
+                }
+            }
+            let carved = a.carved_objects(cls) as usize;
+            let accounted = a.live_blocks_of(cls) + a.free_blocks_of(cls);
+            assert_eq!(carved, accounted, "leak or duplication at step {i}");
         }
     }
 

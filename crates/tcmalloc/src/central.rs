@@ -149,7 +149,10 @@ mod tests {
     fn fixture() -> (CentralFreeList, PageHeap) {
         let sc = SizeClasses::tcmalloc_2007();
         let cls = sc.size_class(64).unwrap();
-        (CentralFreeList::new(cls, sc.class_info(cls)), PageHeap::new())
+        (
+            CentralFreeList::new(cls, sc.class_info(cls)),
+            PageHeap::new(),
+        )
     }
 
     #[test]

@@ -19,10 +19,12 @@
 //!   addresses touched, which the timing layer turns into micro-op
 //!   programs.
 //!
-//! The model is single-threaded (one thread cache), matching the paper's
-//! single-core simulations. Cross-thread stealing and the transfer cache
-//! are modelled by the central free list alone; see `DESIGN.md` for the
-//! substitution rationale.
+//! The default build has one thread cache, matching the paper's
+//! single-core simulations; [`TcMalloc::with_threads`] instantiates the
+//! full §3.1 structure — per-thread caches over a per-class
+//! [`TransferCache`] over shared central lists — for the multi-core
+//! extension. Remote frees (thread B freeing thread A's block) are
+//! tracked per call so the timing layer can price cross-thread traffic.
 //!
 //! # Example
 //!
@@ -47,6 +49,7 @@ pub mod layout;
 mod page_heap;
 mod sampler;
 mod size_class;
+mod transfer;
 
 pub use allocator::{
     AllocStats, FreeOutcome, FreePath, MallocOutcome, MallocPath, TcMalloc, TcMallocConfig,
@@ -56,3 +59,4 @@ pub use free_list::{FreeList, Popped};
 pub use page_heap::{PageHeap, PageHeapStats, Span, SpanAlloc, SpanId, SpanState};
 pub use sampler::Sampler;
 pub use size_class::{class_array_len, class_index, consts, ClassId, ClassInfo, SizeClasses};
+pub use transfer::{TransferCache, TransferStats};

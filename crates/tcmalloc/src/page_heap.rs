@@ -9,8 +9,6 @@
 
 use std::collections::HashMap;
 
-
-
 /// Slab index of a span.
 pub type SpanId = usize;
 
@@ -221,7 +219,6 @@ impl PageHeap {
         };
         self.take_free(found);
         let id = if self.spans[found].pages > pages {
-            
             self.split(found, pages)
         } else {
             found
@@ -330,7 +327,11 @@ mod tests {
             let a = h.allocate(pages);
             for &(s, p) in &ranges {
                 let disjoint = a.start_page + a.pages <= s || s + p <= a.start_page;
-                assert!(disjoint, "span overlap: ({s},{p}) vs ({},{})", a.start_page, a.pages);
+                assert!(
+                    disjoint,
+                    "span overlap: ({s},{p}) vs ({},{})",
+                    a.start_page, a.pages
+                );
             }
             ranges.push((a.start_page, a.pages));
         }
@@ -367,7 +368,10 @@ mod tests {
         assert!(h.stats().coalesces > before);
         // A large allocation should now fit without growing.
         let c = h.allocate(MIN_OS_GROW_PAGES);
-        assert!(!c.grew_heap, "coalesced grant should satisfy full-size span");
+        assert!(
+            !c.grew_heap,
+            "coalesced grant should satisfy full-size span"
+        );
     }
 
     #[test]

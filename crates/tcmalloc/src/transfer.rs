@@ -1,0 +1,166 @@
+//! The transfer cache: batch-granularity slots between thread caches and
+//! the central free lists.
+//!
+//! Real TCMalloc keeps, per size class, an array of `num_objects_to_move`
+//! sized entries (`kNumTransferEntries`) in front of the span-based central
+//! list. A thread cache releasing a full batch parks it in a slot with a
+//! couple of pointer writes; a refilling thread cache grabs a parked batch
+//! without touching span free lists at all. Only when the slots are full
+//! (or empty) does traffic fall through to the central list proper. In the
+//! producer–consumer pattern — thread A mallocs, thread B frees — almost
+//! all cross-thread block migration flows through here, which is why the
+//! multi-core model needs it: the remote-free → transfer-cache →
+//! central-list cascade has three distinct costs.
+
+use mallacc_cache::Addr;
+
+/// Statistics for one class's transfer cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransferStats {
+    /// Batches parked in a slot by a releasing thread cache.
+    pub insert_hits: u64,
+    /// Batches that found the slots full and spilled to the central list.
+    pub insert_spills: u64,
+    /// Refills served from a parked batch.
+    pub remove_hits: u64,
+    /// Refills that found no parked batch and fell through to central.
+    pub remove_misses: u64,
+}
+
+/// Batch-granularity cache in front of one central free list.
+#[derive(Debug, Clone)]
+pub struct TransferCache {
+    /// Parked batches, each exactly `batch_size` objects.
+    slots: Vec<Vec<Addr>>,
+    max_slots: usize,
+    batch_size: usize,
+    stats: TransferStats,
+}
+
+impl TransferCache {
+    /// TCMalloc's `kNumTransferEntries`: slots per size class.
+    pub const MAX_SLOTS: usize = 64;
+
+    /// An empty transfer cache moving batches of `batch_size` objects.
+    pub fn new(batch_size: usize) -> Self {
+        Self {
+            slots: Vec::new(),
+            max_slots: Self::MAX_SLOTS,
+            batch_size: batch_size.max(1),
+            stats: TransferStats::default(),
+        }
+    }
+
+    /// The batch size (the class's `num_objects_to_move`).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Parked batches.
+    pub fn slots_used(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total objects currently parked.
+    pub fn len(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// True if no batches are parked.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TransferStats {
+        self.stats
+    }
+
+    /// Tries to park a released batch. Full batches go into a slot when
+    /// one is free; anything else is handed back for the central list
+    /// (`Err` carries the batch unchanged).
+    pub fn try_insert(&mut self, batch: Vec<Addr>) -> Result<(), Vec<Addr>> {
+        if batch.len() == self.batch_size && self.slots.len() < self.max_slots {
+            self.slots.push(batch);
+            self.stats.insert_hits += 1;
+            Ok(())
+        } else {
+            self.stats.insert_spills += 1;
+            Err(batch)
+        }
+    }
+
+    /// Tries to serve a refill of `n` objects from a parked batch. Only
+    /// exact-batch requests hit (TCMalloc moves whole batches here).
+    pub fn try_remove(&mut self, n: usize) -> Option<Vec<Addr>> {
+        if n == self.batch_size {
+            if let Some(batch) = self.slots.pop() {
+                self.stats.remove_hits += 1;
+                return Some(batch);
+            }
+        }
+        self.stats.remove_misses += 1;
+        None
+    }
+
+    /// Drains every parked batch (used when the central list must absorb
+    /// everything, e.g. accounting in tests).
+    pub fn drain(&mut self) -> Vec<Addr> {
+        self.slots.drain(..).flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_batch() {
+        let mut t = TransferCache::new(4);
+        t.try_insert(vec![0x100, 0x140, 0x180, 0x1C0]).unwrap();
+        assert_eq!(t.slots_used(), 1);
+        assert_eq!(t.len(), 4);
+        let b = t.try_remove(4).unwrap();
+        assert_eq!(b, vec![0x100, 0x140, 0x180, 0x1C0]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn wrong_sized_batches_spill() {
+        let mut t = TransferCache::new(4);
+        let back = t.try_insert(vec![0x100, 0x140]).unwrap_err();
+        assert_eq!(back.len(), 2);
+        assert_eq!(t.stats().insert_spills, 1);
+        assert!(t.try_remove(2).is_none());
+    }
+
+    #[test]
+    fn lifo_order_across_slots() {
+        let mut t = TransferCache::new(2);
+        t.try_insert(vec![0x100, 0x140]).unwrap();
+        t.try_insert(vec![0x200, 0x240]).unwrap();
+        assert_eq!(t.try_remove(2).unwrap(), vec![0x200, 0x240]);
+        assert_eq!(t.try_remove(2).unwrap(), vec![0x100, 0x140]);
+    }
+
+    #[test]
+    fn slots_saturate_at_capacity() {
+        let mut t = TransferCache::new(1);
+        for i in 0..TransferCache::MAX_SLOTS {
+            t.try_insert(vec![0x1000 + i as Addr * 64]).unwrap();
+        }
+        let spilled = t.try_insert(vec![0xFFFF_0000]).unwrap_err();
+        assert_eq!(spilled, vec![0xFFFF_0000]);
+        assert_eq!(t.slots_used(), TransferCache::MAX_SLOTS);
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut t = TransferCache::new(2);
+        t.try_insert(vec![0x100, 0x140]).unwrap();
+        t.try_insert(vec![0x200, 0x240]).unwrap();
+        let all = t.drain();
+        assert_eq!(all.len(), 4);
+        assert!(t.is_empty());
+    }
+}

@@ -247,7 +247,9 @@ impl MacroWorkload {
 
     /// Generates a deterministic trace with `calls` malloc operations.
     pub fn trace(&self, calls: usize, seed: u64) -> Trace {
-        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ 0x2545_F491_4F6C_DD1D);
+        let mut rng = SmallRng::seed_from_u64(
+            seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ 0x2545_F491_4F6C_DD1D,
+        );
         let mut t = Trace::new();
         let mut burst_size = 0u64;
         let mut burst_left = 0u32;

@@ -1,0 +1,384 @@
+//! Multi-threaded workload traces for the multi-core simulation layer.
+//!
+//! A [`MtTrace`] is a *globally interleaved*, deterministic sequence of
+//! `(core, MtOp)` pairs. Unlike single-core [`Trace`](crate::Trace) —
+//! where a free names a pool index — multi-threaded ops name blocks by
+//! **token**, because the defining behaviour of the producer–consumer
+//! pattern is that the freeing core is not the allocating core. The
+//! multi-core runner executes the ops in trace order against one shared
+//! allocator (the serial functional phase), then replays per-core timing
+//! in parallel.
+//!
+//! Two generator families:
+//!
+//! * [`MtTrace::producer_consumer`] — core *i* allocates message blocks
+//!   that core *(i+1) mod N* frees, with a bounded in-flight window. This
+//!   drives the TCMalloc remote-free path: blocks pile up in the
+//!   consumer's cache, overflow through the transfer cache, and return to
+//!   the producer via central-list refills.
+//! * [`MtTrace::scaled`] — N independent copies of a macro workload, one
+//!   per core, each with its own RNG stream, interleaved round-robin.
+//!   Allocation and free stay core-local; the cores contend only on the
+//!   shared L3 and central structures.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::macrob::MacroWorkload;
+
+/// One operation of a multi-threaded trace. Blocks are named by token:
+/// the allocating op chooses it, the freeing op (on any core) names it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MtOp {
+    /// Allocate `size` bytes; the block is known as `token` from then on.
+    Malloc {
+        /// Requested size in bytes.
+        size: u64,
+        /// Trace-unique block identity.
+        token: u64,
+    },
+    /// Free the block named `token` (which a possibly different core
+    /// allocated earlier in trace order).
+    Free {
+        /// The block to free.
+        token: u64,
+        /// C++14 sized-delete flag.
+        sized: bool,
+    },
+    /// Application compute: skip this many cycles on the issuing core.
+    AppRun {
+        /// Cycles of non-allocator work.
+        cycles: u32,
+    },
+    /// Application memory traffic on the issuing core's working set.
+    AppTouch {
+        /// Number of 64-byte lines to load.
+        lines: u16,
+        /// Working-set size in lines.
+        working_set_lines: u32,
+    },
+}
+
+/// A deterministic multi-threaded operation sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MtTrace {
+    cores: usize,
+    ops: Vec<(usize, MtOp)>,
+}
+
+/// Builds the token for `core`'s `n`-th allocation.
+fn token_of(core: usize, n: u64) -> u64 {
+    ((core as u64) << 48) | n
+}
+
+impl MtTrace {
+    /// Builds a trace from hand-written ops (tests and custom patterns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or any op names a core out of range.
+    pub fn from_ops(cores: usize, ops: Vec<(usize, MtOp)>) -> MtTrace {
+        assert!(cores > 0, "need at least one core");
+        assert!(
+            ops.iter().all(|&(c, _)| c < cores),
+            "op names a core >= {cores}"
+        );
+        MtTrace { cores, ops }
+    }
+
+    /// Number of simulated cores the trace was generated for.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The `(core, op)` pairs in global order.
+    pub fn ops(&self) -> &[(usize, MtOp)] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total malloc operations across all cores.
+    pub fn malloc_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|(_, o)| matches!(o, MtOp::Malloc { .. }))
+            .count()
+    }
+
+    /// Malloc operations issued by `core`.
+    pub fn malloc_count_on(&self, core: usize) -> usize {
+        self.ops
+            .iter()
+            .filter(|&&(c, ref o)| c == core && matches!(o, MtOp::Malloc { .. }))
+            .count()
+    }
+
+    /// The paper-style producer–consumer ring: core *i* allocates
+    /// `calls_per_core` message blocks which core *(i+1) mod cores* frees,
+    /// keeping at most `QUEUE_DEPTH` blocks in flight per pair. With one
+    /// core the pattern degenerates to alloc-then-self-free (all local).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn producer_consumer(cores: usize, calls_per_core: usize, seed: u64) -> MtTrace {
+        assert!(cores > 0, "need at least one core");
+        const QUEUE_DEPTH: usize = 32;
+        // Message sizes: small, a few classes, like an RPC/message-passing
+        // workload. Unsized deletes model consumers that only see `void*`.
+        const SIZES: [u64; 4] = [32, 64, 96, 256];
+        let mut rngs: Vec<SmallRng> = (0..cores)
+            .map(|c| {
+                SmallRng::seed_from_u64(
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1)),
+                )
+            })
+            .collect();
+        let mut ops = Vec::new();
+        // Per-producer FIFO of in-flight tokens.
+        let mut in_flight: Vec<std::collections::VecDeque<u64>> =
+            vec![std::collections::VecDeque::new(); cores];
+        let mut produced = vec![0u64; cores];
+        for _round in 0..calls_per_core {
+            for core in 0..cores {
+                let consumer = (core + 1) % cores;
+                let gap = rngs[core].gen_range(60u32..=180);
+                ops.push((core, MtOp::AppRun { cycles: gap }));
+                let size = SIZES[rngs[core].gen_range(0usize..SIZES.len())];
+                let token = token_of(core, produced[core]);
+                produced[core] += 1;
+                ops.push((core, MtOp::Malloc { size, token }));
+                in_flight[core].push_back(token);
+                if in_flight[core].len() > QUEUE_DEPTH {
+                    let t = in_flight[core].pop_front().expect("non-empty");
+                    let sized = rngs[consumer].gen_bool(0.8);
+                    ops.push((consumer, MtOp::Free { token: t, sized }));
+                }
+            }
+        }
+        // Drain: consumers free the remaining in-flight blocks.
+        for (core, queue) in in_flight.iter_mut().enumerate() {
+            let consumer = (core + 1) % cores;
+            while let Some(t) = queue.pop_front() {
+                ops.push((
+                    consumer,
+                    MtOp::Free {
+                        token: t,
+                        sized: true,
+                    },
+                ));
+            }
+        }
+        MtTrace { cores, ops }
+    }
+
+    /// N-core scaling of a macro workload: each core runs an independent
+    /// copy with its own RNG stream (`seed` ⊕ core), interleaved
+    /// round-robin call by call. Frees stay on the allocating core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn scaled(
+        workload: &MacroWorkload,
+        cores: usize,
+        calls_per_core: usize,
+        seed: u64,
+    ) -> MtTrace {
+        assert!(cores > 0, "need at least one core");
+        let mut rngs: Vec<SmallRng> = (0..cores)
+            .map(|c| {
+                SmallRng::seed_from_u64(
+                    seed.wrapping_mul(0xA076_1D64_78BD_642F)
+                        ^ 0x2545_F491_4F6C_DD1D
+                        ^ (0xD6E8_FEB8_6659_FD93u64.wrapping_mul(c as u64 + 1)),
+                )
+            })
+            .collect();
+        let mut ops = Vec::new();
+        let mut live: Vec<Vec<u64>> = vec![Vec::new(); cores];
+        let mut produced = vec![0u64; cores];
+        let mut burst_size = vec![0u64; cores];
+        let mut burst_left = vec![0u32; cores];
+        for _round in 0..calls_per_core {
+            for core in 0..cores {
+                let rng = &mut rngs[core];
+                if workload.app_gap_cycles > 0 {
+                    let g = workload.app_gap_cycles;
+                    ops.push((
+                        core,
+                        MtOp::AppRun {
+                            cycles: rng.gen_range(g / 2..=g + g / 2),
+                        },
+                    ));
+                }
+                if workload.app_touch_lines > 0 {
+                    ops.push((
+                        core,
+                        MtOp::AppTouch {
+                            lines: workload.app_touch_lines,
+                            working_set_lines: workload.app_working_set_lines,
+                        },
+                    ));
+                }
+                if burst_left[core] == 0 {
+                    burst_size[core] = workload.sizes.sample(rng);
+                    let p = 1.0 / workload.burst_mean.max(1.0);
+                    burst_left[core] = 1;
+                    while !rng.gen_bool(p) && burst_left[core] < 64 {
+                        burst_left[core] += 1;
+                    }
+                }
+                burst_left[core] -= 1;
+                let token = token_of(core, produced[core]);
+                produced[core] += 1;
+                ops.push((
+                    core,
+                    MtOp::Malloc {
+                        size: burst_size[core],
+                        token,
+                    },
+                ));
+                live[core].push(token);
+                if workload.free_prob > 0.0 && rng.gen_bool(workload.free_prob) {
+                    let n = live[core].len() as u64;
+                    let i = (rng.gen::<u64>() % n) as usize;
+                    let t = live[core].swap_remove(i);
+                    let sized = !rng.gen_bool(workload.unsized_frac);
+                    ops.push((core, MtOp::Free { token: t, sized }));
+                }
+            }
+        }
+        MtTrace { cores, ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn producer_consumer_is_deterministic() {
+        let a = MtTrace::producer_consumer(4, 100, 7);
+        let b = MtTrace::producer_consumer(4, 100, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, MtTrace::producer_consumer(4, 100, 8));
+    }
+
+    #[test]
+    fn producer_consumer_frees_cross_core() {
+        let t = MtTrace::producer_consumer(2, 200, 1);
+        let mut allocator_of: HashMap<u64, usize> = HashMap::new();
+        let mut remote = 0usize;
+        let mut local = 0usize;
+        for &(core, op) in t.ops() {
+            match op {
+                MtOp::Malloc { token, .. } => {
+                    assert!(allocator_of.insert(token, core).is_none(), "token reuse");
+                }
+                MtOp::Free { token, .. } => {
+                    let owner = allocator_of[&token];
+                    if owner == core {
+                        local += 1;
+                    } else {
+                        remote += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(remote > 0, "two-core ring must free remotely");
+        assert_eq!(local, 0, "ring frees are all cross-core");
+    }
+
+    #[test]
+    fn every_block_freed_exactly_once_after_malloc() {
+        let t = MtTrace::producer_consumer(3, 150, 5);
+        let mut live: HashSet<u64> = HashSet::new();
+        let mut freed: HashSet<u64> = HashSet::new();
+        for &(_, op) in t.ops() {
+            match op {
+                MtOp::Malloc { token, .. } => {
+                    assert!(live.insert(token));
+                }
+                MtOp::Free { token, .. } => {
+                    assert!(live.remove(&token), "free before malloc or double free");
+                    assert!(freed.insert(token));
+                }
+                _ => {}
+            }
+        }
+        assert!(live.is_empty(), "{} blocks leaked", live.len());
+        assert_eq!(freed.len(), t.malloc_count());
+    }
+
+    #[test]
+    fn single_core_ring_is_all_local() {
+        let t = MtTrace::producer_consumer(1, 100, 3);
+        assert_eq!(t.cores(), 1);
+        for &(core, _) in t.ops() {
+            assert_eq!(core, 0);
+        }
+        assert_eq!(t.malloc_count(), 100);
+    }
+
+    #[test]
+    fn scaled_gives_each_core_its_own_stream() {
+        let w = MacroWorkload::by_name("400.perlbench").unwrap();
+        let t = MtTrace::scaled(&w, 2, 200, 9);
+        assert_eq!(t.malloc_count_on(0), 200);
+        assert_eq!(t.malloc_count_on(1), 200);
+        // The two cores must not replay identical size sequences.
+        let sizes = |core: usize| -> Vec<u64> {
+            t.ops()
+                .iter()
+                .filter_map(|&(c, op)| match op {
+                    MtOp::Malloc { size, .. } if c == core => Some(size),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_ne!(sizes(0), sizes(1), "per-core RNG streams collided");
+    }
+
+    #[test]
+    fn scaled_frees_are_core_local() {
+        let w = MacroWorkload::by_name("471.omnetpp").unwrap();
+        let t = MtTrace::scaled(&w, 4, 100, 2);
+        let mut allocator_of: HashMap<u64, usize> = HashMap::new();
+        for &(core, op) in t.ops() {
+            match op {
+                MtOp::Malloc { token, .. } => {
+                    allocator_of.insert(token, core);
+                }
+                MtOp::Free { token, .. } => {
+                    assert_eq!(allocator_of[&token], core, "scaled frees must stay local");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_is_deterministic() {
+        let w = MacroWorkload::by_name("xapian.abstracts").unwrap();
+        assert_eq!(
+            MtTrace::scaled(&w, 4, 50, 11),
+            MtTrace::scaled(&w, 4, 50, 11)
+        );
+        assert_ne!(
+            MtTrace::scaled(&w, 4, 50, 11),
+            MtTrace::scaled(&w, 4, 50, 12)
+        );
+    }
+}

@@ -411,7 +411,9 @@ mod tests {
         let trace: Trace = (0..50)
             .flat_map(|i| {
                 [
-                    Op::Malloc { size: 32 + (i % 4) * 16 },
+                    Op::Malloc {
+                        size: 32 + (i % 4) * 16,
+                    },
                     Op::FreeNewest { sized: true },
                 ]
             })
@@ -443,9 +445,15 @@ mod tests {
 
     #[test]
     fn free_on_empty_pool_is_skipped() {
-        let trace: Trace = [Op::FreeNewest { sized: true }, Op::Free { index: 0, sized: true }]
-            .into_iter()
-            .collect();
+        let trace: Trace = [
+            Op::FreeNewest { sized: true },
+            Op::Free {
+                index: 0,
+                sized: true,
+            },
+        ]
+        .into_iter()
+        .collect();
         let mut sim = MallocSim::new(Mode::Baseline);
         let stats = trace.replay(&mut sim);
         assert_eq!(stats.totals.free_calls, 0);

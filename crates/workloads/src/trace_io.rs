@@ -33,7 +33,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -102,8 +106,7 @@ fn parse_sized(tok: &str) -> Result<bool, String> {
 }
 
 fn parse_num<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, String> {
-    tok.parse()
-        .map_err(|_| format!("invalid {what}: {tok:?}"))
+    tok.parse().map_err(|_| format!("invalid {what}: {tok:?}"))
 }
 
 /// Parses the text format back into a trace.
@@ -150,8 +153,14 @@ pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
                 working_set_lines: parse_num(ws, "working set").map_err(&err)?,
             },
             ("m" | "f" | "fn" | "ant" | "cs" | "run" | "touch", _) => {
-                return Err(err(format!("expected {} argument(s), got {}",
-                    match kw { "f" | "touch" => 2, _ => 1 }, args.len())));
+                return Err(err(format!(
+                    "expected {} argument(s), got {}",
+                    match kw {
+                        "f" | "touch" => 2,
+                        _ => 1,
+                    },
+                    args.len()
+                )));
             }
             (other, _) => return Err(err(format!("unknown op {other:?}"))),
         };

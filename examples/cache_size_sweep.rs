@@ -34,7 +34,10 @@ fn main() {
     });
 
     println!("malloc cache sweep on {}", w.name);
-    println!("{:>8} {:>12} {:>12} {:>14}", "entries", "improvement", "area um2", "um2 per point");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "entries", "improvement", "area um2", "um2 per point"
+    );
 
     let base = allocator_cycles(Mode::Baseline, &w);
     let mut best = (0usize, f64::NEG_INFINITY);
@@ -57,7 +60,11 @@ fn main() {
             entries,
             gain,
             area,
-            if *gain > 0.0 { area / gain } else { f64::INFINITY }
+            if *gain > 0.0 {
+                area / gain
+            } else {
+                f64::INFINITY
+            }
         );
     }
     let limit = allocator_cycles(Mode::limit_all(), &w);

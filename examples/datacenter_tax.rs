@@ -50,8 +50,8 @@ fn main() {
         w.trace(1_000, 40).replay(&mut sim);
         sim.reset_totals();
         let accel_stats = w.trace(6_000, 41).replay(&mut sim);
-        let alloc_impr = 1.0
-            - accel_stats.allocator_cycles() as f64 / base_stats.allocator_cycles() as f64;
+        let alloc_impr =
+            1.0 - accel_stats.allocator_cycles() as f64 / base_stats.allocator_cycles() as f64;
         alloc_improvements.push(alloc_impr);
 
         let (p, verdict) = match ttest::one_sample(&speedups, 0.0) {
@@ -68,8 +68,7 @@ fn main() {
             verdict
         );
     }
-    let mean_alloc_impr =
-        alloc_improvements.iter().sum::<f64>() / alloc_improvements.len() as f64;
+    let mean_alloc_impr = alloc_improvements.iter().sum::<f64>() / alloc_improvements.len() as f64;
     println!(
         "\nfleet projection: {:.0}% mean allocator-time improvement at the \
          WSC's 6.9% allocator share ≈ {:.2}% of all datacenter cycles \

@@ -22,7 +22,11 @@ fn measure(mode: Mode) -> (MallocSim, f64, f64) {
     sim.reset_totals();
     for i in 0..2_000u64 {
         let r = sim.malloc(32 + (i % 4) * 32);
-        assert_eq!(r.kind, CallKind::MallocFast, "warm calls stay on the fast path");
+        assert_eq!(
+            r.kind,
+            CallKind::MallocFast,
+            "warm calls stay on the fast path"
+        );
         sim.free(r.ptr, true);
     }
     let t = sim.totals();

@@ -25,9 +25,12 @@ fn generate(name: &str) -> Option<Trace> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "gauss_free".to_string());
-    let path = args
-        .next()
-        .unwrap_or_else(|| std::env::temp_dir().join("mallacc_trace.txt").display().to_string());
+    let path = args.next().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("mallacc_trace.txt")
+            .display()
+            .to_string()
+    });
 
     let Some(trace) = generate(&name) else {
         eprintln!("unknown workload {name}; use a microbenchmark or macro workload name");
@@ -55,8 +58,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     };
     report("tcmalloc / baseline", &mut MallocSim::new(Mode::Baseline));
-    report("tcmalloc / mallacc", &mut MallocSim::new(Mode::mallacc_default()));
+    report(
+        "tcmalloc / mallacc",
+        &mut MallocSim::new(Mode::mallacc_default()),
+    );
     report("jemalloc / baseline", &mut JeSim::new(Mode::Baseline));
-    report("jemalloc / mallacc", &mut JeSim::new(Mode::mallacc_default()));
+    report(
+        "jemalloc / mallacc",
+        &mut JeSim::new(Mode::mallacc_default()),
+    );
     Ok(())
 }

@@ -92,7 +92,10 @@ fn undersized_cache_slows_gaussian_benchmarks() {
         let base = run(Mode::Baseline);
         let tiny = run(Mode::Mallacc(AccelConfig::with_entries(2)));
         let big = run(Mode::Mallacc(AccelConfig::with_entries(16)));
-        assert!(tiny > base, "{m}: 2-entry cache should thrash: {base} → {tiny}");
+        assert!(
+            tiny > base,
+            "{m}: 2-entry cache should thrash: {base} → {tiny}"
+        );
         assert!(big < base, "{m}: 16-entry cache should win: {base} → {big}");
     }
 }
@@ -152,5 +155,8 @@ fn xapian_gets_the_largest_malloc_gains() {
     let base = run(Mode::Baseline);
     let accel = run(Mode::Mallacc(AccelConfig::with_entries(32)));
     let gain = 1.0 - accel / base;
-    assert!(gain > 0.35, "xapian malloc gain {gain} below the paper's >40% band");
+    assert!(
+        gain > 0.35,
+        "xapian malloc gain {gain} below the paper's >40% band"
+    );
 }
