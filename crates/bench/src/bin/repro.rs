@@ -1,20 +1,32 @@
 //! `repro` — regenerate every table and figure of the Mallacc paper.
 //!
 //! ```text
-//! repro <experiment> [--quick] [--calls N] [--trials N] [--seed N] [--no-index-opt]
+//! repro <experiment> [--quick] [--calls N] [--trials N] [--seed N]
+//!       [--no-index-opt] [--json PATH]
 //!
 //! experiments:
 //!   fig1 fig2 fig4 fig6 fig13 fig14 fig15 fig16 fig17 fig18
 //!   table1 table2 area ablate mt all
+//!
+//! repro explore [--smoke] [--grid SPEC] [--preset NAME] [--quick]
+//!       [--seed N] [--jobs N] [--memo PATH] [--out PATH]
+//!       [--assert-memo-frac F]
 //! ```
+//!
+//! `--json PATH` additionally writes the machine-readable datasets of the
+//! experiments that have one (fig13, fig14, fig17, table2, mt) — the same
+//! numbers the text renders, not a re-run.
 
-use mallacc_bench::{figures, mt, tables, Scale};
+use mallacc_bench::{explore_cli, figures, mt, tables, Scale};
+use mallacc_stats::Json;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <fig1|fig2|fig4|fig6|fig13|fig14|fig15|fig16|fig17|\
          fig18|table1|table2|area|ablate|generality|resilience|sensitivity|sized-delete|cpi|mt|all> [--quick] [--calls N] \
-         [--trials N] [--seed N] [--no-index-opt]"
+         [--trials N] [--seed N] [--no-index-opt] [--json PATH]\n\
+         \x20      repro explore [--smoke] [--grid SPEC] [--preset NAME] [--quick] \
+         [--seed N] [--jobs N] [--memo PATH] [--out PATH] [--assert-memo-frac F]"
     );
     std::process::exit(2);
 }
@@ -23,8 +35,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
 
+    if cmd == "explore" {
+        std::process::exit(explore_cli::explore(&args[1..]));
+    }
+
     let mut scale = Scale::full();
     let mut index_keying = true;
+    let mut json_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,35 +68,64 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
     }
 
-    let run = |name: &str| -> Option<String> {
-        Some(match name {
-            "fig1" => figures::fig1(scale),
-            "fig2" => figures::fig2(scale),
-            "fig4" => figures::fig4(scale),
-            "fig6" => figures::fig6(scale),
-            "fig13" => figures::fig13(scale),
-            "fig14" => figures::fig14(scale),
-            "fig15" => figures::fig15(scale),
-            "fig16" => figures::fig16(scale),
-            "fig17" => figures::fig17(scale, index_keying),
-            "fig18" => figures::fig18(scale),
-            "table1" => tables::table1(scale),
-            "table2" => tables::table2(scale),
-            "area" => tables::area(),
-            "ablate" => figures::ablation(scale),
-            "generality" => figures::generality(scale),
-            "resilience" => figures::resilience(scale),
-            "sized-delete" => figures::sized_delete(scale),
-            "cpi" => figures::cpi(scale),
-            "sensitivity" => figures::sensitivity(scale),
-            "mt" => mt::mt(scale),
+    // Experiments with structured datasets compute the data once and
+    // derive both the text and (when `--json` is given) the JSON from it.
+    let mut datasets: Vec<(String, Json)> = Vec::new();
+    let mut run = |name: &str| -> Option<String> {
+        let (text, data) = match name {
+            "fig1" => (figures::fig1(scale), None),
+            "fig2" => (figures::fig2(scale), None),
+            "fig4" => (figures::fig4(scale), None),
+            "fig6" => (figures::fig6(scale), None),
+            "fig13" => {
+                let d = figures::improvement_data(scale, false);
+                (figures::render_fig13(&d), Some(d.to_json()))
+            }
+            "fig14" => {
+                let d = figures::improvement_data(scale, true);
+                (figures::render_fig14(&d), Some(d.to_json()))
+            }
+            "fig15" => (figures::fig15(scale), None),
+            "fig16" => (figures::fig16(scale), None),
+            "fig17" => {
+                let d = figures::fig17_data(scale, index_keying);
+                (figures::render_fig17(&d), Some(d.to_json()))
+            }
+            "fig18" => (figures::fig18(scale), None),
+            "table1" => (tables::table1(scale), None),
+            "table2" => {
+                let d = tables::table2_data(scale);
+                (
+                    tables::render_table2(&d, scale),
+                    Some(tables::table2_json(&d)),
+                )
+            }
+            "area" => (tables::area(), None),
+            "ablate" => (figures::ablation(scale), None),
+            "generality" => (figures::generality(scale), None),
+            "resilience" => (figures::resilience(scale), None),
+            "sized-delete" => (figures::sized_delete(scale), None),
+            "cpi" => (figures::cpi(scale), None),
+            "sensitivity" => (figures::sensitivity(scale), None),
+            "mt" => {
+                let d = mt::mt_data(scale);
+                (mt::render_mt(&d), Some(mt::mt_json(&d)))
+            }
             _ => return None,
-        })
+        };
+        if let Some(data) = data {
+            datasets.push((name.to_string(), data));
+        }
+        Some(text)
     };
 
     match cmd.as_str() {
@@ -114,5 +160,26 @@ fn main() {
             Some(s) => println!("{s}"),
             None => usage(),
         },
+    }
+
+    if let Some(path) = json_path {
+        let doc = Json::obj([
+            ("schema", "mallacc-repro/1".into()),
+            (
+                "scale",
+                Json::obj([
+                    ("calls", scale.calls.into()),
+                    ("warmup", scale.warmup.into()),
+                    ("trials", scale.trials.into()),
+                    ("seed", scale.seed.into()),
+                ]),
+            ),
+            ("experiments", Json::Obj(datasets.into_iter().collect())),
+        ]);
+        if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
+            eprintln!("repro: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
     }
 }

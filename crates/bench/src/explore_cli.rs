@@ -1,0 +1,188 @@
+//! The `repro explore` subcommand: design-space sweeps over the
+//! accelerator configuration, driven by `mallacc-explore`.
+//!
+//! ```text
+//! repro explore [--smoke] [--grid SPEC] [--preset NAME] [--quick]
+//!               [--seed N] [--jobs N] [--memo PATH] [--out PATH]
+//!               [--assert-memo-frac F]
+//! ```
+
+use std::path::PathBuf;
+
+use mallacc_explore::{run_sweep, ParamGrid, RunScale, SweepOptions};
+
+/// Parsed `repro explore` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreArgs {
+    /// The sweep grid.
+    pub grid: ParamGrid,
+    /// Worker threads (0 = one per CPU).
+    pub jobs: usize,
+    /// Memo-store file.
+    pub memo: Option<PathBuf>,
+    /// JSON report output file.
+    pub out: Option<PathBuf>,
+    /// Fail unless at least this fraction of points came from the memo
+    /// store (the CI warm-cache assertion).
+    pub assert_memo_frac: Option<f64>,
+}
+
+impl ExploreArgs {
+    /// Parses the argument list after `explore`.
+    pub fn parse(args: &[String]) -> Result<ExploreArgs, String> {
+        let mut parsed = ExploreArgs {
+            grid: ParamGrid::default(),
+            ..ExploreArgs::default()
+        };
+        let mut quick = false;
+        let mut seed = None;
+        let mut i = 0;
+        let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--smoke" => parsed.grid = ParamGrid::smoke(),
+                "--grid" => parsed.grid = ParamGrid::parse(&value(args, &mut i, "--grid")?)?,
+                "--preset" => {
+                    parsed.grid = match value(args, &mut i, "--preset")?.as_str() {
+                        "micro-entries" => ParamGrid::micro_entries(),
+                        name => {
+                            return Err(format!(
+                                "unknown preset {name:?}; available: micro-entries"
+                            ))
+                        }
+                    }
+                }
+                "--quick" => quick = true,
+                "--seed" => {
+                    seed = Some(
+                        value(args, &mut i, "--seed")?
+                            .parse::<u64>()
+                            .map_err(|_| "--seed needs an integer".to_string())?,
+                    );
+                }
+                "--jobs" => {
+                    parsed.jobs = value(args, &mut i, "--jobs")?
+                        .parse::<usize>()
+                        .map_err(|_| "--jobs needs an integer".to_string())?;
+                }
+                "--memo" => parsed.memo = Some(PathBuf::from(value(args, &mut i, "--memo")?)),
+                "--out" => parsed.out = Some(PathBuf::from(value(args, &mut i, "--out")?)),
+                "--assert-memo-frac" => {
+                    parsed.assert_memo_frac = Some(
+                        value(args, &mut i, "--assert-memo-frac")?
+                            .parse::<f64>()
+                            .map_err(|_| "--assert-memo-frac needs a number".to_string())?,
+                    );
+                }
+                other => return Err(format!("unknown explore flag {other:?}")),
+            }
+            i += 1;
+        }
+        if quick {
+            parsed.grid.scale = RunScale::quick();
+        }
+        if let Some(seed) = seed {
+            parsed.grid.seed = seed;
+        }
+        Ok(parsed)
+    }
+}
+
+/// Runs `repro explore`; returns the process exit code.
+pub fn explore(args: &[String]) -> i32 {
+    let parsed = match ExploreArgs::parse(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("repro explore: {e}");
+            return 2;
+        }
+    };
+    let opts = SweepOptions {
+        jobs: parsed.jobs,
+        memo_path: parsed.memo.clone(),
+    };
+    let report = match run_sweep(&parsed.grid, &opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("repro explore: {e}");
+            return 2;
+        }
+    };
+    print!("{}", report.render());
+    if let Some(out) = &parsed.out {
+        if let Err(e) = std::fs::write(out, report.to_json().render_pretty()) {
+            eprintln!("repro explore: writing {}: {e}", out.display());
+            return 1;
+        }
+        println!("wrote {}", out.display());
+    }
+    if let Some(frac) = parsed.assert_memo_frac {
+        let got = report.memo_hit_fraction();
+        if got < frac {
+            eprintln!("repro explore: memo hit fraction {got:.2} below required {frac:.2}");
+            return 1;
+        }
+        println!("memo hit fraction {got:.2} ≥ required {frac:.2}");
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_smoke_and_flags() {
+        let a = ExploreArgs::parse(&s(&["--smoke", "--jobs", "4", "--assert-memo-frac", "0.9"]))
+            .unwrap();
+        assert_eq!(a.grid, ParamGrid::smoke());
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.assert_memo_frac, Some(0.9));
+    }
+
+    #[test]
+    fn parse_grid_spec_with_quick_and_seed() {
+        let a =
+            ExploreArgs::parse(&s(&["--grid", "entries=2,4", "--quick", "--seed", "7"])).unwrap();
+        assert_eq!(a.grid.entries, vec![2, 4]);
+        assert_eq!(a.grid.scale, RunScale::quick());
+        assert_eq!(a.grid.seed, 7);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        assert!(ExploreArgs::parse(&s(&["--frobnicate"])).is_err());
+        assert!(ExploreArgs::parse(&s(&["--grid"])).is_err());
+        assert!(ExploreArgs::parse(&s(&["--preset", "nope"])).is_err());
+    }
+
+    #[test]
+    fn explore_smoke_runs_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("repro-explore-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("report.json");
+        let code = explore(&s(&[
+            "--grid",
+            "entries=4",
+            "--quick",
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let doc = mallacc_stats::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(mallacc_stats::Json::as_str),
+            Some("mallacc-explore-sweep/1")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

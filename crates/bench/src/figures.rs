@@ -2,7 +2,7 @@
 
 use mallacc::{AccelConfig, Mode, RangeKeying};
 use mallacc_stats::table::{bar, pct, Table};
-use mallacc_stats::{geometric_mean, LogHistogram};
+use mallacc_stats::{geometric_mean, Json, LogHistogram};
 use mallacc_workloads::{MacroWorkload, Microbenchmark};
 
 use crate::experiments::{improvement_pct, run_macro, run_micro, Scale};
@@ -147,14 +147,71 @@ pub fn fig6(scale: Scale) -> String {
     )
 }
 
-fn improvement_figure(scale: Scale, malloc_only: bool) -> String {
+/// One workload's row of Figure 13/14: improvement means and run-to-run
+/// standard deviations over the trial seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImprovementRow {
+    /// Workload name.
+    pub workload: String,
+    /// Mean Mallacc improvement, percent.
+    pub mallacc_mean: f64,
+    /// Sample standard deviation of the Mallacc improvement.
+    pub mallacc_sd: f64,
+    /// Mean limit-study improvement, percent.
+    pub limit_mean: f64,
+    /// Sample standard deviation of the limit-study improvement.
+    pub limit_sd: f64,
+}
+
+/// The full Figure 13/14 dataset — the per-workload rows plus the
+/// geometric-mean summary the figures print as their last row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImprovementData {
+    /// Per-workload improvements.
+    pub rows: Vec<ImprovementRow>,
+    /// Geomean Mallacc improvement over all workloads, percent.
+    pub geomean_mallacc: f64,
+    /// Geomean limit-study improvement over all workloads, percent.
+    pub geomean_limit: f64,
+}
+
+impl ImprovementData {
+    /// Serialises exactly the numbers the text rendering prints.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("workload", r.workload.as_str().into()),
+                                ("mallacc_mean_pct", r.mallacc_mean.into()),
+                                ("mallacc_sd", r.mallacc_sd.into()),
+                                ("limit_mean_pct", r.limit_mean.into()),
+                                ("limit_sd", r.limit_sd.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("geomean_mallacc_pct", self.geomean_mallacc.into()),
+            ("geomean_limit_pct", self.geomean_limit.into()),
+        ])
+    }
+}
+
+/// Computes the Figure 13 (`malloc_only = false`, allocator time) or
+/// Figure 14 (`malloc_only = true`, malloc time) dataset.
+pub fn improvement_data(scale: Scale, malloc_only: bool) -> ImprovementData {
     use mallacc_stats::Summary;
 
     // The paper evaluates Figures 13/14 with a 32-entry cache, and plots
     // run-to-run variation as error bars; we re-run with three trace seeds.
     let accel = Mode::Mallacc(AccelConfig::with_entries(32));
     let seeds = [scale.seed_for(5), scale.seed_for(105), scale.seed_for(205)];
-    let mut t = Table::new(&["workload", "mallacc", "±sd", "limit study", "±sd"]);
+    let mut rows = Vec::new();
     let mut accel_ratios = Vec::new();
     let mut limit_ratios = Vec::new();
     for w in MacroWorkload::all() {
@@ -175,20 +232,39 @@ fn improvement_figure(scale: Scale, malloc_only: bool) -> String {
         }
         accel_ratios.push(1.0 - a_impr.mean() / 100.0);
         limit_ratios.push(1.0 - l_impr.mean() / 100.0);
-        t.row_owned(vec![
-            w.name.to_string(),
-            format!("{:.1}%", a_impr.mean()),
-            format!("{:.1}", a_impr.sample_std_dev()),
-            format!("{:.1}%", l_impr.mean()),
-            format!("{:.1}", l_impr.sample_std_dev()),
-        ]);
+        rows.push(ImprovementRow {
+            workload: w.name.to_string(),
+            mallacc_mean: a_impr.mean(),
+            mallacc_sd: a_impr.sample_std_dev(),
+            limit_mean: l_impr.mean(),
+            limit_sd: l_impr.sample_std_dev(),
+        });
     }
     let g = |rs: &[f64]| 100.0 * (1.0 - geometric_mean(rs.iter().copied()).unwrap_or(1.0));
+    ImprovementData {
+        rows,
+        geomean_mallacc: g(&accel_ratios),
+        geomean_limit: g(&limit_ratios),
+    }
+}
+
+/// Renders an [`ImprovementData`] as the figure's table.
+pub fn render_improvement(data: &ImprovementData) -> String {
+    let mut t = Table::new(&["workload", "mallacc", "±sd", "limit study", "±sd"]);
+    for r in &data.rows {
+        t.row_owned(vec![
+            r.workload.clone(),
+            format!("{:.1}%", r.mallacc_mean),
+            format!("{:.1}", r.mallacc_sd),
+            format!("{:.1}%", r.limit_mean),
+            format!("{:.1}", r.limit_sd),
+        ]);
+    }
     t.row_owned(vec![
         "geomean".to_string(),
-        format!("{:.1}%", g(&accel_ratios)),
+        format!("{:.1}%", data.geomean_mallacc),
         String::new(),
-        format!("{:.1}%", g(&limit_ratios)),
+        format!("{:.1}%", data.geomean_limit),
         String::new(),
     ]);
     t.render()
@@ -197,17 +273,27 @@ fn improvement_figure(scale: Scale, malloc_only: bool) -> String {
 /// Figure 13: improvement of total time spent in the allocator (malloc and
 /// free), Mallacc (32-entry cache) vs the limit study.
 pub fn fig13(scale: Scale) -> String {
+    render_fig13(&improvement_data(scale, false))
+}
+
+/// Renders the Figure 13 text from its dataset.
+pub fn render_fig13(data: &ImprovementData) -> String {
     format!(
         "Figure 13 — improvement of time spent in the allocator\n{}",
-        improvement_figure(scale, false)
+        render_improvement(data)
     )
 }
 
 /// Figure 14: improvement of time spent in malloc() calls only.
 pub fn fig14(scale: Scale) -> String {
+    render_fig14(&improvement_data(scale, true))
+}
+
+/// Renders the Figure 14 text from its dataset.
+pub fn render_fig14(data: &ImprovementData) -> String {
     format!(
         "Figure 14 — improvement in time spent on malloc() calls\n{}",
-        improvement_figure(scale, true)
+        render_improvement(data)
     )
 }
 
@@ -251,41 +337,124 @@ pub fn fig16(scale: Scale) -> String {
     )
 }
 
-/// Figure 17: malloc speedup of each microbenchmark as the malloc cache
-/// grows from 2 to 32 entries, plus the limit study. Set `index_keying`
-/// to `false` for the generic (allocator-agnostic) range-keying ablation.
-pub fn fig17(scale: Scale, index_keying: bool) -> String {
-    let sizes = [2usize, 4, 6, 8, 12, 16, 24, 32];
-    let mut headers: Vec<String> = vec!["ubench".into()];
-    headers.extend(sizes.iter().map(|n| n.to_string()));
-    headers.push("limit".into());
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut t = Table::new(&header_refs);
+/// One microbenchmark's Figure 17 row: malloc speedup per cache size,
+/// plus the limit study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig17Row {
+    /// Microbenchmark name.
+    pub ubench: String,
+    /// Improvement percent per entry in [`Fig17Data::sizes`].
+    pub gains: Vec<f64>,
+    /// Limit-study improvement, percent.
+    pub limit: f64,
+}
+
+/// The Figure 17 dataset: the swept cache sizes and one row per
+/// microbenchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig17Data {
+    /// Swept malloc-cache entry counts.
+    pub sizes: Vec<usize>,
+    /// True for the paper's class-index keying, false for the generic
+    /// requested-size ablation.
+    pub index_keying: bool,
+    /// One row per microbenchmark.
+    pub rows: Vec<Fig17Row>,
+}
+
+impl Fig17Data {
+    /// Serialises exactly the numbers the text rendering prints.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "sizes",
+                Json::Arr(self.sizes.iter().map(|&n| n.into()).collect()),
+            ),
+            ("index_keying", self.index_keying.into()),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("ubench", r.ubench.as_str().into()),
+                                (
+                                    "gains_pct",
+                                    Json::Arr(r.gains.iter().map(|&g| g.into()).collect()),
+                                ),
+                                ("limit_pct", r.limit.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Computes the Figure 17 dataset. Set `index_keying` to `false` for the
+/// generic (allocator-agnostic) range-keying ablation.
+pub fn fig17_data(scale: Scale, index_keying: bool) -> Fig17Data {
+    let sizes = vec![2usize, 4, 6, 8, 12, 16, 24, 32];
+    let mut rows = Vec::new();
     for m in Microbenchmark::ALL {
         let base = run_micro(Mode::Baseline, m, scale, scale.seed_for(8))
             .totals
             .malloc_cycles as f64;
-        let mut row = vec![m.name().to_string()];
-        for &n in &sizes {
-            let mut cfg = AccelConfig::with_entries(n);
-            if !index_keying {
-                cfg.cache.keying = RangeKeying::RequestedSize;
-            }
-            let a = run_micro(Mode::Mallacc(cfg), m, scale, scale.seed_for(8))
-                .totals
-                .malloc_cycles as f64;
-            row.push(format!("{:.0}%", improvement_pct(base, a)));
-        }
+        let gains = sizes
+            .iter()
+            .map(|&n| {
+                let mut cfg = AccelConfig::with_entries(n);
+                if !index_keying {
+                    cfg.cache.keying = RangeKeying::RequestedSize;
+                }
+                let a = run_micro(Mode::Mallacc(cfg), m, scale, scale.seed_for(8))
+                    .totals
+                    .malloc_cycles as f64;
+                improvement_pct(base, a)
+            })
+            .collect();
         let l = run_micro(Mode::limit_all(), m, scale, scale.seed_for(8))
             .totals
             .malloc_cycles as f64;
-        row.push(format!("{:.0}%", improvement_pct(base, l)));
+        rows.push(Fig17Row {
+            ubench: m.name().to_string(),
+            gains,
+            limit: improvement_pct(base, l),
+        });
+    }
+    Fig17Data {
+        sizes,
+        index_keying,
+        rows,
+    }
+}
+
+/// Figure 17: malloc speedup of each microbenchmark as the malloc cache
+/// grows from 2 to 32 entries, plus the limit study. Set `index_keying`
+/// to `false` for the generic (allocator-agnostic) range-keying ablation.
+pub fn fig17(scale: Scale, index_keying: bool) -> String {
+    render_fig17(&fig17_data(scale, index_keying))
+}
+
+/// Renders the Figure 17 text from its dataset.
+pub fn render_fig17(data: &Fig17Data) -> String {
+    let mut headers: Vec<String> = vec!["ubench".into()];
+    headers.extend(data.sizes.iter().map(|n| n.to_string()));
+    headers.push("limit".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for r in &data.rows {
+        let mut row = vec![r.ubench.clone()];
+        row.extend(r.gains.iter().map(|g| format!("{g:.0}%")));
+        row.push(format!("{:.0}%", r.limit));
         t.row_owned(row);
     }
     format!(
         "Figure 17 — effect of malloc cache size on malloc speedup \
          ({} keying)\n{}",
-        if index_keying {
+        if data.index_keying {
             "class-index"
         } else {
             "requested-size"

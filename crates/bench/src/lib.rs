@@ -23,11 +23,19 @@
 //! calls out (per-component accelerator configs, prefetch on/off, generic
 //! size keying), and the beyond-the-paper [`mt::mt`] multi-core report
 //! (per-core malloc caches over a shared L3 at 1/2/4/8 cores).
+//!
+//! The figures with structured datasets (13, 14, 17, Table 2, mt) split
+//! into a `*_data` computation and a `render_*` text function consuming
+//! it; `repro --json PATH` serialises the same datasets, so the JSON and
+//! the text always carry identical numbers. `repro explore`
+//! ([`explore_cli`]) drives the `mallacc-explore` design-space sweep
+//! engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod explore_cli;
 pub mod figures;
 pub mod mt;
 pub mod tables;

@@ -14,43 +14,58 @@
 use mallacc::Mode;
 use mallacc_multicore::{MtRunResult, MulticoreSim};
 use mallacc_stats::table::Table;
+use mallacc_stats::Json;
 use mallacc_workloads::{MacroWorkload, MtTrace};
 
 use crate::experiments::{improvement_pct, Scale};
 
 const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
+/// One core-count row of a multi-core block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtRow {
+    /// Simulated core count.
+    pub cores: usize,
+    /// Baseline allocator cycles per call.
+    pub base_cpc: f64,
+    /// Mallacc allocator cycles per call.
+    pub accel_cpc: f64,
+    /// Mallacc improvement, percent.
+    pub accel_impr: f64,
+    /// Limit-study allocator cycles per call.
+    pub limit_cpc: f64,
+    /// Limit-study improvement, percent.
+    pub limit_impr: f64,
+    /// Cross-core frees observed in the baseline run.
+    pub remote_frees: u64,
+    /// Neighbour-steal refills observed in the baseline run.
+    pub steals: u64,
+    /// Per-core malloc-cache `(lookup hit %, pop hit %)` under Mallacc.
+    pub hit_rates: Vec<(f64, f64)>,
+}
+
+/// One workload's multi-core scaling block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtBlock {
+    /// Block title (workload / trace shape).
+    pub name: String,
+    /// One row per swept core count.
+    pub rows: Vec<MtRow>,
+}
+
 fn run(mode: Mode, trace: &MtTrace) -> MtRunResult {
     MulticoreSim::new(mode, trace.cores()).run(trace)
 }
 
-fn mc_hit_rates(r: &MtRunResult) -> String {
-    let rates: Vec<String> = r
-        .per_core
+fn mc_hit_rates(r: &MtRunResult) -> Vec<(f64, f64)> {
+    r.per_core
         .iter()
-        .map(|c| {
-            format!(
-                "{:.0}/{:.0}",
-                100.0 * c.mc.lookup_hit_rate(),
-                100.0 * c.mc.pop_hit_rate()
-            )
-        })
-        .collect();
-    rates.join(" ")
+        .map(|c| (100.0 * c.mc.lookup_hit_rate(), 100.0 * c.mc.pop_hit_rate()))
+        .collect()
 }
 
-fn workload_block(name: &str, scale: Scale, make: impl Fn(usize, usize) -> MtTrace) -> String {
-    let mut t = Table::new(&[
-        "cores",
-        "base cyc/call",
-        "mallacc",
-        "impr",
-        "limit",
-        "impr",
-        "remote frees",
-        "steals",
-        "mc lookup/pop hit% per core",
-    ]);
+fn workload_block(name: &str, scale: Scale, make: impl Fn(usize, usize) -> MtTrace) -> MtBlock {
+    let mut rows = Vec::new();
     for &cores in &CORE_COUNTS {
         // Strong scaling: the same total calls, split across cores.
         let calls_per_core = (scale.calls / cores).max(40);
@@ -58,51 +73,141 @@ fn workload_block(name: &str, scale: Scale, make: impl Fn(usize, usize) -> MtTra
         let base = run(Mode::Baseline, &trace);
         let accel = run(Mode::mallacc_default(), &trace);
         let limit = run(Mode::limit_all(), &trace);
-        t.row_owned(vec![
-            cores.to_string(),
-            format!("{:.1}", base.cycles_per_call()),
-            format!("{:.1}", accel.cycles_per_call()),
-            format!(
-                "{:.1}%",
-                improvement_pct(base.cycles_per_call(), accel.cycles_per_call())
-            ),
-            format!("{:.1}", limit.cycles_per_call()),
-            format!(
-                "{:.1}%",
-                improvement_pct(base.cycles_per_call(), limit.cycles_per_call())
-            ),
-            base.alloc.remote_frees.to_string(),
-            base.alloc.steals.to_string(),
-            mc_hit_rates(&accel),
-        ]);
+        rows.push(MtRow {
+            cores,
+            base_cpc: base.cycles_per_call(),
+            accel_cpc: accel.cycles_per_call(),
+            accel_impr: improvement_pct(base.cycles_per_call(), accel.cycles_per_call()),
+            limit_cpc: limit.cycles_per_call(),
+            limit_impr: improvement_pct(base.cycles_per_call(), limit.cycles_per_call()),
+            remote_frees: base.alloc.remote_frees,
+            steals: base.alloc.steals,
+            hit_rates: mc_hit_rates(&accel),
+        });
     }
-    format!("{name}\n{}", t.render())
+    MtBlock {
+        name: name.to_string(),
+        rows,
+    }
 }
 
-/// The `repro mt` experiment: per-core and aggregate allocator-time
-/// improvement and malloc-cache hit rates vs. core count.
-pub fn mt(scale: Scale) -> String {
+/// Computes the `repro mt` dataset: one block per multi-core scenario.
+pub fn mt_data(scale: Scale) -> Vec<MtBlock> {
     let seed = scale.seed_for(21);
-    let mut out = String::from(
-        "Multi-core — allocator time and malloc-cache hit rates vs. core \
-         count\n(strong scaling: total calls fixed as cores grow; \
-         hit-rates column is lookup%/pop% per core)\n\n",
-    );
-    out.push_str(&workload_block(
+    let mut blocks = vec![workload_block(
         "producer-consumer ring (cross-core frees)",
         scale,
         |cores, calls| MtTrace::producer_consumer(cores, calls, seed),
-    ));
+    )];
     for name in ["483.xalancbmk", "xapian.abstracts"] {
         let w = MacroWorkload::by_name(name).expect("workload exists");
-        out.push('\n');
-        out.push_str(&workload_block(
+        blocks.push(workload_block(
             &format!("{name} ×N (scaled, core-local frees)"),
             scale,
             |cores, calls| MtTrace::scaled(&w, cores, calls, seed),
         ));
     }
+    blocks
+}
+
+/// Serialises the multi-core dataset — exactly the numbers the text
+/// rendering prints.
+pub fn mt_json(blocks: &[MtBlock]) -> Json {
+    Json::Arr(
+        blocks
+            .iter()
+            .map(|b| {
+                Json::obj([
+                    ("name", b.name.as_str().into()),
+                    (
+                        "rows",
+                        Json::Arr(
+                            b.rows
+                                .iter()
+                                .map(|r| {
+                                    Json::obj([
+                                        ("cores", r.cores.into()),
+                                        ("base_cycles_per_call", r.base_cpc.into()),
+                                        ("mallacc_cycles_per_call", r.accel_cpc.into()),
+                                        ("mallacc_improvement_pct", r.accel_impr.into()),
+                                        ("limit_cycles_per_call", r.limit_cpc.into()),
+                                        ("limit_improvement_pct", r.limit_impr.into()),
+                                        ("remote_frees", r.remote_frees.into()),
+                                        ("steals", r.steals.into()),
+                                        (
+                                            "mc_hit_rates_pct",
+                                            Json::Arr(
+                                                r.hit_rates
+                                                    .iter()
+                                                    .map(|&(lookup, pop)| {
+                                                        Json::obj([
+                                                            ("lookup", lookup.into()),
+                                                            ("pop", pop.into()),
+                                                        ])
+                                                    })
+                                                    .collect(),
+                                            ),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Renders the multi-core text report from its dataset.
+pub fn render_mt(blocks: &[MtBlock]) -> String {
+    let mut out = String::from(
+        "Multi-core — allocator time and malloc-cache hit rates vs. core \
+         count\n(strong scaling: total calls fixed as cores grow; \
+         hit-rates column is lookup%/pop% per core)\n\n",
+    );
+    for (i, b) in blocks.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let mut t = Table::new(&[
+            "cores",
+            "base cyc/call",
+            "mallacc",
+            "impr",
+            "limit",
+            "impr",
+            "remote frees",
+            "steals",
+            "mc lookup/pop hit% per core",
+        ]);
+        for r in &b.rows {
+            let rates: Vec<String> = r
+                .hit_rates
+                .iter()
+                .map(|(lookup, pop)| format!("{lookup:.0}/{pop:.0}"))
+                .collect();
+            t.row_owned(vec![
+                r.cores.to_string(),
+                format!("{:.1}", r.base_cpc),
+                format!("{:.1}", r.accel_cpc),
+                format!("{:.1}%", r.accel_impr),
+                format!("{:.1}", r.limit_cpc),
+                format!("{:.1}%", r.limit_impr),
+                r.remote_frees.to_string(),
+                r.steals.to_string(),
+                rates.join(" "),
+            ]);
+        }
+        out.push_str(&format!("{}\n{}", b.name, t.render()));
+    }
     out
+}
+
+/// The `repro mt` experiment: per-core and aggregate allocator-time
+/// improvement and malloc-cache hit rates vs. core count.
+pub fn mt(scale: Scale) -> String {
+    render_mt(&mt_data(scale))
 }
 
 #[cfg(test)]

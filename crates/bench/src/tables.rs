@@ -141,12 +141,27 @@ pub fn table1(scale: Scale) -> String {
     out
 }
 
-/// Table 2 — full-program speedup with run-to-run variance and a
-/// one-sided Student's t-test, exactly as the paper filters its rows:
-/// workloads are reported only when the test rejects a hypothesis of
-/// slowdown at 95 %+ probability.
-pub fn table2(scale: Scale) -> String {
-    let mut t = Table::new(&["workload", "speedup", "stddev", "p-value", ""]);
+/// One workload's Table 2 row: full-program speedup statistics and the
+/// paper's significance filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Workload name.
+    pub workload: String,
+    /// Mean full-program speedup over the trials, percent.
+    pub mean: f64,
+    /// Sample standard deviation of the speedup.
+    pub sd: f64,
+    /// One-sided p-value against "no speedup"; `None` when the test is
+    /// degenerate (zero variance).
+    pub p_value: Option<f64>,
+    /// Whether the speedup is significant at 95 % (the paper's row
+    /// filter); `None` for a degenerate test.
+    pub significant: Option<bool>,
+}
+
+/// Computes the Table 2 dataset: one [`Table2Row`] per macro workload.
+pub fn table2_data(scale: Scale) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
     for w in MacroWorkload::all() {
         let mut speedups = Vec::with_capacity(scale.trials);
         for trial in 0..scale.trials as u64 {
@@ -165,21 +180,62 @@ pub fn table2(scale: Scale) -> String {
         let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
         let sd = mallacc_stats::Summary::from_iter(speedups.iter().copied()).sample_std_dev();
         let test = ttest::one_sample(&speedups, 0.0);
-        let (p, verdict) = match test {
-            Some(tt) => (
-                format!("{:.3}", tt.p_greater),
-                if tt.significant_at(0.05) {
+        rows.push(Table2Row {
+            workload: w.name.to_string(),
+            mean,
+            sd,
+            p_value: test.as_ref().map(|tt| tt.p_greater),
+            significant: test.as_ref().map(|tt| tt.significant_at(0.05)),
+        });
+    }
+    rows
+}
+
+/// Serialises the Table 2 dataset — exactly the numbers the text prints.
+pub fn table2_json(rows: &[Table2Row]) -> mallacc_stats::Json {
+    use mallacc_stats::Json;
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("workload", r.workload.as_str().into()),
+                    ("speedup_mean_pct", r.mean.into()),
+                    ("speedup_sd", r.sd.into()),
+                    ("p_value", r.p_value.map_or(Json::Null, Json::from)),
+                    ("significant", r.significant.map_or(Json::Null, Json::from)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Table 2 — full-program speedup with run-to-run variance and a
+/// one-sided Student's t-test, exactly as the paper filters its rows:
+/// workloads are reported only when the test rejects a hypothesis of
+/// slowdown at 95 %+ probability.
+pub fn table2(scale: Scale) -> String {
+    render_table2(&table2_data(scale), scale)
+}
+
+/// Renders the Table 2 text from its dataset.
+pub fn render_table2(rows: &[Table2Row], scale: Scale) -> String {
+    let mut t = Table::new(&["workload", "speedup", "stddev", "p-value", ""]);
+    for r in rows {
+        let (p, verdict) = match (r.p_value, r.significant) {
+            (Some(p), Some(sig)) => (
+                format!("{p:.3}"),
+                if sig {
                     "significant"
                 } else {
                     "not significant (excluded in the paper)"
                 },
             ),
-            None => ("n/a".to_string(), "degenerate"),
+            _ => ("n/a".to_string(), "degenerate"),
         };
         t.row_owned(vec![
-            w.name.to_string(),
-            format!("{mean:.2}%"),
-            format!("{sd:.2}%"),
+            r.workload.clone(),
+            format!("{:.2}%", r.mean),
+            format!("{:.2}%", r.sd),
             p,
             verdict.to_string(),
         ]);

@@ -2,6 +2,14 @@
 
 use crate::malloc_cache::MallocCacheConfig;
 
+/// Version of the simulation code model, for memoisation keys.
+///
+/// Bump this whenever a change alters *simulated numbers* (timing model,
+/// allocator model, workload generators) so that memoised design-space
+/// results from older binaries are invalidated rather than silently
+/// reused. Purely additive or cosmetic changes keep the version.
+pub const CODE_MODEL_VERSION: u32 = 2;
+
 /// Which Mallacc optimisations are enabled (§4).
 ///
 /// The paper's headline configuration enables all four; the per-component
@@ -47,6 +55,21 @@ impl AccelConfig {
     /// True when any optimisation needs malloc-cache entries to exist.
     pub fn needs_cache(&self) -> bool {
         self.size_class_opt || self.list_opt
+    }
+
+    /// A canonical, stable textual form of the full accelerator
+    /// configuration — one axis per `key=value` pair. Two configs map to
+    /// the same string iff they are equal, so the string (together with
+    /// [`CODE_MODEL_VERSION`]) is a sound memoisation key component.
+    pub fn canonical_string(&self) -> String {
+        format!(
+            "{};szclass={};list={};sampling={};prefetch={}",
+            self.cache.canonical_string(),
+            u8::from(self.size_class_opt),
+            u8::from(self.list_opt),
+            u8::from(self.sampling_opt),
+            u8::from(self.prefetch)
+        )
     }
 }
 
@@ -120,6 +143,22 @@ mod tests {
         let a = AccelConfig::with_entries(4);
         assert_eq!(a.cache.entries, 4);
         assert!(a.prefetch);
+    }
+
+    #[test]
+    fn canonical_string_is_injective_over_the_flag_axes() {
+        let base = AccelConfig::paper_default();
+        let mut seen = std::collections::HashSet::new();
+        for bits in 0u8..16 {
+            let cfg = AccelConfig {
+                size_class_opt: bits & 1 != 0,
+                list_opt: bits & 2 != 0,
+                sampling_opt: bits & 4 != 0,
+                prefetch: bits & 8 != 0,
+                ..base
+            };
+            assert!(seen.insert(cfg.canonical_string()), "collision at {bits}");
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod malloc_cache;
 pub mod programs;
 
 pub use area::{AreaBits, AreaEstimate, HASWELL_CORE_MM2};
-pub use config::{AccelConfig, LimitRemove, Mode};
+pub use config::{AccelConfig, LimitRemove, Mode, CODE_MODEL_VERSION};
 pub use driver::{CallKind, CallRecord, MallocSim, PostList, SimTotals};
 pub use malloc_cache::{
     MallocCache, MallocCacheConfig, MallocCacheStats, PopResult, RangeKeying, SizeLookup,

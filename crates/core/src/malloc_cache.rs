@@ -47,6 +47,10 @@ pub struct MallocCacheConfig {
     pub entries: usize,
     /// CAM keying mode.
     pub keying: RangeKeying,
+    /// Extra cycles on every CAM lookup beyond the baseline pipeline of
+    /// §4.1 — a slower or more distant CAM implementation. 0 is the
+    /// paper's design point; the explore subsystem sweeps this axis.
+    pub extra_latency: u32,
 }
 
 impl MallocCacheConfig {
@@ -55,16 +59,33 @@ impl MallocCacheConfig {
         Self {
             entries: 16,
             keying: RangeKeying::ClassIndex,
+            extra_latency: 0,
         }
     }
 
     /// Lookup latency in cycles: one for the CAM, plus one for the
-    /// dedicated index-computation hardware when enabled.
+    /// dedicated index-computation hardware when enabled, plus any
+    /// configured implementation penalty.
     pub fn lookup_latency(&self) -> u32 {
-        match self.keying {
+        let base = match self.keying {
             RangeKeying::ClassIndex => 2,
             RangeKeying::RequestedSize => 1,
-        }
+        };
+        base + self.extra_latency
+    }
+
+    /// A canonical, stable textual form of the configuration — one axis
+    /// per `key=value` pair — used for memo-store content hashing.
+    pub fn canonical_string(&self) -> String {
+        format!(
+            "entries={};keying={};xlat={}",
+            self.entries,
+            match self.keying {
+                RangeKeying::ClassIndex => "index",
+                RangeKeying::RequestedSize => "size",
+            },
+            self.extra_latency
+        )
     }
 }
 
@@ -435,6 +456,7 @@ mod tests {
         MallocCache::new(MallocCacheConfig {
             entries: n,
             keying: RangeKeying::ClassIndex,
+            extra_latency: 0,
         })
     }
 
@@ -636,6 +658,7 @@ mod tests {
         let mut mc = MallocCache::new(MallocCacheConfig {
             entries: 4,
             keying: RangeKeying::RequestedSize,
+            extra_latency: 0,
         });
         mc.update(100, 104, 7);
         assert!(mc.lookup(100, 0).is_some());
@@ -647,5 +670,34 @@ mod tests {
     #[test]
     fn index_mode_lookup_latency_pays_extra_cycle() {
         assert_eq!(MallocCacheConfig::paper_default().lookup_latency(), 2);
+    }
+
+    #[test]
+    fn extra_latency_raises_lookup_cost() {
+        let cfg = MallocCacheConfig {
+            extra_latency: 3,
+            ..MallocCacheConfig::paper_default()
+        };
+        assert_eq!(cfg.lookup_latency(), 5);
+    }
+
+    #[test]
+    fn canonical_string_distinguishes_every_axis() {
+        let base = MallocCacheConfig::paper_default();
+        assert_eq!(base.canonical_string(), "entries=16;keying=index;xlat=0");
+        let variants = [
+            MallocCacheConfig { entries: 8, ..base },
+            MallocCacheConfig {
+                keying: RangeKeying::RequestedSize,
+                ..base
+            },
+            MallocCacheConfig {
+                extra_latency: 1,
+                ..base
+            },
+        ];
+        for v in variants {
+            assert_ne!(v.canonical_string(), base.canonical_string());
+        }
     }
 }

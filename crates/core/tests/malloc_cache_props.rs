@@ -50,6 +50,7 @@ proptest! {
         let mut mc = MallocCache::new(MallocCacheConfig {
             entries,
             keying: RangeKeying::RequestedSize,
+            extra_latency: 0,
         });
         // Shadow model: per-class widest taught range + every value ever
         // supplied to the list side (pushes and prefetches).
@@ -119,6 +120,7 @@ proptest! {
         let mut mc = MallocCache::new(MallocCacheConfig {
             entries,
             keying: RangeKeying::RequestedSize,
+            extra_latency: 0,
         });
         // Teach classes 1..=n with disjoint ranges, in order.
         for cls in 1..=n_classes {
@@ -146,6 +148,7 @@ proptest! {
         let mut mc = MallocCache::new(MallocCacheConfig {
             entries: 4,
             keying: RangeKeying::RequestedSize,
+            extra_latency: 0,
         });
         mc.update(req, req + pad, 7);
         for probe in [req, req + pad / 2, req + pad] {

@@ -1,0 +1,297 @@
+//! The declarative parameter grid and its expansion into config points.
+
+use crate::point::{ConfigPoint, RunScale, Substrate};
+use mallacc_workloads::{AnyWorkload, Microbenchmark};
+
+/// A declarative sweep specification: one value list per axis. The grid's
+/// cross product, minus combinations the simulator stack cannot express,
+/// is the set of [`ConfigPoint`]s a sweep executes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamGrid {
+    /// Malloc-cache entry counts (the paper's Figure 17 axis).
+    pub entries: Vec<usize>,
+    /// Extra malloc-cache lookup latencies in cycles.
+    pub extra_latency: Vec<u32>,
+    /// Prefetch on/off.
+    pub prefetch: Vec<bool>,
+    /// Class-index keying on/off.
+    pub index_opt: Vec<bool>,
+    /// Sampling counter on/off.
+    pub sampling: Vec<bool>,
+    /// Allocator substrates.
+    pub substrates: Vec<Substrate>,
+    /// Workload names (micro or macro).
+    pub workloads: Vec<String>,
+    /// Simulated core counts.
+    pub cores: Vec<usize>,
+    /// Base trace seed for every point.
+    pub seed: u64,
+    /// Run sizing for every point.
+    pub scale: RunScale,
+}
+
+impl Default for ParamGrid {
+    /// A single point: the paper's recommended configuration on
+    /// `tp_small`. `--grid` overrides start from here.
+    fn default() -> Self {
+        Self {
+            entries: vec![16],
+            extra_latency: vec![0],
+            prefetch: vec![true],
+            index_opt: vec![true],
+            sampling: vec![true],
+            substrates: vec![Substrate::TcMalloc],
+            workloads: vec!["tp_small".to_string()],
+            cores: vec![1],
+            seed: 0,
+            scale: RunScale::full(),
+        }
+    }
+}
+
+impl ParamGrid {
+    /// The two-point CI smoke grid.
+    pub fn smoke() -> Self {
+        Self {
+            entries: vec![4, 16],
+            scale: RunScale::quick(),
+            ..Self::default()
+        }
+    }
+
+    /// The micro-benchmark grid: the Figure 17 cache-size sweep (extended
+    /// to 64 entries) over all six microbenchmarks.
+    pub fn micro_entries() -> Self {
+        Self {
+            entries: vec![2, 4, 6, 8, 12, 16, 24, 32, 48, 64],
+            workloads: Microbenchmark::ALL
+                .iter()
+                .map(|m| m.name().to_string())
+                .collect(),
+            ..Self::default()
+        }
+    }
+
+    /// An entries-axis sweep over one named workload (the
+    /// `cache_size_sweep` example's grid).
+    pub fn entries_sweep(workload: &str) -> Self {
+        Self {
+            entries: vec![2, 4, 8, 12, 16, 24, 32, 48, 64],
+            workloads: vec![workload.to_string()],
+            ..Self::default()
+        }
+    }
+
+    /// Parses a `--grid` spec: semicolon-separated `axis=v1,v2,…`
+    /// overrides applied to the default single-point grid. Axes:
+    /// `entries`, `xlat`, `prefetch`, `index`, `sampling` (`on`/`off`),
+    /// `substrate` (`tcmalloc`/`jemalloc`), `workload` (names, or the
+    /// families `micro`/`macro`/`all`), `cores`.
+    pub fn parse(spec: &str) -> Result<ParamGrid, String> {
+        let mut grid = ParamGrid::default();
+        for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
+            let (axis, values) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("bad grid clause {clause:?}: expected axis=v1,v2"))?;
+            let values: Vec<&str> = values.split(',').map(str::trim).collect();
+            let parse_usizes = || -> Result<Vec<usize>, String> {
+                values
+                    .iter()
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .map_err(|_| format!("bad {axis} value {v:?}"))
+                    })
+                    .collect()
+            };
+            let parse_bools = || -> Result<Vec<bool>, String> {
+                values
+                    .iter()
+                    .map(|v| match *v {
+                        "on" | "true" | "1" => Ok(true),
+                        "off" | "false" | "0" => Ok(false),
+                        _ => Err(format!("bad {axis} value {v:?}: use on/off")),
+                    })
+                    .collect()
+            };
+            match axis.trim() {
+                "entries" => {
+                    grid.entries = parse_usizes()?;
+                    if grid.entries.iter().any(|&n| n == 0 || n > 64) {
+                        return Err("entries must be in 1..=64".to_string());
+                    }
+                }
+                "xlat" => {
+                    grid.extra_latency = values
+                        .iter()
+                        .map(|v| {
+                            v.parse::<u32>()
+                                .map_err(|_| format!("bad xlat value {v:?}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "prefetch" => grid.prefetch = parse_bools()?,
+                "index" => grid.index_opt = parse_bools()?,
+                "sampling" => grid.sampling = parse_bools()?,
+                "substrate" => {
+                    grid.substrates = values
+                        .iter()
+                        .map(|v| {
+                            Substrate::by_name(v).ok_or_else(|| format!("bad substrate {v:?}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "workload" => {
+                    let mut names = Vec::new();
+                    for v in &values {
+                        match *v {
+                            "micro" => names
+                                .extend(Microbenchmark::ALL.iter().map(|m| m.name().to_string())),
+                            "macro" => names.extend(
+                                mallacc_workloads::MacroWorkload::all()
+                                    .iter()
+                                    .map(|w| w.name.to_string()),
+                            ),
+                            "all" => {
+                                names.extend(AnyWorkload::all_names().iter().map(|n| n.to_string()))
+                            }
+                            name => names.push(name.to_string()),
+                        }
+                    }
+                    grid.workloads = names;
+                }
+                "cores" => {
+                    grid.cores = parse_usizes()?;
+                    if grid.cores.iter().any(|&c| c == 0 || c > 16) {
+                        return Err("cores must be in 1..=16".to_string());
+                    }
+                }
+                other => return Err(format!("unknown grid axis {other:?}")),
+            }
+        }
+        Ok(grid)
+    }
+
+    /// Workload names in the grid that resolve to neither suite.
+    pub fn unknown_workloads(&self) -> Vec<String> {
+        self.workloads
+            .iter()
+            .filter(|n| AnyWorkload::by_name(n).is_none())
+            .cloned()
+            .collect()
+    }
+
+    /// Expands the grid into configuration points, in a deterministic
+    /// order (workload-major, then substrate, cores, entries, latency,
+    /// index, prefetch, sampling).
+    ///
+    /// Combinations the simulator stack cannot express are skipped:
+    /// multi-core points exist only on the TCMalloc substrate and only
+    /// for macro workloads (microbenchmarks have no multi-threaded trace
+    /// generator).
+    pub fn expand(&self) -> Vec<ConfigPoint> {
+        let mut points = Vec::new();
+        for workload in &self.workloads {
+            let is_micro = AnyWorkload::by_name(workload).is_some_and(|w| w.is_micro());
+            for &substrate in &self.substrates {
+                for &cores in &self.cores {
+                    if cores > 1 && (substrate == Substrate::JeMalloc || is_micro) {
+                        continue;
+                    }
+                    for &entries in &self.entries {
+                        for &extra_latency in &self.extra_latency {
+                            for &index_opt in &self.index_opt {
+                                for &prefetch in &self.prefetch {
+                                    for &sampling in &self.sampling {
+                                        points.push(ConfigPoint {
+                                            entries,
+                                            extra_latency,
+                                            prefetch,
+                                            index_opt,
+                                            sampling,
+                                            substrate,
+                                            workload: workload.clone(),
+                                            cores,
+                                            seed: self.seed,
+                                            scale: self.scale,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_is_one_point() {
+        let pts = ParamGrid::default().expand();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].entries, 16);
+        assert_eq!(pts[0].workload, "tp_small");
+    }
+
+    #[test]
+    fn smoke_grid_is_two_points() {
+        assert_eq!(ParamGrid::smoke().expand().len(), 2);
+    }
+
+    #[test]
+    fn parse_overrides_named_axes_only() {
+        let g = ParamGrid::parse("entries=2,4,8;prefetch=on,off").unwrap();
+        assert_eq!(g.entries, vec![2, 4, 8]);
+        assert_eq!(g.prefetch, vec![true, false]);
+        assert_eq!(g.workloads, vec!["tp_small".to_string()]);
+        assert_eq!(g.expand().len(), 6);
+    }
+
+    #[test]
+    fn parse_expands_workload_families() {
+        let g = ParamGrid::parse("workload=micro").unwrap();
+        assert_eq!(g.workloads.len(), 6);
+        let g = ParamGrid::parse("workload=all").unwrap();
+        assert_eq!(g.workloads.len(), 14);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        for bad in [
+            "entries=0",
+            "entries=128",
+            "nope=1",
+            "prefetch=maybe",
+            "substrate=dlmalloc",
+            "cores=0",
+            "entries",
+        ] {
+            assert!(ParamGrid::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn expand_skips_inexpressible_multicore_combos() {
+        let g = ParamGrid::parse(
+            "workload=tp_small,483.xalancbmk;substrate=tcmalloc,jemalloc;cores=1,4",
+        )
+        .unwrap();
+        let pts = g.expand();
+        // tp_small: tcmalloc×{1}, jemalloc×{1}. xalancbmk: tcmalloc×{1,4},
+        // jemalloc×{1}.
+        assert_eq!(pts.len(), 5);
+        assert!(pts.iter().all(|p| p.cores == 1
+            || (p.substrate == Substrate::TcMalloc && p.workload == "483.xalancbmk")));
+    }
+
+    #[test]
+    fn unknown_workloads_are_reported() {
+        let g = ParamGrid::parse("workload=tp_small,bogus").unwrap();
+        assert_eq!(g.unknown_workloads(), vec!["bogus".to_string()]);
+    }
+}

@@ -1,0 +1,219 @@
+//! The on-disk memo store: content-hash keyed results that let re-runs
+//! and resumed sweeps skip completed points.
+//!
+//! The store is a single JSON document keyed by each point's
+//! [`ConfigPoint::key_hex`](crate::ConfigPoint::key_hex). Every record
+//! carries the point's canonical config string; a lookup only hits when
+//! both the hash *and* the canonical string match, so a (vanishingly
+//! unlikely) 64-bit hash collision degrades to a recompute, never to a
+//! wrong result. Stores written by a different
+//! [`CODE_MODEL_VERSION`](mallacc::CODE_MODEL_VERSION) are discarded
+//! wholesale on load.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use mallacc_stats::{json, Json};
+
+use crate::point::{ConfigPoint, PointResult};
+
+/// A memoised result store, optionally backed by a JSON file.
+#[derive(Debug, Default)]
+pub struct MemoStore {
+    path: Option<PathBuf>,
+    // BTreeMap so the saved document is key-sorted and diff-stable.
+    records: BTreeMap<String, (String, PointResult)>,
+}
+
+impl MemoStore {
+    /// An unbacked store (results are memoised within the process only).
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// Opens a store backed by `path`. A missing file is an empty store;
+    /// a file written by a different code-model version is discarded; a
+    /// malformed file is an error.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut store = Self {
+            path: Some(path.to_path_buf()),
+            records: BTreeMap::new(),
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(store),
+            Err(e) => return Err(e),
+        };
+        let doc = json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let version = doc
+            .get("code_model_version")
+            .and_then(Json::as_f64)
+            .unwrap_or(-1.0);
+        if version != f64::from(mallacc::CODE_MODEL_VERSION) {
+            return Ok(store); // stale model: start fresh
+        }
+        if let Some(points) = doc.get("points").and_then(Json::as_obj) {
+            for (key, record) in points {
+                let config = record.get("config").and_then(Json::as_str);
+                let result = PointResult::from_json(record);
+                if let (Some(config), Some(result)) = (config, result) {
+                    store
+                        .records
+                        .insert(key.clone(), (config.to_string(), result));
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// Looks a point up; hits only when the stored canonical config
+    /// string matches too.
+    pub fn get(&self, point: &ConfigPoint) -> Option<&PointResult> {
+        self.records
+            .get(&point.key_hex())
+            .filter(|(config, _)| *config == point.canonical_string())
+            .map(|(_, result)| result)
+    }
+
+    /// Records a point's result.
+    pub fn insert(&mut self, point: &ConfigPoint, result: PointResult) {
+        self.records
+            .insert(point.key_hex(), (point.canonical_string(), result));
+    }
+
+    /// Number of memoised points.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serialises the store.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "code_model_version",
+                u64::from(mallacc::CODE_MODEL_VERSION).into(),
+            ),
+            (
+                "points",
+                Json::Obj(
+                    self.records
+                        .iter()
+                        .map(|(key, (config, result))| {
+                            let mut record =
+                                vec![("config".to_string(), Json::Str(config.clone()))];
+                            if let Json::Obj(fields) = result.to_json() {
+                                record.extend(fields);
+                            }
+                            (key.clone(), Json::Obj(record))
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes the store back to its file (no-op for in-memory stores).
+    pub fn save(&self) -> io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json().render_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{RunScale, Substrate};
+
+    fn point(entries: usize) -> ConfigPoint {
+        ConfigPoint {
+            entries,
+            extra_latency: 0,
+            prefetch: true,
+            index_opt: true,
+            sampling: true,
+            substrate: Substrate::TcMalloc,
+            workload: "tp_small".to_string(),
+            cores: 1,
+            seed: 0,
+            scale: RunScale::quick(),
+        }
+    }
+
+    fn result(x: f64) -> PointResult {
+        PointResult {
+            base_cycles: x,
+            accel_cycles: x / 2.0,
+            improvement_pct: 50.0,
+            area_um2: 1484.0,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("mallacc-memo-test-{}", std::process::id()));
+        let path = dir.join("store.json");
+        let mut store = MemoStore::open(&path).unwrap();
+        assert!(store.is_empty());
+        store.insert(&point(4), result(100.0));
+        store.insert(&point(16), result(200.0));
+        store.save().unwrap();
+
+        let reloaded = MemoStore::open(&path).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.get(&point(4)), Some(&result(100.0)));
+        assert_eq!(reloaded.get(&point(16)), Some(&result(200.0)));
+        assert_eq!(reloaded.get(&point(8)), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hash_collisions_degrade_to_misses() {
+        let mut store = MemoStore::in_memory();
+        store.insert(&point(4), result(100.0));
+        // Forge a record under point(8)'s key but with point(4)'s config.
+        let p8 = point(8);
+        store
+            .records
+            .insert(p8.key_hex(), (point(4).canonical_string(), result(1.0)));
+        assert_eq!(store.get(&p8), None, "config mismatch must miss");
+    }
+
+    #[test]
+    fn stale_model_versions_are_discarded() {
+        let dir = std::env::temp_dir().join(format!("mallacc-memo-stale-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        std::fs::write(
+            &path,
+            "{\"code_model_version\": 1, \"points\": {\"00\": {}}}",
+        )
+        .unwrap();
+        let store = MemoStore::open(&path).unwrap();
+        assert!(store.is_empty(), "old-version store must be discarded");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_stores_are_an_error() {
+        let dir = std::env::temp_dir().join(format!("mallacc-memo-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(MemoStore::open(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,362 @@
+//! A single design point: its configuration axes, its content-hash
+//! memoisation key, and its execution on the right simulator stack.
+
+use mallacc::{AccelConfig, AreaEstimate, MallocSim, Mode, RangeKeying, CODE_MODEL_VERSION};
+use mallacc_jemalloc::JeSim;
+use mallacc_multicore::MulticoreSim;
+use mallacc_stats::Json;
+use mallacc_workloads::{AnyWorkload, MtTrace, SimBackend};
+
+/// Which allocator model the point runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Substrate {
+    /// The TCMalloc model (the paper's allocator).
+    TcMalloc,
+    /// The jemalloc-style model (allocator-generality mode; the malloc
+    /// cache always runs generic requested-size keying there).
+    JeMalloc,
+}
+
+impl Substrate {
+    /// The substrate's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Substrate::TcMalloc => "tcmalloc",
+            Substrate::JeMalloc => "jemalloc",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn by_name(name: &str) -> Option<Substrate> {
+        match name {
+            "tcmalloc" => Some(Substrate::TcMalloc),
+            "jemalloc" => Some(Substrate::JeMalloc),
+            _ => None,
+        }
+    }
+}
+
+/// Run sizing for one point: measured malloc calls and warm-up calls.
+///
+/// Part of the memoisation key — results at different scales are
+/// different results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// malloc calls per measured run.
+    pub calls: usize,
+    /// malloc calls of warm-up before measurement.
+    pub warmup: usize,
+}
+
+impl RunScale {
+    /// The full-size sweep (matches `repro`'s full scale).
+    pub fn full() -> Self {
+        Self {
+            calls: 12_000,
+            warmup: 2_000,
+        }
+    }
+
+    /// Small runs for smoke tests and CI.
+    pub fn quick() -> Self {
+        Self {
+            calls: 1_500,
+            warmup: 300,
+        }
+    }
+}
+
+/// One fully specified configuration point of the design space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigPoint {
+    /// Malloc-cache entries (the paper sweeps 2–32; we allow 2–64).
+    pub entries: usize,
+    /// Extra malloc-cache lookup latency in cycles (0 = paper design).
+    pub extra_latency: u32,
+    /// `mcnxtprefetch` issued after pops.
+    pub prefetch: bool,
+    /// Class-index CAM keying (`false` = generic requested-size keying).
+    pub index_opt: bool,
+    /// Dedicated sampling counter.
+    pub sampling: bool,
+    /// Allocator substrate.
+    pub substrate: Substrate,
+    /// Workload name (micro or macro; see `AnyWorkload`).
+    pub workload: String,
+    /// Simulated core count (1 = the paper's single-core setup).
+    pub cores: usize,
+    /// Base trace seed.
+    pub seed: u64,
+    /// Run sizing.
+    pub scale: RunScale,
+}
+
+impl ConfigPoint {
+    /// The accelerator configuration this point describes.
+    pub fn accel_config(&self) -> AccelConfig {
+        let mut cfg = AccelConfig::with_entries(self.entries);
+        cfg.cache.keying = if self.index_opt {
+            RangeKeying::ClassIndex
+        } else {
+            RangeKeying::RequestedSize
+        };
+        cfg.cache.extra_latency = self.extra_latency;
+        cfg.prefetch = self.prefetch;
+        cfg.sampling_opt = self.sampling;
+        cfg
+    }
+
+    /// Canonical textual form of the whole point — the accelerator
+    /// config's canonical string plus every run axis and the code-model
+    /// version. Two points collide iff they describe the same run of the
+    /// same simulation code.
+    pub fn canonical_string(&self) -> String {
+        format!(
+            "v{};{};substrate={};workload={};cores={};seed={};calls={};warmup={}",
+            CODE_MODEL_VERSION,
+            self.accel_config().canonical_string(),
+            self.substrate.name(),
+            self.workload,
+            self.cores,
+            self.seed,
+            self.scale.calls,
+            self.scale.warmup
+        )
+    }
+
+    /// 64-bit FNV-1a content hash of [`canonical_string`](Self::canonical_string).
+    pub fn key(&self) -> u64 {
+        fnv1a64(self.canonical_string().as_bytes())
+    }
+
+    /// The key as fixed-width hex — the memo store's map key.
+    pub fn key_hex(&self) -> String {
+        format!("{:016x}", self.key())
+    }
+
+    /// Total silicon cost of this point: one malloc cache per core.
+    pub fn area_um2(&self) -> f64 {
+        AreaEstimate::for_entries(self.entries).total_um2() * self.cores as f64
+    }
+
+    /// Runs the point: baseline vs. accelerated allocator cycles on the
+    /// substrate/core-count the point names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload name does not resolve, or if the point
+    /// names a combination [`crate::ParamGrid::expand`] filters out
+    /// (multi-core jemalloc, multi-core microbenchmarks). The engine
+    /// validates grids before running.
+    pub fn run(&self) -> PointResult {
+        let workload = AnyWorkload::by_name(&self.workload)
+            .unwrap_or_else(|| panic!("unknown workload {}", self.workload));
+        let accel = Mode::Mallacc(self.accel_config());
+        let (base_cycles, accel_cycles) = if self.cores > 1 {
+            let AnyWorkload::Macro(w) = &workload else {
+                panic!("multi-core sweeps need a macro workload");
+            };
+            assert!(
+                self.substrate == Substrate::TcMalloc,
+                "multi-core sweeps run on the tcmalloc substrate"
+            );
+            let calls_per_core = (self.scale.calls / self.cores).max(40);
+            let trace = MtTrace::scaled(w, self.cores, calls_per_core, self.seed);
+            let run = |mode: Mode| {
+                let totals = MulticoreSim::new(mode, self.cores).run(&trace).aggregate();
+                (totals.malloc_cycles + totals.free_cycles) as f64
+            };
+            (run(Mode::Baseline), run(accel))
+        } else {
+            let warm = workload.trace(self.scale.warmup, self.seed);
+            let measure = workload.trace(self.scale.calls, self.seed.wrapping_add(1));
+            let run = |sim: &mut dyn SimBackend| {
+                warm.replay_on(sim);
+                let s = measure.replay_on(sim);
+                s.allocator_cycles()
+            };
+            match self.substrate {
+                Substrate::TcMalloc => (
+                    run(&mut MallocSim::new(Mode::Baseline)),
+                    run(&mut MallocSim::new(accel)),
+                ),
+                Substrate::JeMalloc => (
+                    run(&mut JeSim::new(Mode::Baseline)),
+                    run(&mut JeSim::new(accel)),
+                ),
+            }
+        };
+        PointResult {
+            base_cycles,
+            accel_cycles,
+            improvement_pct: if base_cycles > 0.0 {
+                100.0 * (1.0 - accel_cycles / base_cycles)
+            } else {
+                0.0
+            },
+            area_um2: self.area_um2(),
+        }
+    }
+}
+
+/// The measured outcome of one configuration point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// Baseline allocator cycles (malloc + free) over the measured run.
+    pub base_cycles: f64,
+    /// Accelerated allocator cycles over the same trace.
+    pub accel_cycles: f64,
+    /// Allocator-time improvement, percent (positive = faster).
+    pub improvement_pct: f64,
+    /// Total silicon cost (per-core malloc-cache area × cores), µm².
+    pub area_um2: f64,
+}
+
+impl PointResult {
+    /// Serialises for the memo store / sweep output.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("base_cycles", self.base_cycles.into()),
+            ("accel_cycles", self.accel_cycles.into()),
+            ("improvement_pct", self.improvement_pct.into()),
+            ("area_um2", self.area_um2.into()),
+        ])
+    }
+
+    /// Deserialises a memo-store record; `None` on any missing field.
+    pub fn from_json(json: &Json) -> Option<PointResult> {
+        Some(PointResult {
+            base_cycles: json.get("base_cycles")?.as_f64()?,
+            accel_cycles: json.get("accel_cycles")?.as_f64()?,
+            improvement_pct: json.get("improvement_pct")?.as_f64()?,
+            area_um2: json.get("area_um2")?.as_f64()?,
+        })
+    }
+}
+
+/// 64-bit FNV-1a.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point() -> ConfigPoint {
+        ConfigPoint {
+            entries: 16,
+            extra_latency: 0,
+            prefetch: true,
+            index_opt: true,
+            sampling: true,
+            substrate: Substrate::TcMalloc,
+            workload: "tp_small".to_string(),
+            cores: 1,
+            seed: 0,
+            scale: RunScale::quick(),
+        }
+    }
+
+    #[test]
+    fn key_is_stable_and_axis_sensitive() {
+        let p = point();
+        assert_eq!(p.key(), point().key(), "same point, same key");
+        let variants: Vec<ConfigPoint> = vec![
+            ConfigPoint {
+                entries: 8,
+                ..point()
+            },
+            ConfigPoint {
+                extra_latency: 1,
+                ..point()
+            },
+            ConfigPoint {
+                prefetch: false,
+                ..point()
+            },
+            ConfigPoint {
+                index_opt: false,
+                ..point()
+            },
+            ConfigPoint {
+                sampling: false,
+                ..point()
+            },
+            ConfigPoint {
+                substrate: Substrate::JeMalloc,
+                ..point()
+            },
+            ConfigPoint {
+                workload: "gauss".to_string(),
+                ..point()
+            },
+            ConfigPoint {
+                cores: 4,
+                ..point()
+            },
+            ConfigPoint { seed: 1, ..point() },
+            ConfigPoint {
+                scale: RunScale::full(),
+                ..point()
+            },
+        ];
+        for v in variants {
+            assert_ne!(
+                v.key(),
+                p.key(),
+                "axis change missed: {}",
+                v.canonical_string()
+            );
+        }
+    }
+
+    #[test]
+    fn result_json_round_trips() {
+        let r = PointResult {
+            base_cycles: 123_456.0,
+            accel_cycles: 100_000.5,
+            improvement_pct: 19.0,
+            area_um2: 1484.2,
+        };
+        assert_eq!(PointResult::from_json(&r.to_json()), Some(r));
+    }
+
+    #[test]
+    fn accel_config_reflects_the_axes() {
+        let p = ConfigPoint {
+            entries: 8,
+            extra_latency: 2,
+            prefetch: false,
+            index_opt: false,
+            sampling: false,
+            ..point()
+        };
+        let cfg = p.accel_config();
+        assert_eq!(cfg.cache.entries, 8);
+        assert_eq!(cfg.cache.extra_latency, 2);
+        assert_eq!(cfg.cache.keying, RangeKeying::RequestedSize);
+        assert!(!cfg.prefetch && !cfg.sampling_opt);
+        assert!(cfg.size_class_opt && cfg.list_opt);
+    }
+
+    #[test]
+    fn running_a_quick_point_shows_a_gain() {
+        let r = ConfigPoint {
+            scale: RunScale {
+                calls: 400,
+                warmup: 100,
+            },
+            ..point()
+        }
+        .run();
+        assert!(r.base_cycles > 0.0);
+        assert!(r.improvement_pct > 0.0, "tp_small should accelerate");
+        assert!(r.area_um2 > 0.0);
+    }
+}

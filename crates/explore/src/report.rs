@@ -1,0 +1,386 @@
+//! Analysis and rendering of a finished sweep: Pareto frontier of
+//! improvement vs. silicon area, knee selection, and per-axis
+//! sensitivity summaries.
+
+use mallacc_stats::table::Table;
+use mallacc_stats::{knee_index, pareto_frontier, Json, Summary};
+
+use crate::point::{ConfigPoint, PointResult};
+
+/// Mean improvement per value of one grid axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisSensitivity {
+    /// The axis name (as in `--grid` specs).
+    pub axis: &'static str,
+    /// `(value, mean improvement %, point count)` per distinct value, in
+    /// first-appearance order.
+    pub values: Vec<(String, f64, usize)>,
+}
+
+impl AxisSensitivity {
+    /// Spread between the best and worst value's mean improvement — how
+    /// much this axis matters over the swept grid.
+    pub fn spread(&self) -> f64 {
+        let means = self.values.iter().map(|&(_, m, _)| m);
+        let max = means.clone().fold(f64::NEG_INFINITY, f64::max);
+        let min = means.fold(f64::INFINITY, f64::min);
+        max - min
+    }
+}
+
+/// A sweep's points, results, and derived analyses.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Every executed point, in grid-expansion order.
+    pub points: Vec<ConfigPoint>,
+    /// The result of each point (same indexing as `points`).
+    pub results: Vec<PointResult>,
+    /// Indices of Pareto-optimal points (improvement vs. area), by
+    /// ascending area.
+    pub frontier: Vec<usize>,
+    /// Index of the frontier knee, if any points exist.
+    pub knee: Option<usize>,
+    /// Points served from the memo store.
+    pub memo_hits: usize,
+    /// Points actually computed this run.
+    pub memo_misses: usize,
+}
+
+/// The axes a sensitivity summary inspects, with value accessors.
+type AxisAccessor = (&'static str, fn(&ConfigPoint) -> String);
+
+const AXES: &[AxisAccessor] = &[
+    ("entries", |p| p.entries.to_string()),
+    ("xlat", |p| p.extra_latency.to_string()),
+    ("prefetch", |p| on_off(p.prefetch)),
+    ("index", |p| on_off(p.index_opt)),
+    ("sampling", |p| on_off(p.sampling)),
+    ("substrate", |p| p.substrate.name().to_string()),
+    ("workload", |p| p.workload.clone()),
+    ("cores", |p| p.cores.to_string()),
+];
+
+fn on_off(b: bool) -> String {
+    (if b { "on" } else { "off" }).to_string()
+}
+
+impl SweepReport {
+    /// Analyses raw sweep output.
+    pub fn new(points: Vec<ConfigPoint>, results: Vec<PointResult>, memo_hits: usize) -> Self {
+        assert_eq!(points.len(), results.len());
+        let objective: Vec<(f64, f64)> = results
+            .iter()
+            .map(|r| (r.area_um2, r.improvement_pct))
+            .collect();
+        let frontier = pareto_frontier(&objective);
+        let knee = knee_index(&objective);
+        let memo_misses = points.len() - memo_hits;
+        Self {
+            points,
+            results,
+            frontier,
+            knee,
+            memo_hits,
+            memo_misses,
+        }
+    }
+
+    /// Fraction of points served from the memo store.
+    pub fn memo_hit_fraction(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.memo_hits as f64 / self.points.len() as f64
+        }
+    }
+
+    /// Per-axis sensitivity: mean improvement per value, for every axis
+    /// the grid actually varies.
+    pub fn sensitivity(&self) -> Vec<AxisSensitivity> {
+        let mut out = Vec::new();
+        for &(axis, accessor) in AXES {
+            let mut values: Vec<(String, Summary)> = Vec::new();
+            for (point, result) in self.points.iter().zip(&self.results) {
+                let value = accessor(point);
+                match values.iter_mut().find(|(v, _)| *v == value) {
+                    Some((_, summary)) => summary.record(result.improvement_pct),
+                    None => {
+                        let mut summary = Summary::new();
+                        summary.record(result.improvement_pct);
+                        values.push((value, summary));
+                    }
+                }
+            }
+            if values.len() > 1 {
+                out.push(AxisSensitivity {
+                    axis,
+                    values: values
+                        .into_iter()
+                        .map(|(v, s)| (v, s.mean(), s.count() as usize))
+                        .collect(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Per-workload knees over the improvement-vs-area objective — the
+    /// generalisation of the Figure 17 "where does each microbenchmark
+    /// stop benefiting" reading. Returns `(workload, knee point index)`
+    /// in first-appearance order.
+    pub fn knees_per_workload(&self) -> Vec<(String, usize)> {
+        let mut workloads: Vec<String> = Vec::new();
+        for p in &self.points {
+            if !workloads.contains(&p.workload) {
+                workloads.push(p.workload.clone());
+            }
+        }
+        let mut out = Vec::new();
+        for workload in workloads {
+            let indices: Vec<usize> = (0..self.points.len())
+                .filter(|&i| self.points[i].workload == workload)
+                .collect();
+            let objective: Vec<(f64, f64)> = indices
+                .iter()
+                .map(|&i| (self.results[i].area_um2, self.results[i].improvement_pct))
+                .collect();
+            if let Some(local) = knee_index(&objective) {
+                out.push((workload, indices[local]));
+            }
+        }
+        out
+    }
+
+    /// Renders the human-readable sweep report.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&[
+            "workload", "sub", "cores", "entries", "xlat", "idx", "pf", "smp", "impr", "area um2",
+            "",
+        ]);
+        for (i, (p, r)) in self.points.iter().zip(&self.results).enumerate() {
+            let mark = if self.knee == Some(i) {
+                "knee"
+            } else if self.frontier.contains(&i) {
+                "*"
+            } else {
+                ""
+            };
+            t.row_owned(vec![
+                p.workload.clone(),
+                p.substrate.name().to_string(),
+                p.cores.to_string(),
+                p.entries.to_string(),
+                p.extra_latency.to_string(),
+                on_off(p.index_opt),
+                on_off(p.prefetch),
+                on_off(p.sampling),
+                format!("{:.1}%", r.improvement_pct),
+                format!("{:.0}", r.area_um2),
+                mark.to_string(),
+            ]);
+        }
+        let mut out = format!(
+            "Design-space exploration — {} points ({} memoised, {} computed)\n\
+             objective: allocator-time improvement vs. malloc-cache silicon area\n\
+             ('*' = Pareto frontier, 'knee' = selected design point)\n{}\n",
+            self.points.len(),
+            self.memo_hits,
+            self.memo_misses,
+            t.render()
+        );
+
+        let knees = self.knees_per_workload();
+        if !knees.is_empty() {
+            out.push_str("\nper-workload knees:\n");
+            for (workload, i) in &knees {
+                out.push_str(&format!(
+                    "  {workload}: {} entries ({:.1}% improvement, {:.0} um2)\n",
+                    self.points[*i].entries,
+                    self.results[*i].improvement_pct,
+                    self.results[*i].area_um2,
+                ));
+            }
+        }
+
+        let sensitivity = self.sensitivity();
+        if !sensitivity.is_empty() {
+            out.push_str("\naxis sensitivity (mean improvement per value):\n");
+            for s in &sensitivity {
+                let values: Vec<String> = s
+                    .values
+                    .iter()
+                    .map(|(v, mean, n)| format!("{v}={mean:.1}% (n={n})"))
+                    .collect();
+                out.push_str(&format!(
+                    "  {:<10} spread {:5.1}%  {}\n",
+                    s.axis,
+                    s.spread(),
+                    values.join("  ")
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\nmemo: {}/{} points served from store ({:.0}%)\n",
+            self.memo_hits,
+            self.points.len(),
+            100.0 * self.memo_hit_fraction()
+        ));
+        out
+    }
+
+    /// Serialises the full report (points, results, analyses) to JSON.
+    pub fn to_json(&self) -> Json {
+        let points: Vec<Json> = self
+            .points
+            .iter()
+            .zip(&self.results)
+            .map(|(p, r)| {
+                Json::obj([
+                    ("key", p.key_hex().into()),
+                    ("workload", p.workload.as_str().into()),
+                    ("substrate", p.substrate.name().into()),
+                    ("cores", p.cores.into()),
+                    ("entries", p.entries.into()),
+                    ("xlat", u64::from(p.extra_latency).into()),
+                    ("index", p.index_opt.into()),
+                    ("prefetch", p.prefetch.into()),
+                    ("sampling", p.sampling.into()),
+                    ("seed", p.seed.into()),
+                    ("result", r.to_json()),
+                ])
+            })
+            .collect();
+        let sensitivity: Vec<Json> = self
+            .sensitivity()
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("axis", s.axis.into()),
+                    ("spread", s.spread().into()),
+                    (
+                        "values",
+                        Json::Arr(
+                            s.values
+                                .iter()
+                                .map(|(v, mean, n)| {
+                                    Json::obj([
+                                        ("value", v.as_str().into()),
+                                        ("mean_improvement_pct", (*mean).into()),
+                                        ("points", (*n).into()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema", "mallacc-explore-sweep/1".into()),
+            (
+                "code_model_version",
+                u64::from(mallacc::CODE_MODEL_VERSION).into(),
+            ),
+            (
+                "memo",
+                Json::obj([
+                    ("hits", self.memo_hits.into()),
+                    ("misses", self.memo_misses.into()),
+                ]),
+            ),
+            ("points", Json::Arr(points)),
+            (
+                "frontier",
+                Json::Arr(self.frontier.iter().map(|&i| i.into()).collect()),
+            ),
+            ("knee", self.knee.map_or(Json::Null, |i| i.into())),
+            (
+                "knees_per_workload",
+                Json::Obj(
+                    self.knees_per_workload()
+                        .into_iter()
+                        .map(|(w, i)| (w, Json::from(i)))
+                        .collect(),
+                ),
+            ),
+            ("sensitivity", Json::Arr(sensitivity)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{RunScale, Substrate};
+
+    fn synthetic(entries_and_gains: &[(usize, f64)]) -> SweepReport {
+        let points: Vec<ConfigPoint> = entries_and_gains
+            .iter()
+            .map(|&(entries, _)| ConfigPoint {
+                entries,
+                extra_latency: 0,
+                prefetch: true,
+                index_opt: true,
+                sampling: true,
+                substrate: Substrate::TcMalloc,
+                workload: "tp_small".to_string(),
+                cores: 1,
+                seed: 0,
+                scale: RunScale::quick(),
+            })
+            .collect();
+        let results: Vec<PointResult> = points
+            .iter()
+            .zip(entries_and_gains)
+            .map(|(p, &(_, gain))| PointResult {
+                base_cycles: 1000.0,
+                accel_cycles: 1000.0 - 10.0 * gain,
+                improvement_pct: gain,
+                area_um2: p.area_um2(),
+            })
+            .collect();
+        SweepReport::new(points, results, 0)
+    }
+
+    #[test]
+    fn knee_lands_on_the_saturation_point() {
+        // Gains saturate after 4 entries: the knee must pick 4.
+        let report = synthetic(&[(2, 10.0), (4, 40.0), (8, 41.0), (16, 42.0)]);
+        let knee = report.knee.expect("non-empty sweep has a knee");
+        assert_eq!(report.points[knee].entries, 4);
+        assert!(report.frontier.contains(&knee));
+    }
+
+    #[test]
+    fn sensitivity_reports_only_varied_axes() {
+        let report = synthetic(&[(2, 10.0), (4, 40.0)]);
+        let sens = report.sensitivity();
+        assert_eq!(sens.len(), 1);
+        assert_eq!(sens[0].axis, "entries");
+        assert_eq!(sens[0].values.len(), 2);
+        assert!((sens[0].spread() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_marks_frontier_and_knee() {
+        let s = synthetic(&[(2, 10.0), (4, 40.0), (8, 39.0)]).render();
+        assert!(s.contains("knee"), "missing knee mark:\n{s}");
+        assert!(s.contains("per-workload knees"), "missing knees:\n{s}");
+        assert!(s.contains("memo: 0/3"), "missing memo line:\n{s}");
+    }
+
+    #[test]
+    fn json_has_the_full_schema() {
+        let j = synthetic(&[(2, 10.0), (4, 40.0)]).to_json();
+        assert_eq!(
+            j.get("schema").and_then(Json::as_str),
+            Some("mallacc-explore-sweep/1")
+        );
+        assert_eq!(
+            j.get("points").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert!(j.get("knee").is_some());
+        assert!(j.get("memo").and_then(|m| m.get("hits")).is_some());
+    }
+}

@@ -202,6 +202,16 @@ macro_rules! int_strategy {
 
 int_strategy!(u8, u16, u32, u64, usize);
 
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        // 53 uniform mantissa bits in [0, 1), scaled to the range.
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
 macro_rules! tuple_strategy {
     ($(($($n:ident . $i:tt),+))*) => {$(
         impl<$($n: Strategy),+> Strategy for ($($n,)+) {
@@ -219,6 +229,9 @@ tuple_strategy! {
     (A.0, B.1, C.2, D.3)
     (A.0, B.1, C.2, D.3, E.4)
     (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
 }
 
 /// Types with a canonical "arbitrary" strategy.
@@ -429,6 +442,25 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, $($fmt)+);
+    }};
+}
+
 /// Rejects the current case unless the precondition holds.
 #[macro_export]
 macro_rules! prop_assume {
@@ -511,8 +543,8 @@ macro_rules! __proptest_fns {
 /// The glob-importable prelude, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
-        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 
     /// Namespace alias so `prop::collection::vec` works as in proptest.

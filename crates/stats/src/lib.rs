@@ -13,7 +13,11 @@
 //! * [`ttest`] — one-sided one-sample and two-sample Student's t-tests with
 //!   real p-values (via the regularised incomplete beta function);
 //! * [`table`] — plain-text table rendering used by the `repro` binary so the
-//!   harness prints the same rows the paper reports.
+//!   harness prints the same rows the paper reports;
+//! * [`json`] — a dependency-free deterministic JSON value (writer and
+//!   parser) for the `repro --json` reports and the explore memo store;
+//! * [`pareto`] — two-objective dominance, Pareto frontiers and knee
+//!   selection for the design-space exploration subsystem.
 //!
 //! # Example
 //!
@@ -36,6 +40,8 @@
 
 mod cdf;
 mod hist;
+pub mod json;
+pub mod pareto;
 mod special;
 mod summary;
 pub mod table;
@@ -43,5 +49,7 @@ pub mod ttest;
 
 pub use cdf::Cdf;
 pub use hist::{Bin, LinearHistogram, LogHistogram};
+pub use json::Json;
+pub use pareto::{dominates, knee_index, pareto_frontier};
 pub use special::{ln_gamma, regularized_incomplete_beta, student_t_cdf};
 pub use summary::{geometric_mean, Summary};

@@ -1,0 +1,134 @@
+//! Pareto-frontier machinery for two-objective design-space exploration.
+//!
+//! The Mallacc trade-off is a gain (allocator-time improvement) bought
+//! with a cost (silicon area, §6.4). A configuration *dominates* another
+//! when it is no worse on both axes and strictly better on at least one;
+//! the *frontier* is the set of non-dominated configurations; the *knee*
+//! is the frontier point with the best margin over the cost/gain
+//! diagonal — the generalisation of "best gain per area beyond minimum
+//! usefulness" that `examples/cache_size_sweep.rs` used to hard-code.
+//!
+//! Points are `(cost, gain)` pairs: cost is minimised, gain maximised.
+//! Non-finite coordinates never dominate and never reach the frontier.
+
+/// True when `a` dominates `b`: `a` costs no more, gains no less, and is
+/// strictly better on at least one axis.
+pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    let finite = |p: (f64, f64)| p.0.is_finite() && p.1.is_finite();
+    if !finite(a) || !finite(b) {
+        return false;
+    }
+    a.0 <= b.0 && a.1 >= b.1 && (a.0 < b.0 || a.1 > b.1)
+}
+
+/// Indices of the Pareto-optimal points among `points`, sorted by
+/// ascending cost (ties by ascending index).
+///
+/// Duplicate points are all kept: equal points do not dominate each
+/// other, so a frontier may contain coincident entries.
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut frontier: Vec<usize> = (0..points.len())
+        .filter(|&i| {
+            points[i].0.is_finite()
+                && points[i].1.is_finite()
+                && !points.iter().any(|&p| dominates(p, points[i]))
+        })
+        .collect();
+    frontier.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .partial_cmp(&points[b].0)
+            .expect("finite costs")
+            .then(a.cmp(&b))
+    });
+    frontier
+}
+
+/// The knee of the frontier: normalise cost and gain to `[0, 1]` over the
+/// frontier's span, then pick the point maximising `gain − cost` (the
+/// farthest above the diagonal). Returns an index into `points`.
+///
+/// Ties prefer the higher-gain point: on a frontier gain rises with cost,
+/// so when the margins tie (e.g. the two endpoints of a two-point
+/// frontier, which always both score zero) the knee is the point that
+/// actually buys improvement, not the cheap end of the span. Returns
+/// `None` when no finite points exist. A degenerate frontier (all costs
+/// equal, or all gains equal) falls back to the cheapest highest-gain
+/// point.
+pub fn knee_index(points: &[(f64, f64)]) -> Option<usize> {
+    let frontier = pareto_frontier(points);
+    let (&first, &last) = (frontier.first()?, frontier.last()?);
+    let cost_span = points[last].0 - points[first].0;
+    let gains: Vec<f64> = frontier.iter().map(|&i| points[i].1).collect();
+    let gain_min = gains.iter().copied().fold(f64::INFINITY, f64::min);
+    let gain_max = gains.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let gain_span = gain_max - gain_min;
+    if cost_span <= 0.0 || gain_span <= 0.0 {
+        // Degenerate: one axis does not discriminate; the frontier is
+        // sorted by cost, and on a frontier gain rises with cost, so the
+        // best point is the last (highest-gain) one — or the first when
+        // gain is flat (cheapest).
+        return Some(if gain_span > 0.0 { last } else { first });
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for &i in &frontier {
+        let cost_n = (points[i].0 - points[first].0) / cost_span;
+        let gain_n = (points[i].1 - gain_min) / gain_span;
+        let margin = gain_n - cost_n;
+        // `>= m - ε`: the frontier is iterated in ascending cost (and so
+        // ascending gain), so accepting ties keeps the higher-gain point.
+        let better = match best {
+            None => true,
+            Some((_, m)) => margin >= m - 1e-12,
+        };
+        if better {
+            best = Some((i, margin));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        assert!(dominates((1.0, 5.0), (2.0, 5.0)));
+        assert!(dominates((1.0, 5.0), (1.0, 4.0)));
+        assert!(!dominates((1.0, 5.0), (1.0, 5.0)), "equal points");
+        assert!(!dominates((1.0, 4.0), (2.0, 5.0)), "trade-off");
+        assert!(!dominates((f64::NAN, 9.0), (2.0, 5.0)));
+    }
+
+    #[test]
+    fn frontier_excludes_dominated_points() {
+        // (cost, gain): index 1 is dominated by 0; 3 is dominated by 2.
+        let pts = [(1.0, 5.0), (2.0, 4.0), (3.0, 9.0), (4.0, 8.0)];
+        assert_eq!(pareto_frontier(&pts), vec![0, 2]);
+    }
+
+    #[test]
+    fn frontier_keeps_duplicates_and_sorts_by_cost() {
+        let pts = [(2.0, 7.0), (1.0, 3.0), (2.0, 7.0)];
+        assert_eq!(pareto_frontier(&pts), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn knee_finds_the_inflection() {
+        // Sharp knee at cost 2: gains saturate beyond it.
+        let pts = [(1.0, 0.0), (2.0, 9.0), (3.0, 9.5), (4.0, 10.0)];
+        assert_eq!(knee_index(&pts), Some(1));
+    }
+
+    #[test]
+    fn knee_handles_degenerate_sets() {
+        assert_eq!(knee_index(&[]), None);
+        assert_eq!(knee_index(&[(1.0, 2.0)]), Some(0));
+        // Flat gain: cheapest wins.
+        assert_eq!(knee_index(&[(1.0, 5.0), (2.0, 5.0)]), Some(0));
+        // Flat cost: highest gain wins (both on the frontier? no — the
+        // higher gain dominates, so the frontier is a single point).
+        assert_eq!(knee_index(&[(1.0, 5.0), (1.0, 9.0)]), Some(1));
+    }
+}

@@ -30,10 +30,12 @@ mod macrob;
 mod micro;
 mod mt;
 mod ops;
+mod resolve;
 mod trace_io;
 
 pub use macrob::{MacroWorkload, SizePalette};
 pub use micro::Microbenchmark;
 pub use mt::{MtOp, MtTrace};
 pub use ops::{GenericStats, Op, RunStats, SimBackend, Trace};
+pub use resolve::{resolve_or_list, AnyWorkload};
 pub use trace_io::{from_text, to_text, ParseTraceError};

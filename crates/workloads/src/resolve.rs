@@ -1,0 +1,105 @@
+//! Name-based workload resolution shared by examples, `repro` and the
+//! explore subsystem.
+//!
+//! Every CLI entry point used to hand-roll the same "unknown workload →
+//! list the valid names → exit(2)" block; this module centralises it.
+//! Library code should use the fallible [`AnyWorkload::by_name`];
+//! [`resolve_or_list`] is the CLI-facing variant that prints the suite
+//! and exits.
+
+use crate::macrob::MacroWorkload;
+use crate::micro::Microbenchmark;
+use crate::ops::Trace;
+
+/// A workload of either family, resolved from a paper-style name.
+#[derive(Debug, Clone)]
+pub enum AnyWorkload {
+    /// One of the six §5 microbenchmarks.
+    Micro(Microbenchmark),
+    /// One of the eight synthetic macro workloads.
+    Macro(MacroWorkload),
+}
+
+impl AnyWorkload {
+    /// Resolves a paper-style name against both suites.
+    pub fn by_name(name: &str) -> Option<AnyWorkload> {
+        if let Some(m) = Microbenchmark::from_name(name) {
+            return Some(AnyWorkload::Micro(m));
+        }
+        MacroWorkload::by_name(name).map(AnyWorkload::Macro)
+    }
+
+    /// The workload's name as the paper prints it.
+    pub fn name(&self) -> &str {
+        match self {
+            AnyWorkload::Micro(m) => m.name(),
+            AnyWorkload::Macro(w) => w.name,
+        }
+    }
+
+    /// True for the microbenchmark family.
+    pub fn is_micro(&self) -> bool {
+        matches!(self, AnyWorkload::Micro(_))
+    }
+
+    /// Generates a deterministic trace with roughly `mallocs` allocations.
+    pub fn trace(&self, mallocs: usize, seed: u64) -> Trace {
+        match self {
+            AnyWorkload::Micro(m) => m.trace(mallocs, seed),
+            AnyWorkload::Macro(w) => w.trace(mallocs, seed),
+        }
+    }
+
+    /// Every resolvable name: the six microbenchmarks in the paper's
+    /// order, then the eight macro workloads in Figure 13's order.
+    pub fn all_names() -> Vec<&'static str> {
+        Microbenchmark::ALL
+            .iter()
+            .map(|m| m.name())
+            .chain(MacroWorkload::all().iter().map(|w| w.name))
+            .collect()
+    }
+}
+
+/// Resolves `name` or, on failure, prints the full list of valid names
+/// to stderr and exits with status 2 — the shared CLI error behaviour.
+pub fn resolve_or_list(name: &str) -> AnyWorkload {
+    AnyWorkload::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}; pick one of:");
+        for n in AnyWorkload::all_names() {
+            eprintln!("  {n}");
+        }
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_both_families() {
+        assert!(AnyWorkload::by_name("tp_small").is_some_and(|w| w.is_micro()));
+        assert!(AnyWorkload::by_name("483.xalancbmk").is_some_and(|w| !w.is_micro()));
+        assert!(AnyWorkload::by_name("no_such_workload").is_none());
+    }
+
+    #[test]
+    fn all_names_resolve_and_are_distinct() {
+        let names = AnyWorkload::all_names();
+        assert_eq!(names.len(), 14);
+        let mut seen = std::collections::HashSet::new();
+        for n in names {
+            assert!(seen.insert(n), "duplicate name {n}");
+            let w = AnyWorkload::by_name(n).expect("listed name resolves");
+            assert_eq!(w.name(), n);
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_name() {
+        let w = AnyWorkload::by_name("gauss_free").unwrap();
+        assert_eq!(w.trace(50, 7), w.trace(50, 7));
+        assert_ne!(w.trace(50, 7), w.trace(50, 8));
+    }
+}

@@ -6,72 +6,53 @@
 //! ```
 //!
 //! Sweeps malloc cache sizes over a chosen workload (default:
-//! `483.xalancbmk`, the broadest size-class mix in the paper's suite),
-//! reports the allocator-time improvement and the marginal silicon cost per
-//! entry count, and picks the knee of the curve.
+//! `483.xalancbmk`, the broadest size-class mix in the paper's suite) and
+//! picks the knee of the improvement-vs-area curve. This is a thin client
+//! of the `mallacc-explore` sweep engine: the same grid, Pareto frontier
+//! and knee selection are available for every axis of the design space via
+//! `repro explore`.
 
-use mallacc::{AccelConfig, AreaEstimate, MallocSim, Mode};
-use mallacc_workloads::MacroWorkload;
-
-fn allocator_cycles(mode: Mode, w: &MacroWorkload) -> f64 {
-    let mut sim = MallocSim::new(mode);
-    w.trace(1_500, 77).replay(&mut sim);
-    sim.reset_totals();
-    let stats = w.trace(8_000, 78).replay(&mut sim);
-    stats.allocator_cycles() as f64
-}
+use mallacc_explore::{run_sweep, ParamGrid, SweepOptions};
+use mallacc_workloads::resolve_or_list;
 
 fn main() {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "483.xalancbmk".to_string());
-    let w = MacroWorkload::by_name(&name).unwrap_or_else(|| {
-        eprintln!("unknown workload {name}; pick one of:");
-        for w in MacroWorkload::all() {
-            eprintln!("  {}", w.name);
-        }
-        std::process::exit(2);
+    let workload = resolve_or_list(&name);
+
+    let grid = ParamGrid::entries_sweep(workload.name());
+    let report = run_sweep(&grid, &SweepOptions::default()).unwrap_or_else(|e| {
+        eprintln!("cache_size_sweep: {e}");
+        std::process::exit(1);
     });
 
-    println!("malloc cache sweep on {}", w.name);
+    println!("malloc cache sweep on {}", workload.name());
     println!(
         "{:>8} {:>12} {:>12} {:>14}",
         "entries", "improvement", "area um2", "um2 per point"
     );
-
-    let base = allocator_cycles(Mode::Baseline, &w);
-    let mut best = (0usize, f64::NEG_INFINITY);
-    let mut rows = Vec::new();
-    for entries in [2usize, 4, 8, 12, 16, 24, 32, 48, 64] {
-        let cfg = AccelConfig::with_entries(entries);
-        let cycles = allocator_cycles(Mode::Mallacc(cfg), &w);
-        let gain = 100.0 * (1.0 - cycles / base);
-        let area = AreaEstimate::for_entries(entries).total_um2();
-        rows.push((entries, gain, area));
-        // Knee selection: best gain-per-area beyond a minimum usefulness.
-        let score = gain - area / 400.0;
-        if score > best.1 {
-            best = (entries, score);
-        }
-    }
-    for (entries, gain, area) in &rows {
+    for (point, result) in report.points.iter().zip(&report.results) {
         println!(
             "{:>8} {:>11.1}% {:>12.0} {:>14.1}",
-            entries,
-            gain,
-            area,
-            if *gain > 0.0 {
-                area / gain
+            point.entries,
+            result.improvement_pct,
+            result.area_um2,
+            if result.improvement_pct > 0.0 {
+                result.area_um2 / result.improvement_pct
             } else {
                 f64::INFINITY
             }
         );
     }
-    let limit = allocator_cycles(Mode::limit_all(), &w);
-    println!(
-        "\nlimit study: {:.1}%   (the paper settles on 16 entries; this \
-         workload's knee: {} entries)",
-        100.0 * (1.0 - limit / base),
-        best.0
-    );
+    match report.knee {
+        Some(knee) => println!(
+            "\nknee of the improvement-vs-area curve: {} entries \
+             ({:.1}% improvement at {:.0} um2; the paper settles on 16)",
+            report.points[knee].entries,
+            report.results[knee].improvement_pct,
+            report.results[knee].area_um2
+        ),
+        None => println!("\nno knee: the sweep produced no points"),
+    }
 }

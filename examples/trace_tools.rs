@@ -13,14 +13,7 @@
 
 use mallacc::{MallocSim, Mode};
 use mallacc_jemalloc::JeSim;
-use mallacc_workloads::{from_text, to_text, MacroWorkload, Microbenchmark, SimBackend, Trace};
-
-fn generate(name: &str) -> Option<Trace> {
-    if let Some(m) = Microbenchmark::from_name(name) {
-        return Some(m.trace(3_000, 99));
-    }
-    MacroWorkload::by_name(name).map(|w| w.trace(3_000, 99))
-}
+use mallacc_workloads::{from_text, resolve_or_list, to_text, SimBackend};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
@@ -32,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .to_string()
     });
 
-    let Some(trace) = generate(&name) else {
-        eprintln!("unknown workload {name}; use a microbenchmark or macro workload name");
-        std::process::exit(2);
-    };
+    let trace = resolve_or_list(&name).trace(3_000, 99);
 
     let text = to_text(&trace);
     std::fs::write(&path, &text)?;
