@@ -11,13 +11,16 @@
 //! repro explore [--smoke] [--grid SPEC] [--preset NAME] [--quick]
 //!       [--seed N] [--jobs N] [--memo PATH] [--out PATH]
 //!       [--assert-memo-frac F]
+//!
+//! repro profile [--smoke] [--quick] [--pairs N] [--warmup N] [--seed N]
+//!       [--jobs N] [--uops N] [--trace PATH] [--json PATH]
 //! ```
 //!
 //! `--json PATH` additionally writes the machine-readable datasets of the
 //! experiments that have one (fig13, fig14, fig17, table2, mt) — the same
 //! numbers the text renders, not a re-run.
 
-use mallacc_bench::{explore_cli, figures, mt, tables, Scale};
+use mallacc_bench::{explore_cli, figures, mt, profile_cli, tables, Scale};
 use mallacc_stats::Json;
 
 fn usage() -> ! {
@@ -26,7 +29,9 @@ fn usage() -> ! {
          fig18|table1|table2|area|ablate|generality|resilience|sensitivity|sized-delete|cpi|mt|all> [--quick] [--calls N] \
          [--trials N] [--seed N] [--no-index-opt] [--json PATH]\n\
          \x20      repro explore [--smoke] [--grid SPEC] [--preset NAME] [--quick] \
-         [--seed N] [--jobs N] [--memo PATH] [--out PATH] [--assert-memo-frac F]"
+         [--seed N] [--jobs N] [--memo PATH] [--out PATH] [--assert-memo-frac F]\n\
+         \x20      repro profile [--smoke] [--quick] [--pairs N] [--warmup N] \
+         [--seed N] [--jobs N] [--uops N] [--trace PATH] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -37,6 +42,9 @@ fn main() {
 
     if cmd == "explore" {
         std::process::exit(explore_cli::explore(&args[1..]));
+    }
+    if cmd == "profile" {
+        std::process::exit(profile_cli::profile(&args[1..]));
     }
 
     let mut scale = Scale::full();

@@ -696,19 +696,20 @@ pub fn cpi(scale: Scale) -> String {
             let before = sim.cpi_stack();
             w.trace(scale.calls, scale.seed_for(19)).replay(&mut sim);
             let after = sim.cpi_stack();
-            let d = mallacc_ooo::CpiStack {
-                base: after.base - before.base,
-                memory: after.memory - before.memory,
-                execute: after.execute - before.execute,
-                frontend: after.frontend - before.frontend,
-            };
-            let total = d.total().max(1) as f64;
+            // One integer accounting drives both the percentages and the
+            // total, so the row can never disagree with itself.
+            let d = mallacc_stats::Breakdown::from_parts([
+                ("base", after.base - before.base),
+                ("memory", after.memory - before.memory),
+                ("execute", after.execute - before.execute),
+                ("frontend", after.frontend - before.frontend),
+            ]);
             t.row_owned(vec![
                 format!("{name} / {label}"),
-                format!("{:.1}%", 100.0 * d.base as f64 / total),
-                format!("{:.1}%", 100.0 * d.memory as f64 / total),
-                format!("{:.1}%", 100.0 * d.execute as f64 / total),
-                format!("{:.1}%", 100.0 * d.frontend as f64 / total),
+                d.pct(0),
+                d.pct(1),
+                d.pct(2),
+                d.pct(3),
                 format!("{}", d.total()),
             ]);
         }

@@ -29,7 +29,9 @@
 //! it; `repro --json PATH` serialises the same datasets, so the JSON and
 //! the text always carry identical numbers. `repro explore`
 //! ([`explore_cli`]) drives the `mallacc-explore` design-space sweep
-//! engine.
+//! engine, and `repro profile` ([`profile_cli`]) drives the
+//! `mallacc-prof` cycle-attribution layer (per-op stall breakdowns,
+//! Figure 2-style component tables, Chrome trace export).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +40,7 @@ pub mod experiments;
 pub mod explore_cli;
 pub mod figures;
 pub mod mt;
+pub mod profile_cli;
 pub mod tables;
 
 pub use experiments::Scale;

@@ -1,0 +1,377 @@
+//! The `repro profile` subcommand: per-operation cycle attribution for
+//! baseline vs. Mallacc configurations, driven by `mallacc-prof`.
+//!
+//! ```text
+//! repro profile [--smoke] [--quick] [--pairs N] [--warmup N] [--seed N]
+//!               [--jobs N] [--uops N] [--trace PATH] [--json PATH]
+//! ```
+//!
+//! Prints the paper's Figure 2-style breakdown — where the cycles of a
+//! warm fast-path malloc/free go — as stall-reason and allocator-component
+//! tables, one column set per configuration, plus the malloc-cache event
+//! counters and a two-core attribution summary. `--trace` additionally
+//! exports a Chrome trace-event JSON (validated against the schema before
+//! writing); `--json` exports the same integers the tables print.
+
+use std::path::PathBuf;
+
+use mallacc::{Mode, StallReason};
+use mallacc_prof::chrome::{chrome_trace, validate_chrome_trace};
+use mallacc_prof::mt::profile_multicore;
+use mallacc_prof::report::{
+    mode_json, profile_fastpath, render_component_table, render_mc_table, render_stall_table,
+    ModeProfile,
+};
+use mallacc_prof::Profiler;
+use mallacc_stats::table::Table;
+use mallacc_stats::Json;
+use mallacc_workloads::MtTrace;
+
+/// Parsed `repro profile` arguments.
+#[derive(Debug, Clone)]
+pub struct ProfileArgs {
+    /// Warm fast-path malloc/free pairs to attribute per mode.
+    pub pairs: u64,
+    /// Untraced warm-up pairs before attribution starts.
+    pub warmup: u64,
+    /// Calls per core in the two-core section.
+    pub mt_calls: usize,
+    /// Seed for the multi-core trace.
+    pub seed: u64,
+    /// Per-µop samples retained per mode for the trace export.
+    pub uops: usize,
+    /// Worker threads for the per-mode runs (0 or 1 = sequential).
+    pub jobs: usize,
+    /// Chrome trace-event JSON output file.
+    pub trace: Option<PathBuf>,
+    /// Machine-readable dataset output file.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for ProfileArgs {
+    fn default() -> Self {
+        Self {
+            pairs: 2_000,
+            warmup: 200,
+            mt_calls: 200,
+            seed: 42,
+            uops: 256,
+            jobs: 1,
+            trace: None,
+            json: None,
+        }
+    }
+}
+
+impl ProfileArgs {
+    /// Parses the argument list after `profile`.
+    pub fn parse(args: &[String]) -> Result<ProfileArgs, String> {
+        let mut parsed = ProfileArgs::default();
+        let mut i = 0;
+        let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let int = |v: String, flag: &str| -> Result<u64, String> {
+            v.parse::<u64>()
+                .map_err(|_| format!("{flag} needs an integer"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--smoke" => {
+                    parsed.pairs = 200;
+                    parsed.warmup = 50;
+                    parsed.mt_calls = 60;
+                    parsed.uops = 128;
+                }
+                "--quick" => {
+                    parsed.pairs = 500;
+                    parsed.warmup = 100;
+                    parsed.mt_calls = 100;
+                }
+                "--pairs" => parsed.pairs = int(value(args, &mut i, "--pairs")?, "--pairs")?,
+                "--warmup" => parsed.warmup = int(value(args, &mut i, "--warmup")?, "--warmup")?,
+                "--mt-calls" => {
+                    parsed.mt_calls =
+                        int(value(args, &mut i, "--mt-calls")?, "--mt-calls")? as usize;
+                }
+                "--seed" => parsed.seed = int(value(args, &mut i, "--seed")?, "--seed")?,
+                "--uops" => parsed.uops = int(value(args, &mut i, "--uops")?, "--uops")? as usize,
+                "--jobs" => parsed.jobs = int(value(args, &mut i, "--jobs")?, "--jobs")? as usize,
+                "--trace" => parsed.trace = Some(PathBuf::from(value(args, &mut i, "--trace")?)),
+                "--json" => parsed.json = Some(PathBuf::from(value(args, &mut i, "--json")?)),
+                other => return Err(format!("unknown profile flag {other:?}")),
+            }
+            i += 1;
+        }
+        if parsed.pairs == 0 {
+            return Err("--pairs must be at least 1".to_string());
+        }
+        Ok(parsed)
+    }
+}
+
+/// The three configurations every profile run compares.
+fn modes() -> [(Mode, &'static str); 3] {
+    [
+        (Mode::Baseline, "baseline"),
+        (Mode::mallacc_default(), "mallacc"),
+        (Mode::limit_all(), "limit"),
+    ]
+}
+
+/// Runs the per-mode fast-path kernels, optionally in parallel. The
+/// output is identical for every `jobs` value: each mode's simulation is
+/// fully independent and internally deterministic, and results are
+/// collected in fixed mode order.
+fn run_modes(args: &ProfileArgs) -> Vec<(ModeProfile, Box<Profiler>)> {
+    let runs = modes();
+    if args.jobs > 1 {
+        let mut slots: Vec<Option<(ModeProfile, Box<Profiler>)>> =
+            (0..runs.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (slot, (mode, label)) in slots.iter_mut().zip(runs) {
+                s.spawn(move || {
+                    *slot = Some(profile_fastpath(
+                        mode,
+                        label,
+                        args.pairs,
+                        args.warmup,
+                        args.uops,
+                    ));
+                });
+            }
+        });
+        slots.into_iter().map(|s| s.expect("thread ran")).collect()
+    } else {
+        runs.iter()
+            .map(|(mode, label)| profile_fastpath(*mode, label, args.pairs, args.warmup, args.uops))
+            .collect()
+    }
+}
+
+fn render_mt_section(args: &ProfileArgs) -> (String, Json) {
+    let trace = MtTrace::producer_consumer(2, args.mt_calls, args.seed);
+    let (result, profilers) = profile_multicore(Mode::mallacc_default(), &trace, 0);
+    let mut t = Table::new(&[
+        "core",
+        "ops",
+        "op cyc",
+        "idle-in-op",
+        "outside cyc",
+        "violations",
+    ]);
+    let mut cores_json = Vec::new();
+    for p in &profilers {
+        let op_cycles: u64 = p.ops().iter().map(|o| o.cycles()).sum();
+        let idle: u64 = p.ops().iter().map(|o| o.stall.get(StallReason::Idle)).sum();
+        t.row_owned(vec![
+            p.tid().to_string(),
+            p.ops().len().to_string(),
+            op_cycles.to_string(),
+            idle.to_string(),
+            p.outside().total().to_string(),
+            p.conservation_violations().to_string(),
+        ]);
+        cores_json.push(Json::obj([
+            ("core", Json::from(u64::from(p.tid()))),
+            ("ops", Json::from(p.ops().len())),
+            ("op_cycles", Json::from(op_cycles)),
+            ("idle_in_op", Json::from(idle)),
+            ("outside_cycles", Json::from(p.outside().total())),
+            ("violations", Json::from(p.conservation_violations())),
+        ]));
+    }
+    let text = format!(
+        "== two-core attribution (producer/consumer ring, mallacc) ==\n{}",
+        t.render()
+    );
+    let json = Json::obj([
+        ("epochs", Json::from(result.epochs)),
+        ("cores", Json::Arr(cores_json)),
+    ]);
+    (text, json)
+}
+
+/// Runs `repro profile` and returns `(exit code, report text)`. Split
+/// from [`profile`] so tests can capture the output.
+pub fn profile_report(args: &ProfileArgs) -> (i32, String) {
+    let results = run_modes(args);
+    let profiles: Vec<&ModeProfile> = results.iter().map(|(p, _)| p).collect();
+    let profilers: Vec<&Profiler> = results.iter().map(|(_, p)| p.as_ref()).collect();
+    let labels: Vec<&str> = profiles.iter().map(|p| p.label.as_str()).collect();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "repro profile: {} warm fast-path pairs per mode ({} warm-up)\n\n",
+        args.pairs, args.warmup
+    ));
+    for p in &profiles {
+        let mean = p.op_cycles() as f64 / p.op_count().max(1) as f64;
+        out.push_str(&format!(
+            "== {} == ({} ops, {} cycles, mean {:.1} cyc/op)\n{}\n",
+            p.label,
+            p.op_count(),
+            p.op_cycles(),
+            mean,
+            render_stall_table(p)
+        ));
+    }
+    out.push_str(&format!(
+        "== component attribution (Figure 2/4-style) ==\n{}\n",
+        render_component_table(&profiles)
+    ));
+    out.push_str(&format!(
+        "== malloc-cache events ==\n{}\n",
+        render_mc_table(&profiles)
+    ));
+    let (mt_text, mt_json) = render_mt_section(args);
+    out.push_str(&mt_text);
+
+    for (p, profiler) in &results {
+        if profiler.conservation_violations() > 0 {
+            eprintln!(
+                "repro profile: {} conservation violations in mode {}",
+                profiler.conservation_violations(),
+                p.label
+            );
+            return (1, out);
+        }
+    }
+
+    if let Some(path) = &args.trace {
+        let doc = chrome_trace(&profilers, &labels);
+        if let Err(e) = validate_chrome_trace(&doc) {
+            eprintln!("repro profile: emitted trace failed validation: {e}");
+            return (1, out);
+        }
+        if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+            eprintln!("repro profile: writing {}: {e}", path.display());
+            return (1, out);
+        }
+        out.push_str(&format!("\nwrote {}", path.display()));
+    }
+    if let Some(path) = &args.json {
+        let doc = Json::obj([
+            ("schema", Json::from("mallacc-profile/1")),
+            (
+                "scale",
+                Json::obj([
+                    ("pairs", Json::from(args.pairs)),
+                    ("warmup", Json::from(args.warmup)),
+                    ("mt_calls", Json::from(args.mt_calls)),
+                    ("seed", Json::from(args.seed)),
+                ]),
+            ),
+            (
+                "modes",
+                Json::Arr(profiles.iter().map(|p| mode_json(p)).collect()),
+            ),
+            ("mt", mt_json),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+            eprintln!("repro profile: writing {}: {e}", path.display());
+            return (1, out);
+        }
+        out.push_str(&format!("\nwrote {}", path.display()));
+    }
+    (0, out)
+}
+
+/// Runs `repro profile`; returns the process exit code.
+pub fn profile(args: &[String]) -> i32 {
+    let parsed = match ProfileArgs::parse(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("repro profile: {e}");
+            return 2;
+        }
+    };
+    let (code, text) = profile_report(&parsed);
+    println!("{text}");
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_smoke_and_overrides() {
+        let a = ProfileArgs::parse(&s(&["--smoke", "--jobs", "2", "--uops", "64"])).unwrap();
+        assert_eq!(a.pairs, 200);
+        assert_eq!(a.jobs, 2);
+        assert_eq!(a.uops, 64);
+        assert!(ProfileArgs::parse(&s(&["--nope"])).is_err());
+        assert!(ProfileArgs::parse(&s(&["--pairs", "0"])).is_err());
+        assert!(ProfileArgs::parse(&s(&["--pairs"])).is_err());
+    }
+
+    #[test]
+    fn report_is_identical_across_jobs() {
+        let mut a = ProfileArgs::parse(&s(&["--smoke"])).unwrap();
+        a.pairs = 60;
+        a.warmup = 20;
+        a.mt_calls = 40;
+        let (c1, seq) = profile_report(&a);
+        a.jobs = 3;
+        let (c2, par) = profile_report(&a);
+        assert_eq!((c1, c2), (0, 0));
+        assert_eq!(seq, par, "--jobs must not change a single byte");
+    }
+
+    #[test]
+    fn smoke_report_names_the_figure2_slices() {
+        let a = ProfileArgs {
+            pairs: 80,
+            warmup: 20,
+            mt_calls: 40,
+            ..ProfileArgs::default()
+        };
+        let (code, text) = profile_report(&a);
+        assert_eq!(code, 0);
+        assert!(text.contains("malloc_fast"), "{text}");
+        assert!(text.contains("size_class"), "{text}");
+        assert!(text.contains("list_op"), "{text}");
+        assert!(text.contains("szlookup hit"), "{text}");
+    }
+
+    #[test]
+    fn trace_and_json_exports_validate_and_parse() {
+        let dir = std::env::temp_dir().join(format!("repro-profile-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = ProfileArgs {
+            pairs: 40,
+            warmup: 10,
+            mt_calls: 30,
+            uops: 32,
+            trace: Some(dir.join("trace.json")),
+            json: Some(dir.join("profile.json")),
+            ..ProfileArgs::default()
+        };
+        let (code, _) = profile_report(&a);
+        assert_eq!(code, 0);
+        let trace =
+            mallacc_stats::json::parse(&std::fs::read_to_string(dir.join("trace.json")).unwrap())
+                .unwrap();
+        validate_chrome_trace(&trace).unwrap();
+        let data =
+            mallacc_stats::json::parse(&std::fs::read_to_string(dir.join("profile.json")).unwrap())
+                .unwrap();
+        assert_eq!(
+            data.get("schema").and_then(Json::as_str),
+            Some("mallacc-profile/1")
+        );
+        assert_eq!(
+            data.get("modes").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -19,7 +19,7 @@
 //! consistency invariant of §4.1.
 
 use mallacc_cache::Addr;
-use mallacc_ooo::{CoreConfig, Engine, Reg, Uop};
+use mallacc_ooo::{Component, CoreConfig, Engine, OpMeta, Reg, TraceSink, Uop};
 use mallacc_tcmalloc::{
     layout, ClassId, FreePath, MallocOutcome, MallocPath, TcMalloc, TcMallocConfig,
 };
@@ -50,6 +50,18 @@ pub enum CallKind {
 }
 
 impl CallKind {
+    /// Every kind, in canonical report order.
+    pub const ALL: [CallKind; 8] = [
+        CallKind::MallocFast,
+        CallKind::MallocCentral,
+        CallKind::MallocSpan,
+        CallKind::MallocOs,
+        CallKind::MallocLarge,
+        CallKind::FreeFast,
+        CallKind::FreeRelease,
+        CallKind::FreeLarge,
+    ];
+
     /// True for malloc-side kinds.
     pub fn is_malloc(self) -> bool {
         matches!(
@@ -60,6 +72,20 @@ impl CallKind {
                 | CallKind::MallocOs
                 | CallKind::MallocLarge
         )
+    }
+
+    /// Stable snake_case label, used by profiling reports and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            CallKind::MallocFast => "malloc_fast",
+            CallKind::MallocCentral => "malloc_central",
+            CallKind::MallocSpan => "malloc_span",
+            CallKind::MallocOs => "malloc_os",
+            CallKind::MallocLarge => "malloc_large",
+            CallKind::FreeFast => "free_fast",
+            CallKind::FreeRelease => "free_release",
+            CallKind::FreeLarge => "free_large",
+        }
     }
 }
 
@@ -264,6 +290,18 @@ impl MallocSim {
         &self.mc
     }
 
+    /// Installs an observability sink on the core. Tracing is observation-
+    /// only: it never changes simulated timing.
+    pub fn attach_tracer(&mut self, sink: Box<dyn TraceSink>) {
+        self.cpu.set_sink(sink);
+    }
+
+    /// Removes and returns the installed sink, if any. Downcast it back to
+    /// its concrete type with [`TraceSink::into_any`].
+    pub fn detach_tracer(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.cpu.take_sink()
+    }
+
     /// Accumulated cycle totals.
     pub fn totals(&self) -> SimTotals {
         self.totals
@@ -373,14 +411,26 @@ impl MallocSim {
         // run this equals total wall-clock time, exactly how "time spent in
         // the allocator" is accounted in the paper's figures.
         let start = self.cpu.now();
+        self.cpu.trace_op_begin();
         if contention_cycles > 0 {
             self.cpu.skip_to_cycle(start + contention_cycles);
         }
+        self.cpu.set_component(Component::Boundary);
         self.call_boundary();
         let kind = self.emit_malloc(outcome, post);
+        self.cpu.set_component(Component::Boundary);
         self.call_boundary();
+        self.cpu.set_component(Component::App);
         let end = self.cpu.now();
         let cycles = end.saturating_sub(start);
+        self.cpu.trace_op_end(&OpMeta {
+            name: kind.label(),
+            is_malloc: true,
+            size: outcome.requested,
+            cls: outcome.cls.map(|c| u16::from(c.as_u8())),
+            start,
+            end,
+        });
         self.totals.malloc_calls += 1;
         self.totals.malloc_cycles += cycles;
         CallRecord {
@@ -413,14 +463,26 @@ impl MallocSim {
         contention_cycles: u64,
     ) -> CallRecord {
         let start = self.cpu.now();
+        self.cpu.trace_op_begin();
         if contention_cycles > 0 {
             self.cpu.skip_to_cycle(start + contention_cycles);
         }
+        self.cpu.set_component(Component::Boundary);
         self.call_boundary();
         let kind = self.emit_free(outcome, post);
+        self.cpu.set_component(Component::Boundary);
         self.call_boundary();
+        self.cpu.set_component(Component::App);
         let end = self.cpu.now();
         let cycles = end.saturating_sub(start);
+        self.cpu.trace_op_end(&OpMeta {
+            name: kind.label(),
+            is_malloc: false,
+            size: outcome.alloc_size,
+            cls: outcome.cls.map(|c| u16::from(c.as_u8())),
+            start,
+            end,
+        });
         self.totals.free_calls += 1;
         self.totals.free_cycles += cycles;
         CallRecord {
@@ -443,6 +505,7 @@ impl MallocSim {
 
     /// Emits the size-class component; returns `(cls_reg, alloc_size_reg)`.
     fn emit_size_class(&mut self, size_reg: Reg, outcome: &MallocOutcome) -> (Reg, Reg) {
+        self.cpu.set_component(Component::SizeClass);
         let cls = outcome.cls.expect("small path only");
         let raw = u16::from(cls.as_u8());
         let idx = outcome.class_index.expect("small path has an index");
@@ -496,6 +559,7 @@ impl MallocSim {
     }
 
     fn emit_sampling(&mut self, alloc_size_reg: Reg, sampled: bool) {
+        self.cpu.set_component(Component::Sampling);
         if self.limit().sampling {
             return;
         }
@@ -526,19 +590,23 @@ impl MallocSim {
         post_next: Option<Addr>,
     ) -> Reg {
         let raw = u16::from(cls.as_u8());
+        self.cpu.set_component(Component::Metadata);
         let la = prog::emit_list_addr(&mut self.cpu, cls_reg);
         if self.limit().push_pop {
             prog::emit_metadata(&mut self.cpu, list, la);
             return la;
         }
         let Some(a) = self.accel().filter(|a| a.list_opt) else {
+            self.cpu.set_component(Component::ListOp);
             let head = prog::emit_pop_sw(&mut self.cpu, list, block, la);
+            self.cpu.set_component(Component::Metadata);
             prog::emit_metadata(&mut self.cpu, list, la);
             return head;
         };
         // mchdpop, stalled by any outstanding prefetch on the entry. The
         // stall is measured against the µop's own ready time (the cycle it
         // would have executed), not the retirement watermark.
+        self.cpu.set_component(Component::ListOp);
         let blocked_until = self.mc.block_delay(raw, 0);
         let pop_raw = self.cpu.alloc_reg();
         let t = self.cpu.push(Uop::alu(1, Some(pop_raw), &[cls_reg]));
@@ -584,17 +652,20 @@ impl MallocSim {
                     .prefetch(raw, new_head, value, t.data_arrival() + MC_TRANSFER_LATENCY);
             }
         }
+        self.cpu.set_component(Component::Metadata);
         prog::emit_metadata(&mut self.cpu, list, la);
         head_reg
     }
 
     fn emit_malloc(&mut self, outcome: &MallocOutcome, post: PostList) -> CallKind {
+        self.cpu.set_component(Component::Overhead);
         prog::emit_overhead(&mut self.cpu, prog::PROLOGUE_UOPS);
         let size_reg = self.cpu.alloc_reg();
         self.cpu.push(Uop::alu(1, Some(size_reg), &[]));
 
         let kind = match &outcome.path {
             MallocPath::Large { pages, grew_heap } => {
+                self.cpu.set_component(Component::SlowPath);
                 let start_page = layout::addr_to_page(outcome.ptr);
                 prog::emit_large_path(&mut self.cpu, *pages, *grew_heap, start_page);
                 CallKind::MallocLarge
@@ -619,6 +690,7 @@ impl MallocSim {
                 let raw = u16::from(cls.as_u8());
                 // The fast-path attempt finds an empty list: the emptiness
                 // branch mispredicts (rare event).
+                self.cpu.set_component(Component::SlowPath);
                 let la = prog::emit_list_addr(&mut self.cpu, cls_reg);
                 let head = self.cpu.alloc_reg();
                 self.cpu.push(Uop::load(*list, head, &[la]));
@@ -645,17 +717,20 @@ impl MallocSim {
                 }
             }
         };
+        self.cpu.set_component(Component::Overhead);
         prog::emit_overhead(&mut self.cpu, prog::EPILOGUE_UOPS);
         kind
     }
 
     fn emit_free(&mut self, outcome: &mallacc_tcmalloc::FreeOutcome, post: PostList) -> CallKind {
+        self.cpu.set_component(Component::Overhead);
         prog::emit_overhead(&mut self.cpu, prog::PROLOGUE_UOPS - 1);
         let ptr_reg = self.cpu.alloc_reg();
         self.cpu.push(Uop::alu(1, Some(ptr_reg), &[]));
 
         let kind = match &outcome.path {
             FreePath::Large { pages } => {
+                self.cpu.set_component(Component::SlowPath);
                 let start_page = layout::addr_to_page(outcome.ptr);
                 prog::emit_large_path(&mut self.cpu, *pages, false, start_page);
                 CallKind::FreeLarge
@@ -664,6 +739,7 @@ impl MallocSim {
                 let cls = outcome.cls.expect("small free");
                 let raw = u16::from(cls.as_u8());
                 // Size-class resolution.
+                self.cpu.set_component(Component::SizeClass);
                 let cls_reg = if let Some(nodes) = outcome.pagemap_addrs {
                     // Unsized delete: the poorly-caching radix walk.
                     prog::emit_pagemap_walk(&mut self.cpu, nodes, ptr_reg)
@@ -700,8 +776,10 @@ impl MallocSim {
                 };
 
                 // The push itself.
+                self.cpu.set_component(Component::Metadata);
                 let la = prog::emit_list_addr(&mut self.cpu, cls_reg);
                 if !self.limit().push_pop {
+                    self.cpu.set_component(Component::ListOp);
                     if self.accel().filter(|a| a.list_opt).is_some() {
                         // mchdpush. Unlike a pop, a push produces no value:
                         // it can retire into a store-buffer slot and drain
@@ -714,9 +792,11 @@ impl MallocSim {
                     }
                     prog::emit_push_sw(&mut self.cpu, *list, outcome.ptr, la, ptr_reg);
                 }
+                self.cpu.set_component(Component::Metadata);
                 prog::emit_metadata(&mut self.cpu, *list, la);
 
                 if let Some(moved) = released {
+                    self.cpu.set_component(Component::SlowPath);
                     prog::emit_release(&mut self.cpu, layout::central_list(cls), *list, moved);
                     if self.accel().map(|a| a.needs_cache()).unwrap_or(false) {
                         self.mc.sync_list(raw, post.head, post.next);
@@ -727,6 +807,7 @@ impl MallocSim {
                 }
             }
         };
+        self.cpu.set_component(Component::Overhead);
         prog::emit_overhead(&mut self.cpu, prog::EPILOGUE_UOPS - 1);
         kind
     }
@@ -930,5 +1011,97 @@ mod tests {
         sim.free(r.ptr, true);
         sim.reset_totals();
         assert_eq!(sim.totals(), SimTotals::default());
+    }
+
+    /// A sim with an aggressive sampler (every `interval` bytes) so the
+    /// PMU-interrupt path actually fires within a short run.
+    fn sampling_sim(mode: Mode, interval: u64) -> MallocSim {
+        MallocSim::with_configs(
+            mode,
+            TcMallocConfig {
+                sampling_interval: interval,
+                ..TcMallocConfig::default()
+            },
+            CoreConfig::haswell(),
+        )
+    }
+
+    #[test]
+    fn pmu_interrupt_path_charges_sampled_calls() {
+        // Dedicated-counter mode: unsampled fast-path mallocs carry zero
+        // sampling µops, but when the counter underflows the PMU
+        // interrupt + perf_events recording cost lands on that call.
+        let mut sim = sampling_sim(Mode::mallacc_default(), 4096);
+        warm_rotating(&mut sim, 80);
+        let mut sampled = Vec::new();
+        let mut unsampled = Vec::new();
+        for i in 0..400 {
+            let r = sim.malloc(32 + (i as u64 % 4) * 32);
+            sim.free(r.ptr, true);
+            if r.kind == CallKind::MallocFast {
+                if r.sampled {
+                    sampled.push(r.cycles);
+                } else {
+                    unsampled.push(r.cycles);
+                }
+            }
+        }
+        assert!(!sampled.is_empty(), "interval small enough to fire");
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!(
+            mean(&sampled) > mean(&unsampled) + 10.0,
+            "PMU interrupt must visibly charge sampled calls: sampled {:.1}, unsampled {:.1}",
+            mean(&sampled),
+            mean(&unsampled)
+        );
+    }
+
+    #[test]
+    fn dedicated_counter_and_software_sampler_fire_identically() {
+        // The accelerated PMU sampler and the baseline decrement-and-
+        // branch sampler must sample the same calls of the same stream —
+        // the optimisation changes cycles, never behaviour.
+        let run = |mode: Mode| {
+            let mut sim = sampling_sim(mode, 2048);
+            let mut fired = Vec::new();
+            for i in 0..300 {
+                let r = sim.malloc(32 + (i as u64 % 4) * 32);
+                sim.free(r.ptr, true);
+                if r.sampled {
+                    fired.push(i);
+                }
+            }
+            fired
+        };
+        let sw = run(Mode::Baseline);
+        let hw = run(Mode::mallacc_default());
+        assert!(!sw.is_empty());
+        assert_eq!(sw, hw, "sampling decisions must not depend on the mode");
+    }
+
+    #[test]
+    fn dedicated_counter_removes_fast_path_sampling_cycles() {
+        // With sampling alone toggled, the warm unsampled fast path gets
+        // cheaper: the decrement-and-branch chain is gone. Use a huge
+        // interval so no call actually samples.
+        let mut with_opt = AccelConfig::paper_default();
+        with_opt.size_class_opt = false;
+        with_opt.list_opt = false;
+        with_opt.prefetch = false;
+        let mut without_opt = with_opt;
+        without_opt.sampling_opt = false;
+        let run = |cfg: AccelConfig| {
+            let mut sim = sampling_sim(Mode::Mallacc(cfg), u64::MAX / 4);
+            warm_rotating(&mut sim, 80);
+            sim.reset_totals();
+            warm_rotating(&mut sim, 300);
+            sim.totals().malloc_cycles
+        };
+        let accel = run(with_opt);
+        let sw = run(without_opt);
+        assert!(
+            accel < sw,
+            "dedicated counter must shed fast-path cycles: {accel} !< {sw}"
+        );
     }
 }

@@ -63,3 +63,8 @@ pub use driver::{CallKind, CallRecord, MallocSim, PostList, SimTotals};
 pub use malloc_cache::{
     MallocCache, MallocCacheConfig, MallocCacheStats, PopResult, RangeKeying, SizeLookup,
 };
+// Re-exported so downstream layers (profiling, multicore) can speak the
+// observability types without depending on the engine crate directly.
+pub use mallacc_ooo::{
+    Component, OpKind, OpMeta, StallBreakdown, StallReason, TraceSink, UopEvent, UopTiming,
+};

@@ -17,7 +17,7 @@
 //! across host thread schedules: nothing a core computes during an epoch
 //! depends on any other core's progress through it.
 
-use mallacc::{CallRecord, MallocCacheStats, MallocSim, Mode, SimTotals};
+use mallacc::{CallRecord, MallocCacheStats, MallocSim, Mode, SimTotals, TraceSink};
 use mallacc_cache::{Addr, CacheStats, SharedL3};
 use mallacc_tcmalloc::TcMallocConfig;
 use mallacc_workloads::MtTrace;
@@ -227,13 +227,44 @@ impl MulticoreSim {
     ///
     /// Panics if the trace was generated for a different core count.
     pub fn run(&self, trace: &MtTrace) -> MtRunResult {
+        self.run_with_sinks(trace, Vec::new()).0
+    }
+
+    /// Like [`MulticoreSim::run`], but attaches one [`TraceSink`] per core
+    /// before the replay and returns them (in core order) alongside the
+    /// result. Sinks observe every retired µop, skip, and operation window
+    /// of their core; attribution is per-core-deterministic because each
+    /// engine only ever runs on its own captured stream.
+    ///
+    /// An empty `sinks` vector attaches nothing (this is what
+    /// [`MulticoreSim::run`] does); otherwise its length must equal the
+    /// core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace was generated for a different core count, or if
+    /// `sinks` is non-empty with a length other than `cores`.
+    pub fn run_with_sinks(
+        &self,
+        trace: &MtTrace,
+        sinks: Vec<Box<dyn TraceSink>>,
+    ) -> (MtRunResult, Vec<Box<dyn TraceSink>>) {
         assert_eq!(
             trace.cores(),
             self.cores,
             "trace core count must match the simulator"
         );
+        assert!(
+            sinks.is_empty() || sinks.len() == self.cores,
+            "need one sink per core (or none)"
+        );
         let cap = capture(trace, self.alloc_config);
 
+        let mut sink_slots: Vec<Option<Box<dyn TraceSink>>> = if sinks.is_empty() {
+            (0..self.cores).map(|_| None).collect()
+        } else {
+            sinks.into_iter().map(Some).collect()
+        };
         let mut replays: Vec<CoreReplay> = cap
             .streams
             .into_iter()
@@ -241,6 +272,9 @@ impl MulticoreSim {
             .map(|(core, stream)| {
                 let mut sim = MallocSim::new(self.mode);
                 sim.memory_mut().set_l3_logging(true);
+                if let Some(sink) = sink_slots[core].take() {
+                    sim.attach_tracer(sink);
+                }
                 CoreReplay {
                     sim,
                     stream,
@@ -284,16 +318,23 @@ impl MulticoreSim {
                 l3: r.sim.memory().stats().2,
             })
             .collect();
+        let sinks_out: Vec<Box<dyn TraceSink>> = replays
+            .iter_mut()
+            .filter_map(|r| r.sim.detach_tracer())
+            .collect();
 
-        MtRunResult {
-            mode: self.mode,
-            per_core,
-            alloc: cap.alloc_stats,
-            shared_l3: shared.stats(),
-            shared_l3_accesses: shared.committed_accesses(),
-            epochs,
-            steal_invalidates: cap.steal_invalidates,
-        }
+        (
+            MtRunResult {
+                mode: self.mode,
+                per_core,
+                alloc: cap.alloc_stats,
+                shared_l3: shared.stats(),
+                shared_l3_accesses: shared.committed_accesses(),
+                epochs,
+                steal_invalidates: cap.steal_invalidates,
+            },
+            sinks_out,
+        )
     }
 }
 
@@ -346,6 +387,60 @@ mod tests {
             limit <= accel + 1.0,
             "limit {limit:.1} must bound mallacc {accel:.1}"
         );
+    }
+
+    #[test]
+    fn sinks_observe_without_perturbing_timing() {
+        use mallacc::{OpMeta, TraceSink, UopEvent};
+
+        #[derive(Debug, Default)]
+        struct CountSink {
+            retired: u64,
+            ops: u64,
+            attributed: u64,
+        }
+        impl TraceSink for CountSink {
+            fn on_retire(&mut self, event: &UopEvent) {
+                self.retired += 1;
+                self.attributed += event.stall.total();
+            }
+            fn on_skip(&mut self, from: u64, to: u64) {
+                self.attributed += to - from;
+            }
+            fn on_op_end(&mut self, _op: &OpMeta<'_>) {
+                self.ops += 1;
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+
+        let t = MtTrace::producer_consumer(2, 120, 13);
+        let sim = MulticoreSim::new(Mode::mallacc_default(), 2);
+        let plain = sim.run(&t);
+        let sinks: Vec<Box<dyn TraceSink>> = (0..2)
+            .map(|_| Box::new(CountSink::default()) as Box<dyn TraceSink>)
+            .collect();
+        let (traced, sinks) = sim.run_with_sinks(&t, sinks);
+        assert_eq!(sinks.len(), 2);
+        for ((p, q), sink) in plain.per_core.iter().zip(&traced.per_core).zip(sinks) {
+            assert_eq!(p.totals, q.totals, "sinks must not change timing");
+            let c = sink
+                .into_any()
+                .downcast::<CountSink>()
+                .expect("same sink back");
+            assert!(c.retired > 0, "sink saw retirements");
+            assert_eq!(
+                c.ops,
+                q.totals.malloc_calls + q.totals.free_calls,
+                "every call produced an op window"
+            );
+            assert_eq!(
+                c.attributed,
+                q.totals.program_cycles(),
+                "stall attribution conserves the core's program time"
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::collections::{HashMap, VecDeque};
 
 use mallacc_cache::{AccessKind, AccessResult, Hierarchy};
 
+use crate::trace::{Component, OpMeta, StallBreakdown, StallReason, TraceSink, UopEvent};
 use crate::uop::{OpKind, Reg, Uop};
 
 /// Tracks a per-cycle issue-port budget (Haswell: 2 load ports, 1 store
@@ -188,6 +189,12 @@ pub struct Engine {
     store_ports: PortTracker,
     stats: CoreStats,
     cpi: CpiStack,
+    /// Ambient component tag stamped on every event (set by the driver).
+    component: Component,
+    /// Retirement sequence counter for trace events.
+    retired: u64,
+    /// Optional observability sink; `None` costs nothing per µop.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 /// Cache-line granularity used for memory dependence tracking.
@@ -213,6 +220,9 @@ impl Engine {
             store_ports: PortTracker::default(),
             stats: CoreStats::default(),
             cpi: CpiStack::default(),
+            component: Component::App,
+            retired: 0,
+            sink: None,
         }
     }
 
@@ -263,6 +273,48 @@ impl Engine {
         self.cpi
     }
 
+    /// Installs an observability sink. Replaces any existing sink.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes and returns the installed sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Whether a sink is installed.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Sets the component tag stamped on subsequently pushed µops.
+    pub fn set_component(&mut self, component: Component) {
+        self.component = component;
+    }
+
+    /// The component tag currently in force.
+    pub fn component(&self) -> Component {
+        self.component
+    }
+
+    /// Notifies the sink that an operation window opens at the current
+    /// retirement cycle. No-op without a sink.
+    pub fn trace_op_begin(&mut self) {
+        let now = self.last_commit;
+        if let Some(sink) = &mut self.sink {
+            sink.on_op_begin(now);
+        }
+    }
+
+    /// Notifies the sink that an operation window closed. No-op without a
+    /// sink.
+    pub fn trace_op_end(&mut self, op: &OpMeta<'_>) {
+        if let Some(sink) = &mut self.sink {
+            sink.on_op_end(op);
+        }
+    }
+
     fn fetch_slot(&mut self, earliest: u64) -> u64 {
         let mut cycle = self.fetch_cycle.max(earliest).max(self.fetch_barrier);
         if cycle > self.fetch_cycle {
@@ -308,6 +360,9 @@ impl Engine {
         } else {
             0
         };
+        // How far ROB occupancy pushed fetch beyond where the front end
+        // would otherwise be — the ROB-full slice of the stall breakdown.
+        let rob_delay = rob_gate.saturating_sub(self.fetch_cycle.max(self.fetch_barrier));
 
         let fetch = self.fetch_slot(rob_gate);
 
@@ -390,35 +445,64 @@ impl Engine {
         self.last_commit = commit;
         self.rob.push_back(commit);
 
-        // CPI attribution: the cycles this µop moved retirement forward,
-        // charged to whatever bound it. A µop whose completion trailed the
-        // previous retirement stalled commit (memory or execute); one that
-        // was ready early but fetched late was front-end bound; the rest is
-        // width-limited useful work.
+        // Stall attribution: the cycles this µop moved retirement forward,
+        // charged to whatever bound it. The stalled window (completion
+        // trailing the previous retirement) is covered by walking the µop's
+        // own timeline backwards from completion — execution/memory, then
+        // the wait for operands, then ROB gating, then the front end — each
+        // phase capped by what is left, so the slices sum to `advance`
+        // exactly. The remainder is width-limited useful work.
         let advance = commit.saturating_sub(prev_commit);
+        let mut stall = StallBreakdown::new();
         if advance > 0 {
             let stalled = commit_gate.saturating_sub(prev_commit).min(advance);
-            let smooth = advance - stalled;
-            self.cpi.base += smooth;
-            if stalled > 0 {
-                let exec_part = complete.saturating_sub(ready).min(stalled);
-                let wait_part = stalled - exec_part;
-                match uop.kind {
-                    OpKind::Load { .. } => self.cpi.memory += exec_part,
-                    _ => self.cpi.execute += exec_part,
-                }
-                // Time spent waiting for operands/fetch before execution.
-                self.cpi.frontend += wait_part;
-            }
+            stall.add(StallReason::Base, advance - stalled);
+            let mut rest = stalled;
+            let take = |span: u64, rest: &mut u64| -> u64 {
+                let t = span.min(*rest);
+                *rest -= t;
+                t
+            };
+            let exec = take(complete.saturating_sub(ready), &mut rest);
+            let exec_reason = match (uop.kind, mem) {
+                (OpKind::Load { .. }, Some(m)) => StallReason::for_level(m.level),
+                _ => StallReason::Execute,
+            };
+            stall.add(exec_reason, exec);
+            let frontend_done = fetch + self.config.frontend_latency as u64;
+            let dataflow = take(ready.saturating_sub(frontend_done), &mut rest);
+            stall.add(StallReason::Dataflow, dataflow);
+            stall.add(StallReason::RobFull, take(rob_delay, &mut rest));
+            stall.add(StallReason::Frontend, rest);
         }
+        // The CPI stack is the coarse projection of the same breakdown, so
+        // the two can never drift apart.
+        self.cpi.base += stall.get(StallReason::Base);
+        self.cpi.memory += stall.memory();
+        self.cpi.execute += stall.get(StallReason::Execute);
+        self.cpi.frontend += stall.get(StallReason::Dataflow)
+            + stall.get(StallReason::RobFull)
+            + stall.get(StallReason::Frontend);
 
-        UopTiming {
+        let timing = UopTiming {
             fetch,
             ready,
             complete,
             commit,
             mem,
+        };
+        let seq = self.retired;
+        self.retired += 1;
+        if let Some(sink) = &mut self.sink {
+            sink.on_retire(&UopEvent {
+                seq,
+                kind: uop.kind,
+                component: self.component,
+                timing,
+                stall,
+            });
         }
+        timing
     }
 
     /// Pushes a sequence of µops, returning the timing of the last one.
@@ -437,6 +521,7 @@ impl Engine {
     /// Advances fetch to at least `cycle` (models time passing between
     /// allocator calls while the application runs).
     pub fn skip_to_cycle(&mut self, cycle: u64) {
+        let from = self.last_commit;
         if cycle > self.fetch_cycle {
             self.fetch_cycle = cycle;
             self.fetched_this_cycle = 0;
@@ -446,6 +531,12 @@ impl Engine {
         if cycle > self.commit_cycle {
             self.commit_cycle = cycle;
             self.committed_this_cycle = 0;
+        }
+        let to = self.last_commit;
+        if to > from {
+            if let Some(sink) = &mut self.sink {
+                sink.on_skip(from, to);
+            }
         }
     }
 }
@@ -665,6 +756,120 @@ mod tests {
             stack.memory as f64 > 0.8 * stack.total() as f64,
             "dependent cold loads should dominate: {stack:?}"
         );
+    }
+
+    #[derive(Debug, Default)]
+    struct CollectSink {
+        attributed: u64,
+        events: u64,
+        idle: u64,
+    }
+
+    impl crate::trace::TraceSink for CollectSink {
+        fn on_retire(&mut self, event: &crate::trace::UopEvent) {
+            self.attributed += event.stall.total();
+            self.events += 1;
+        }
+        fn on_skip(&mut self, from: u64, to: u64) {
+            self.idle += to - from;
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
+    }
+
+    fn mixed_stream(cpu: &mut Engine) -> Vec<UopTiming> {
+        let mut timings = Vec::new();
+        let mut prev: Option<Reg> = None;
+        for i in 0..300u64 {
+            let d = cpu.alloc_reg();
+            let t = match i % 11 {
+                0 => cpu.push(Uop::load(i * 64, d, &[])),
+                1 => {
+                    let srcs: Vec<Reg> = prev.into_iter().collect();
+                    cpu.push(Uop::load(i * 1_024, d, &srcs))
+                }
+                2 => cpu.push(Uop::store(i * 64, &[])),
+                3 => cpu.push(Uop::branch(i % 33 == 3, &[])),
+                4 => cpu.push(Uop::prefetch(i * 4_096, &[])),
+                _ => {
+                    let srcs: Vec<Reg> = prev.into_iter().collect();
+                    cpu.push(Uop::alu(1 + (i % 3) as u32, Some(d), &srcs))
+                }
+            };
+            if i % 17 == 0 {
+                let now = cpu.now();
+                cpu.skip_to_cycle(now + 40);
+            }
+            prev = Some(d);
+            timings.push(t);
+        }
+        timings
+    }
+
+    #[test]
+    fn per_uop_stall_breakdowns_conserve_elapsed_cycles() {
+        let mut cpu = engine();
+        cpu.set_sink(Box::new(CollectSink::default()));
+        mixed_stream(&mut cpu);
+        let sink = cpu.take_sink().expect("sink installed");
+        let sink = sink.into_any().downcast::<CollectSink>().unwrap();
+        assert_eq!(sink.events, 300);
+        assert_eq!(
+            sink.attributed + sink.idle,
+            cpu.now(),
+            "per-µop breakdowns plus skips must cover every elapsed cycle"
+        );
+        // The coarse CPI stack is a projection of the same breakdown.
+        assert_eq!(cpu.cpi_stack().total() + sink.idle, cpu.now());
+    }
+
+    #[test]
+    fn sink_is_observation_only() {
+        let mut with = engine();
+        with.set_sink(Box::new(CollectSink::default()));
+        let a = mixed_stream(&mut with);
+        let mut without = engine();
+        let b = mixed_stream(&mut without);
+        assert_eq!(a, b, "attaching a sink must not change any timing");
+        assert_eq!(with.now(), without.now());
+        assert_eq!(with.cpi_stack(), without.cpi_stack());
+    }
+
+    #[test]
+    fn rob_full_cycles_are_attributed() {
+        #[derive(Debug, Default)]
+        struct ReasonSink(StallBreakdown);
+        impl crate::trace::TraceSink for ReasonSink {
+            fn on_retire(&mut self, event: &crate::trace::UopEvent) {
+                self.0.merge(&event.stall);
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+        let mut cpu = Engine::new(
+            CoreConfig {
+                rob_size: 4,
+                ..CoreConfig::haswell()
+            },
+            Hierarchy::default(),
+        );
+        cpu.set_sink(Box::new(ReasonSink::default()));
+        let d = cpu.alloc_reg();
+        cpu.push(Uop::load(0x4000, d, &[])); // cold miss heads the window
+        for _ in 0..16 {
+            let r = cpu.alloc_reg();
+            cpu.push(Uop::alu(1, Some(r), &[]));
+        }
+        let sink = cpu.take_sink().unwrap().into_any();
+        let b = sink.downcast::<ReasonSink>().unwrap().0;
+        assert!(
+            b.get(StallReason::RobFull) > 0,
+            "tiny ROB behind a cold miss must gate fetch: {b:?}"
+        );
+        assert!(b.get(StallReason::MemDram) > 0, "cold miss charges DRAM");
+        assert_eq!(b.total(), cpu.now());
     }
 
     #[test]

@@ -40,7 +40,9 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod trace;
 mod uop;
 
 pub use engine::{CoreConfig, CoreStats, CpiStack, Engine, UopTiming};
+pub use trace::{Component, OpMeta, StallBreakdown, StallReason, TraceSink, UopEvent};
 pub use uop::{OpKind, Reg, Uop};

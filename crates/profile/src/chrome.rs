@@ -1,0 +1,236 @@
+//! Chrome trace-event export and validation.
+//!
+//! Emits the subset of the [Trace Event Format] that `chrome://tracing`
+//! and Perfetto load: a `traceEvents` array of `M` (metadata) and `X`
+//! (complete) events. One simulated cycle maps to one microsecond of
+//! trace time so the viewer's zoom levels stay usable.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use mallacc_stats::Json;
+
+use crate::profiler::Profiler;
+
+/// Known Chrome trace-event phase codes (the subset validators accept).
+const KNOWN_PHASES: &[&str] = &[
+    "B", "E", "X", "I", "i", "C", "M", "b", "e", "n", "s", "t", "f", "P",
+];
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn meta_event(name: &str, pid: u64, tid: u64, value: &str) -> Json {
+    Json::obj([
+        ("name", Json::from(name)),
+        ("ph", Json::from("M")),
+        ("ts", num(0)),
+        ("pid", num(pid)),
+        ("tid", num(tid)),
+        ("args", Json::obj([("name", Json::from(value))])),
+    ])
+}
+
+fn complete_event(name: String, ts: u64, dur: u64, pid: u64, tid: u64, args: Json) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(name)),
+        ("ph".to_string(), Json::from("X")),
+        ("ts".to_string(), num(ts)),
+        ("dur".to_string(), num(dur)),
+        ("pid".to_string(), num(pid)),
+        ("tid".to_string(), num(tid)),
+        ("args".to_string(), args),
+    ])
+}
+
+fn stall_args(stall: &mallacc::StallBreakdown) -> Vec<(String, Json)> {
+    stall
+        .iter()
+        .filter(|(_, c)| *c > 0)
+        .map(|(r, c)| (format!("stall.{}", r.label()), num(c)))
+        .collect()
+}
+
+/// Builds a Chrome trace-event document from one profiler per simulated
+/// thread. Each profiler becomes one `tid` named by `labels` (parallel to
+/// `profilers`); operations become `X` slices and retained µop samples
+/// become nested slices on a `<label>/uops` thread.
+pub fn chrome_trace(profilers: &[&Profiler], labels: &[&str]) -> Json {
+    assert_eq!(profilers.len(), labels.len(), "one label per profiler");
+    let mut events = Vec::new();
+    events.push(meta_event("process_name", 0, 0, "mallacc-sim"));
+    for (p, label) in profilers.iter().zip(labels) {
+        let tid = u64::from(p.tid());
+        events.push(meta_event("thread_name", 0, tid, label));
+        for op in p.ops() {
+            let mut args = vec![
+                (
+                    "op".to_string(),
+                    Json::from(if op.is_malloc { "malloc" } else { "free" }),
+                ),
+                ("size".to_string(), num(op.size)),
+            ];
+            if let Some(cls) = op.cls {
+                args.push(("cls".to_string(), num(u64::from(cls))));
+            }
+            args.extend(stall_args(&op.stall));
+            events.push(complete_event(
+                op.name.clone(),
+                op.start,
+                op.cycles(),
+                0,
+                tid,
+                Json::Obj(args),
+            ));
+        }
+        if !p.uop_samples().is_empty() {
+            let utid = tid + 1000;
+            events.push(meta_event("thread_name", 0, utid, &format!("{label}/uops")));
+            for u in p.uop_samples() {
+                let mut args = vec![
+                    ("seq".to_string(), num(u.seq)),
+                    ("component".to_string(), Json::from(u.component)),
+                    ("fetch".to_string(), num(u.fetch)),
+                    ("ready".to_string(), num(u.ready)),
+                ];
+                args.extend(stall_args(&u.stall));
+                events.push(complete_event(
+                    format!("{}:{}", u.component, u.kind),
+                    u.fetch,
+                    u.commit.saturating_sub(u.fetch),
+                    0,
+                    utid,
+                    Json::Obj(args),
+                ));
+            }
+        }
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ns")),
+        (
+            "otherData",
+            Json::obj([
+                ("generator", Json::from("mallacc-prof")),
+                ("timeUnit", Json::from("cycle")),
+            ]),
+        ),
+    ])
+}
+
+/// Validates a JSON document against the Chrome trace-event schema subset
+/// this crate emits: a `traceEvents` array whose members carry `name`,
+/// `ph`, `ts`, `pid` and `tid`, with a known phase code, and a
+/// non-negative `dur` on every `X` event.
+pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents key")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |msg: &str| Err(format!("event {i}: {msg}"));
+        if ev.as_obj().is_none() {
+            return fail("not an object");
+        }
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            if ev.get(key).is_none() {
+                return fail(&format!("missing required key {key:?}"));
+            }
+        }
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return fail("name is not a string");
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: ph is not a string"))?;
+        if !KNOWN_PHASES.contains(&ph) {
+            return fail(&format!("unknown phase {ph:?}"));
+        }
+        for key in ["ts", "pid", "tid"] {
+            if ev.get(key).and_then(Json::as_f64).is_none() {
+                return fail(&format!("{key} is not a number"));
+            }
+        }
+        if ph == "X" {
+            match ev.get("dur").and_then(Json::as_f64) {
+                Some(d) if d >= 0.0 => {}
+                Some(_) => return fail("X event with negative dur"),
+                None => return fail("X event without numeric dur"),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::Profiler;
+    use mallacc::{MallocSim, Mode};
+
+    fn tiny_profile() -> Box<Profiler> {
+        let mut sim = MallocSim::new(Mode::Baseline);
+        sim.attach_tracer(Box::new(Profiler::new(1).with_uop_samples(32)));
+        for i in 0..8u64 {
+            let r = sim.malloc(32 + (i % 4) * 32);
+            sim.free(r.ptr, true);
+        }
+        Profiler::from_sink(sim.detach_tracer().expect("attached")).expect("profiler")
+    }
+
+    #[test]
+    fn emitted_trace_validates() {
+        let p = tiny_profile();
+        let doc = chrome_trace(&[&p], &["baseline"]);
+        validate_chrome_trace(&doc).expect("emitted trace must validate");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // process_name + thread_name x2 + 16 ops + 32 uop samples.
+        assert_eq!(events.len(), 3 + 16 + 32);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace(&Json::obj([])).is_err());
+        assert!(
+            validate_chrome_trace(&Json::obj([("traceEvents", Json::Arr(vec![]))])).is_err(),
+            "empty traceEvents"
+        );
+        let bad_phase = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![Json::obj([
+                ("name", Json::from("x")),
+                ("ph", Json::from("Z")),
+                ("ts", Json::Num(0.0)),
+                ("pid", Json::Num(0.0)),
+                ("tid", Json::Num(0.0)),
+            ])]),
+        )]);
+        assert!(validate_chrome_trace(&bad_phase).is_err());
+        let no_dur = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![Json::obj([
+                ("name", Json::from("x")),
+                ("ph", Json::from("X")),
+                ("ts", Json::Num(0.0)),
+                ("pid", Json::Num(0.0)),
+                ("tid", Json::Num(0.0)),
+            ])]),
+        )]);
+        assert!(validate_chrome_trace(&no_dur).is_err());
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_parser() {
+        let p = tiny_profile();
+        let doc = chrome_trace(&[&p], &["baseline"]);
+        let text = doc.render_pretty();
+        let parsed = mallacc_stats::json::parse(&text).expect("parses");
+        validate_chrome_trace(&parsed).expect("still valid after round trip");
+        assert_eq!(parsed.render(), doc.render());
+    }
+}

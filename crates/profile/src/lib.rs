@@ -1,0 +1,46 @@
+//! Cycle-attribution profiling for the Mallacc reproduction.
+//!
+//! The paper's central measurement (Figure 2) is not *how long* a warm
+//! TCMalloc fast path takes — ~20 cycles — but *where those cycles go*:
+//! the size-class lookup chain, the free-list head pointer chase, the
+//! sampling check. This crate turns the simulator's per-µop timing into
+//! exactly that attribution:
+//!
+//! * [`Profiler`] — a [`TraceSink`](mallacc::TraceSink) that folds
+//!   retired-µop stall breakdowns into per-operation profiles (every
+//!   malloc/free reports stall-reason cycles that sum **exactly** to its
+//!   latency) and per-call-kind aggregates;
+//! * [`report`] — the canonical fast-path kernel runner and the
+//!   table/JSON renderers behind `repro profile`;
+//! * [`chrome`] — Chrome trace-event JSON export
+//!   ([`chrome_trace`](chrome::chrome_trace)) and a schema validator
+//!   ([`validate_chrome_trace`](chrome::validate_chrome_trace)) so CI can
+//!   reject malformed traces;
+//! * [`mt`] — per-core attribution through the multi-core replay.
+//!
+//! Profiling is observation-only: attaching a sink never changes a
+//! simulated cycle count (`sink_is_observation_only` in the engine's
+//! tests, and the multicore `sinks_observe_without_perturbing_timing`
+//! test, both enforce this).
+//!
+//! # Example
+//!
+//! ```
+//! use mallacc::Mode;
+//! use mallacc_prof::report::profile_fastpath;
+//!
+//! let (profile, profiler) = profile_fastpath(Mode::Baseline, "baseline", 50, 10, 0);
+//! assert_eq!(profiler.conservation_violations(), 0);
+//! // Two independent accountings of the same cycles agree exactly.
+//! assert_eq!(profile.op_cycles(), profile.totals.allocator_cycles());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod mt;
+mod profiler;
+pub mod report;
+
+pub use profiler::{kind_label, OpAgg, OpProfile, Profiler, UopSample, DEFAULT_MAX_OPS};

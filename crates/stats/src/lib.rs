@@ -52,4 +52,4 @@ pub use hist::{Bin, LinearHistogram, LogHistogram};
 pub use json::Json;
 pub use pareto::{dominates, knee_index, pareto_frontier};
 pub use special::{ln_gamma, regularized_incomplete_beta, student_t_cdf};
-pub use summary::{geometric_mean, Summary};
+pub use summary::{geometric_mean, Breakdown, Summary};

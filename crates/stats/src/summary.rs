@@ -1,4 +1,8 @@
-//! Scalar sample summaries: mean, variance, standard deviation, extrema.
+//! Scalar sample summaries: mean, variance, standard deviation, extrema —
+//! plus [`Breakdown`], an integer cycle decomposition whose rendered
+//! percentages always derive from the same integer counts as its totals.
+
+use crate::json::Json;
 
 /// Running summary of a set of `f64` samples.
 ///
@@ -164,6 +168,132 @@ impl FromIterator<f64> for Summary {
     }
 }
 
+/// A labelled integer cycle breakdown.
+///
+/// Tables and JSON reports both read the *same* integer counts, and every
+/// derived value (total, fraction, percentage) is computed from those
+/// integers on demand — so a table can never show percentages that drift
+/// from the JSON dataset, and `sum(parts) == total()` holds by
+/// construction.
+///
+/// # Example
+///
+/// ```
+/// use mallacc_stats::Breakdown;
+///
+/// let b = Breakdown::from_parts([("memory", 15u64), ("execute", 5)]);
+/// assert_eq!(b.total(), 20);
+/// assert_eq!(b.fraction(0), 0.75);
+/// assert_eq!(b.pct(0), "75.0%");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Breakdown {
+    parts: Vec<(String, u64)>,
+}
+
+impl Breakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a breakdown from `(label, cycles)` pairs.
+    pub fn from_parts<L, I>(parts: I) -> Self
+    where
+        L: Into<String>,
+        I: IntoIterator<Item = (L, u64)>,
+    {
+        let mut b = Self::new();
+        for (label, cycles) in parts {
+            b.push(label, cycles);
+        }
+        b
+    }
+
+    /// Appends one part. Labels are kept in insertion order; pushing an
+    /// existing label adds to its count instead of duplicating it.
+    pub fn push(&mut self, label: impl Into<String>, cycles: u64) {
+        let label = label.into();
+        if let Some(p) = self.parts.iter_mut().find(|(l, _)| *l == label) {
+            p.1 += cycles;
+        } else {
+            self.parts.push((label, cycles));
+        }
+    }
+
+    /// The `(label, cycles)` parts in insertion order.
+    pub fn parts(&self) -> &[(String, u64)] {
+        &self.parts
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when no part has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Total cycles: the exact integer sum of every part.
+    pub fn total(&self) -> u64 {
+        self.parts.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Integer cycles of part `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn cycles(&self, i: usize) -> u64 {
+        self.parts[i].1
+    }
+
+    /// Integer cycles of the part named `label`, if present.
+    pub fn cycles_of(&self, label: &str) -> Option<u64> {
+        self.parts.iter().find(|(l, _)| l == label).map(|(_, c)| *c)
+    }
+
+    /// Fraction of the total held by part `i`, derived from the integer
+    /// counts (0 when the total is 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn fraction(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.parts[i].1 as f64 / total as f64
+        }
+    }
+
+    /// Part `i` as a rendered percentage string (one decimal), derived
+    /// from the same integers as [`Breakdown::total`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn pct(&self, i: usize) -> String {
+        crate::table::pct(self.fraction(i))
+    }
+
+    /// The breakdown as a JSON object: every part by label (integer
+    /// cycles) plus a `"total"` field carrying the integer sum — the same
+    /// numbers any table rendering uses.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = self
+            .parts
+            .iter()
+            .map(|(l, c)| (l.clone(), Json::from(*c)))
+            .collect();
+        fields.push(("total".to_string(), Json::from(self.total())));
+        Json::Obj(fields)
+    }
+}
+
 /// Geometric mean of strictly positive values.
 ///
 /// The paper summarises per-workload speedups with a geomean row
@@ -253,6 +383,51 @@ mod tests {
         assert_eq!(geometric_mean([0.0]), None);
         let g = geometric_mean([2.0, 8.0]).unwrap();
         assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_conserves_total() {
+        // The conservation law: the total IS the sum of the integer parts,
+        // with no separately-maintained counter to drift from.
+        let b = Breakdown::from_parts([
+            ("base", 7u64),
+            ("memory", 11),
+            ("execute", 3),
+            ("frontend", 0),
+        ]);
+        assert_eq!(b.total(), b.parts().iter().map(|(_, c)| c).sum::<u64>());
+        assert_eq!(b.total(), 21);
+        // Fractions derive from the same integers, so they sum to 1.
+        let sum: f64 = (0..b.len()).map(|i| b.fraction(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_table_and_json_read_the_same_integers() {
+        let b = Breakdown::from_parts([("memory", 2u64), ("execute", 1)]);
+        let j = b.to_json();
+        assert_eq!(j.get("memory").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(j.get("total").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(b.pct(0), "66.7%");
+        assert_eq!(b.cycles_of("execute"), Some(1));
+        assert_eq!(b.cycles_of("missing"), None);
+    }
+
+    #[test]
+    fn breakdown_merges_duplicate_labels() {
+        let mut b = Breakdown::new();
+        b.push("memory", 5);
+        b.push("memory", 3);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.total(), 8);
+    }
+
+    #[test]
+    fn empty_breakdown_is_inert() {
+        let b = Breakdown::new();
+        assert!(b.is_empty());
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.to_json().get("total").and_then(|v| v.as_f64()), Some(0.0));
     }
 
     #[test]

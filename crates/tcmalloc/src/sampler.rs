@@ -125,4 +125,108 @@ mod tests {
     fn zero_interval_rejected() {
         Sampler::new(0);
     }
+
+    #[test]
+    fn fires_exactly_on_the_threshold() {
+        // 999 of 1000 bytes: one byte short must not fire, the next
+        // single byte must.
+        let mut s = Sampler::new(1000);
+        assert!(!s.record_allocation(999));
+        assert_eq!(s.bytes_until_sample(), 1);
+        assert!(s.record_allocation(1));
+        assert_eq!(s.samples_taken(), 1);
+        assert_eq!(s.bytes_until_sample(), 1000, "exact hit resets cleanly");
+    }
+
+    #[test]
+    fn overshoot_carries_into_the_next_interval() {
+        // Crossing the threshold by 300 bytes leaves only 700 until the
+        // next sample: the counter preserves the byte phase, it does not
+        // restart from the full interval.
+        let mut s = Sampler::new(1000);
+        assert!(s.record_allocation(1300));
+        assert_eq!(s.bytes_until_sample(), 700);
+        assert!(!s.record_allocation(699));
+        assert!(s.record_allocation(1));
+        assert_eq!(s.samples_taken(), 2);
+    }
+
+    #[test]
+    fn multi_interval_allocation_realigns_to_a_full_interval() {
+        // An allocation spanning several intervals fires once and then
+        // realigns: the next sample is a full interval away.
+        let mut s = Sampler::new(1000);
+        assert!(s.record_allocation(3500));
+        assert_eq!(s.samples_taken(), 1);
+        assert_eq!(s.bytes_until_sample(), 1000);
+    }
+
+    /// The Mallacc replacement (§4.2): the byte countdown promoted into a
+    /// dedicated performance counter that interrupts on underflow, so the
+    /// fast path carries no decrement-and-branch µops. Architecturally it
+    /// must fire on exactly the same allocations as the software sampler —
+    /// this is the model the driver's PMU-interrupt path simulates.
+    #[derive(Debug)]
+    struct DedicatedCounter {
+        interval: u64,
+        counter: i64,
+        interrupts: u64,
+    }
+
+    impl DedicatedCounter {
+        fn new(interval: u64) -> Self {
+            Self {
+                interval,
+                counter: interval as i64,
+                interrupts: 0,
+            }
+        }
+
+        /// Hardware decrement; returns `true` when the underflow
+        /// interrupt fires.
+        fn on_alloc(&mut self, bytes: u64) -> bool {
+            self.counter -= bytes as i64;
+            if self.counter <= 0 {
+                self.counter += self.interval as i64;
+                if self.counter <= 0 {
+                    self.counter = self.interval as i64;
+                }
+                self.interrupts += 1;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn dedicated_counter_fires_on_the_same_allocations() {
+        // A deterministic pseudo-random allocation stream mixing sizes
+        // from 8 B to multi-interval: the firing index sets must be
+        // identical, allocation by allocation.
+        let mut sw = Sampler::new(4096);
+        let mut hw = DedicatedCounter::new(4096);
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for i in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let bytes = match state % 100 {
+                0..=79 => 8 + state % 1024,     // fast-path small objects
+                80..=97 => 1024 + state % 8192, // medium
+                _ => 16 * 1024 + state % 65536, // multi-interval
+            };
+            assert_eq!(
+                sw.record_allocation(bytes),
+                hw.on_alloc(bytes),
+                "divergence at allocation {i} ({bytes} bytes)"
+            );
+            assert_eq!(sw.bytes_until_sample(), hw.counter, "phase drift at {i}");
+        }
+        assert_eq!(sw.samples_taken(), hw.interrupts);
+        assert!(
+            sw.samples_taken() > 100,
+            "the stream crossed many intervals"
+        );
+    }
 }

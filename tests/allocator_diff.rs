@@ -1,0 +1,175 @@
+//! Differential testing of the two functional allocator models: replay
+//! identical seeded op streams through mallacc-tcmalloc and
+//! mallacc-jemalloc and assert they agree on everything the malloc
+//! contract pins down, while their implementation-defined details (size
+//! rounding, address layout) stay within documented slack.
+//!
+//! The point of the exercise: the Mallacc generality claim (§6.3 — the
+//! malloc cache also accelerates jemalloc) only means something if both
+//! models implement the *same* allocator semantics.
+
+use proptest::prelude::*;
+
+use mallacc_jemalloc::JeMalloc;
+use mallacc_tcmalloc::TcMalloc;
+
+/// Maximum documented divergence of small-object rounding between the
+/// TCMalloc 2007 table and jemalloc's classic bins: both round a request
+/// up to at most 2x (plus the 8/16-byte floor on tiny requests).
+const ROUNDING_SLACK: f64 = 2.0;
+
+/// Bytes-in-use slack across allocators for identical live sets. The
+/// tables' worst single-class mismatch is ROUNDING_SLACK; aggregates over
+/// mixed sizes stay well inside it.
+const BYTES_IN_USE_SLACK: f64 = 2.0;
+
+/// One step of a differential stream.
+#[derive(Debug, Clone, Copy)]
+enum DiffOp {
+    /// Allocate `size` bytes on both allocators.
+    Malloc { size: u64 },
+    /// Free the `index % live`-th oldest live pair on both.
+    Free { index: u64, sized: bool },
+}
+
+fn arb_stream(max_len: usize) -> impl Strategy<Value = Vec<DiffOp>> {
+    let op = prop_oneof![
+        3 => (1u64..4_096).prop_map(|size| DiffOp::Malloc { size }),
+        1 => (8_192u64..600_000).prop_map(|size| DiffOp::Malloc { size }),
+        3 => (any::<u64>(), any::<bool>()).prop_map(|(index, sized)| DiffOp::Free { index, sized }),
+    ];
+    prop::collection::vec(op, 1..max_len)
+}
+
+/// A live allocation as seen by both allocators.
+#[derive(Debug, Clone, Copy)]
+struct LivePair {
+    requested: u64,
+    tc_ptr: u64,
+    tc_size: u64,
+    je_ptr: u64,
+    je_size: u64,
+}
+
+fn check_disjoint(live: &[LivePair], ptr: u64, size: u64, pick: fn(&LivePair) -> (u64, u64)) {
+    for l in live {
+        let (p, s) = pick(l);
+        assert!(
+            ptr + size <= p || p + s <= ptr,
+            "overlap: [{ptr:#x},+{size}) vs [{p:#x},+{s})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Functional agreement on identical streams: both allocators satisfy
+    /// every request, never overlap live blocks, round every request up,
+    /// stay within the documented per-request and aggregate slack, and
+    /// agree exactly on live-block counts and small/large classification.
+    #[test]
+    fn tcmalloc_and_jemalloc_agree_on_identical_streams(ops in arb_stream(150)) {
+        let mut tc = TcMalloc::default();
+        let mut je = JeMalloc::new();
+        let mut live: Vec<LivePair> = Vec::new();
+
+        for op in ops {
+            match op {
+                DiffOp::Malloc { size } => {
+                    let t = tc.malloc(size);
+                    let j = je.malloc(size);
+
+                    prop_assert!(t.alloc_size >= size, "tcmalloc under-allocated");
+                    prop_assert!(j.alloc_size >= size, "jemalloc under-allocated");
+                    let ceiling = (size.max(16) as f64 * ROUNDING_SLACK).ceil() as u64;
+                    prop_assert!(t.alloc_size <= ceiling.max(t.alloc_size.min(4096)),
+                        "tcmalloc rounded {size} to {}", t.alloc_size);
+                    prop_assert!(j.alloc_size <= ceiling.max(j.alloc_size.min(4096)),
+                        "jemalloc rounded {size} to {}", j.alloc_size);
+
+                    // Small/large classification agrees where the tables
+                    // overlap: both serve <= 2048 B from bins (jemalloc's
+                    // classic bins stop there; TCMalloc's go further) and
+                    // neither bins anything above 256 KiB. The region in
+                    // between is table-dependent by design.
+                    if size <= 2_048 {
+                        prop_assert!(t.cls.is_some() && j.bin.is_some(),
+                            "small request {size} left the bins");
+                    }
+                    if size > 256 * 1024 {
+                        prop_assert!(t.cls.is_none() && j.bin.is_none(),
+                            "large request {size} served from bins");
+                    }
+
+                    check_disjoint(&live, t.ptr, t.alloc_size, |l| (l.tc_ptr, l.tc_size));
+                    check_disjoint(&live, j.ptr, j.alloc_size, |l| (l.je_ptr, l.je_size));
+                    live.push(LivePair {
+                        requested: size,
+                        tc_ptr: t.ptr,
+                        tc_size: t.alloc_size,
+                        je_ptr: j.ptr,
+                        je_size: j.alloc_size,
+                    });
+                }
+                DiffOp::Free { index, sized } if !live.is_empty() => {
+                    let i = (index % live.len() as u64) as usize;
+                    let l = live.swap_remove(i);
+                    let tf = tc.free(l.tc_ptr, sized);
+                    let jf = je.free(l.je_ptr, sized);
+                    prop_assert_eq!(tf.alloc_size, l.tc_size, "tcmalloc forgot the size");
+                    prop_assert_eq!(jf.alloc_size, l.je_size, "jemalloc forgot the size");
+                }
+                DiffOp::Free { .. } => {}
+            }
+
+            // Exact agreement on live counts, slack-bounded agreement on
+            // bytes in use.
+            prop_assert_eq!(tc.live_blocks(), live.len());
+            prop_assert_eq!(je.live_blocks(), live.len());
+            let tc_bytes: u64 = live.iter().map(|l| l.tc_size).sum();
+            let je_bytes: u64 = live.iter().map(|l| l.je_size).sum();
+            if tc_bytes.max(je_bytes) >= 1024 {
+                let ratio = tc_bytes.max(je_bytes) as f64 / tc_bytes.min(je_bytes).max(1) as f64;
+                prop_assert!(
+                    ratio <= BYTES_IN_USE_SLACK,
+                    "bytes-in-use diverged: tcmalloc {tc_bytes}, jemalloc {je_bytes}"
+                );
+            }
+        }
+
+        // Drain everything: both must return to empty.
+        for l in live.drain(..) {
+            tc.free(l.tc_ptr, true);
+            je.free(l.je_ptr, true);
+            let _ = l.requested;
+        }
+        prop_assert_eq!(tc.live_blocks(), 0);
+        prop_assert_eq!(je.live_blocks(), 0);
+    }
+
+    /// Size-class monotonicity, on both allocators: rounding is a
+    /// monotone non-decreasing function of the request, and repeated
+    /// identical requests round identically.
+    #[test]
+    fn rounding_is_monotone_and_stable(raw_sizes in prop::collection::vec(1u64..300_000, 2..40)) {
+        let mut sizes = raw_sizes;
+        sizes.sort_unstable();
+        let mut tc = TcMalloc::default();
+        let mut je = JeMalloc::new();
+        let mut prev_tc = 0u64;
+        let mut prev_je = 0u64;
+        for &size in &sizes {
+            let t1 = tc.malloc(size).alloc_size;
+            let j1 = je.malloc(size).alloc_size;
+            let t2 = tc.malloc(size).alloc_size;
+            let j2 = je.malloc(size).alloc_size;
+            prop_assert_eq!(t1, t2, "tcmalloc rounding unstable at {}", size);
+            prop_assert_eq!(j1, j2, "jemalloc rounding unstable at {}", size);
+            prop_assert!(t1 >= prev_tc, "tcmalloc rounding not monotone at {size}");
+            prop_assert!(j1 >= prev_je, "jemalloc rounding not monotone at {size}");
+            prev_tc = t1;
+            prev_je = j1;
+        }
+    }
+}

@@ -168,4 +168,51 @@ proptest! {
         };
         prop_assert_eq!(run(), run());
     }
+
+    /// Every simulated malloc/free reports stall-reason cycles that sum
+    /// *exactly* to its latency, for any operation interleaving and in
+    /// every mode — and the profiled op cycles re-derive the driver's own
+    /// totals, so the attribution can never drift from the headline
+    /// numbers.
+    #[test]
+    fn stall_attribution_conserves_every_call(ops in arb_ops(90)) {
+        let trace: Trace = ops.into_iter().collect();
+        for mode in [Mode::Baseline, Mode::mallacc_default(), Mode::limit_all()] {
+            let mut sim = MallocSim::new(mode);
+            sim.attach_tracer(Box::new(mallacc_prof::Profiler::new(0)));
+            trace.replay(&mut sim);
+            let p = mallacc_prof::Profiler::from_sink(
+                sim.detach_tracer().expect("tracer attached"),
+            )
+            .expect("profiler comes back");
+            prop_assert_eq!(p.conservation_violations(), 0);
+            let mut in_ops = 0u64;
+            for op in p.ops() {
+                prop_assert_eq!(
+                    op.stall.total(), op.cycles(),
+                    "op {} start {} end {}", &op.name, op.start, op.end
+                );
+                in_ops += op.cycles();
+            }
+            prop_assert_eq!(in_ops, sim.totals().allocator_cycles());
+        }
+    }
+
+    /// Attaching a tracer is observation-only: with or without one, every
+    /// simulated cycle count is identical.
+    #[test]
+    fn tracing_never_changes_simulated_time(ops in arb_ops(80)) {
+        let trace: Trace = ops.into_iter().collect();
+        for mode in [Mode::Baseline, Mode::mallacc_default()] {
+            let run = |traced: bool| {
+                let mut sim = MallocSim::new(mode);
+                if traced {
+                    sim.attach_tracer(Box::new(mallacc_prof::Profiler::new(0)));
+                }
+                trace.replay(&mut sim);
+                (sim.totals(), sim.malloc_cache().stats(), sim.cpi_stack())
+            };
+            prop_assert_eq!(run(false), run(true));
+        }
+    }
 }
