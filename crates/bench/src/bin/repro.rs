@@ -14,13 +14,16 @@
 //!
 //! repro profile [--smoke] [--quick] [--pairs N] [--warmup N] [--seed N]
 //!       [--jobs N] [--uops N] [--trace PATH] [--json PATH]
+//!
+//! repro validate [--smoke] [--full] [--kernel-n N] [--fuzz N] [--laws N]
+//!       [--seed N] [--jobs N] [--json PATH]
 //! ```
 //!
 //! `--json PATH` additionally writes the machine-readable datasets of the
 //! experiments that have one (fig13, fig14, fig17, table2, mt) — the same
 //! numbers the text renders, not a re-run.
 
-use mallacc_bench::{explore_cli, figures, mt, profile_cli, tables, Scale};
+use mallacc_bench::{explore_cli, figures, mt, profile_cli, tables, validate_cli, Scale};
 use mallacc_stats::Json;
 
 fn usage() -> ! {
@@ -31,7 +34,9 @@ fn usage() -> ! {
          \x20      repro explore [--smoke] [--grid SPEC] [--preset NAME] [--quick] \
          [--seed N] [--jobs N] [--memo PATH] [--out PATH] [--assert-memo-frac F]\n\
          \x20      repro profile [--smoke] [--quick] [--pairs N] [--warmup N] \
-         [--seed N] [--jobs N] [--uops N] [--trace PATH] [--json PATH]"
+         [--seed N] [--jobs N] [--uops N] [--trace PATH] [--json PATH]\n\
+         \x20      repro validate [--smoke] [--full] [--kernel-n N] [--fuzz N] \
+         [--laws N] [--seed N] [--jobs N] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -45,6 +50,9 @@ fn main() {
     }
     if cmd == "profile" {
         std::process::exit(profile_cli::profile(&args[1..]));
+    }
+    if cmd == "validate" {
+        std::process::exit(validate_cli::validate(&args[1..]));
     }
 
     let mut scale = Scale::full();

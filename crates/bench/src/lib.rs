@@ -31,7 +31,10 @@
 //! ([`explore_cli`]) drives the `mallacc-explore` design-space sweep
 //! engine, and `repro profile` ([`profile_cli`]) drives the
 //! `mallacc-prof` cycle-attribution layer (per-op stall breakdowns,
-//! Figure 2-style component tables, Chrome trace export).
+//! Figure 2-style component tables, Chrome trace export). `repro
+//! validate` ([`validate_cli`]) drives the `mallacc-validate`
+//! conformance subsystem (analytic latency oracle, reference-spec
+//! differential fuzzing, metamorphic laws).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,5 +45,6 @@ pub mod figures;
 pub mod mt;
 pub mod profile_cli;
 pub mod tables;
+pub mod validate_cli;
 
 pub use experiments::Scale;

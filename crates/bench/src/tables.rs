@@ -1,9 +1,8 @@
 //! Generators for the paper's tables and the §6.4 area accounting.
 
-use mallacc_cache::Hierarchy;
-use mallacc_ooo::{CoreConfig, Engine, Uop};
 use mallacc_stats::table::Table;
 use mallacc_stats::ttest;
+use mallacc_validate::oracle;
 use mallacc_workloads::{MacroWorkload, Microbenchmark};
 
 use mallacc::{AreaBits, AreaEstimate, MallocSim, Mode};
@@ -16,108 +15,28 @@ use crate::experiments::{run_micro, Scale};
 /// microbenchmarks (mean error 6.3 %). Without x86 hardware in the loop we
 /// validate the core model two ways:
 ///
-/// 1. against closed-form expected cycle counts for five synthetic kernels
-///    whose latency is analytically known (fetch-bound ALU streams,
-///    dependent chains, load-port and store-port bound streams, L1 load
-///    chains) — this checks the simulator implements its own timing
-///    specification;
+/// 1. against closed-form expected cycle counts for the analytic oracle's
+///    kernels ([`mallacc_validate::oracle`]): fetch- and commit-bound ALU
+///    streams, dependent chains, port-bound streams, cold-miss and
+///    mispredict penalties — this checks the simulator implements its own
+///    timing specification (the `repro validate` subcommand additionally
+///    enforces the per-kernel tolerance bands);
 /// 2. against the paper's published native calibration point: tp_small's
 ///    ~18-cycle average malloc latency on real Haswell.
 pub fn table1(scale: Scale) -> String {
-    let mut t = Table::new(&["kernel", "expected", "simulated", "error"]);
-    let mut errors: Vec<f64> = Vec::new();
-    let mut add = |t: &mut Table, name: &str, expected: f64, simulated: f64| {
-        let err = 100.0 * (simulated - expected).abs() / expected;
-        errors.push(err);
+    let mut t = Table::new(&["kernel", "bound by", "expected", "simulated", "error"]);
+    let outcomes = oracle::run_all(4_000);
+    let mut mean_err = 0.0;
+    for o in &outcomes {
+        mean_err += o.error_pct.abs() / outcomes.len() as f64;
         t.row_owned(vec![
-            name.to_string(),
-            format!("{expected:.1}"),
-            format!("{simulated:.1}"),
-            format!("{err:.2}%"),
+            o.id.name().to_string(),
+            o.id.bound_by().to_string(),
+            format!("{:.1}", o.expected),
+            o.simulated.to_string(),
+            format!("{:.2}%", o.error_pct.abs()),
         ]);
-    };
-
-    let n = 4000u64;
-
-    // (a) independent single-cycle ALU ops: fetch-bound at 4/cycle.
-    {
-        let mut cpu = Engine::new(CoreConfig::haswell(), Hierarchy::default());
-        let mut last = 0;
-        for _ in 0..n {
-            let d = cpu.alloc_reg();
-            last = cpu.push(Uop::alu(1, Some(d), &[])).commit;
-        }
-        add(
-            &mut t,
-            "alu stream (4-wide fetch)",
-            n as f64 / 4.0,
-            last as f64,
-        );
     }
-    // (b) dependent 3-cycle ALU chain: latency-bound.
-    {
-        let mut cpu = Engine::new(CoreConfig::haswell(), Hierarchy::default());
-        let mut prev = None;
-        let mut last = 0;
-        for _ in 0..n {
-            let d = cpu.alloc_reg();
-            let srcs: Vec<_> = prev.into_iter().collect();
-            last = cpu.push(Uop::alu(3, Some(d), &srcs)).commit;
-            prev = Some(d);
-        }
-        add(
-            &mut t,
-            "dependent alu chain (3 cyc)",
-            3.0 * n as f64,
-            last as f64,
-        );
-    }
-    // (c) dependent L1 load chain: 4 cycles per hop.
-    {
-        let mut cpu = Engine::new(CoreConfig::haswell(), Hierarchy::default());
-        cpu.mem_mut().warm(0x100);
-        let mut prev = None;
-        let mut last = 0;
-        for _ in 0..n {
-            let d = cpu.alloc_reg();
-            let srcs: Vec<_> = prev.into_iter().collect();
-            last = cpu.push(Uop::load(0x100, d, &srcs)).commit;
-            prev = Some(d);
-        }
-        add(
-            &mut t,
-            "dependent L1 load chain",
-            4.0 * n as f64,
-            last as f64,
-        );
-    }
-    // (d) independent L1 loads: bound by the two load ports.
-    {
-        let mut cpu = Engine::new(CoreConfig::haswell(), Hierarchy::default());
-        for i in 0..64u64 {
-            cpu.mem_mut().warm(i * 64);
-        }
-        let mut last = 0;
-        for i in 0..n {
-            let d = cpu.alloc_reg();
-            last = cpu.push(Uop::load((i % 64) * 64, d, &[])).commit;
-        }
-        add(&mut t, "load stream (2 ports)", n as f64 / 2.0, last as f64);
-    }
-    // (e) independent stores: bound by the single store port.
-    {
-        let mut cpu = Engine::new(CoreConfig::haswell(), Hierarchy::default());
-        for i in 0..64u64 {
-            cpu.mem_mut().warm(i * 64);
-        }
-        let mut last = 0;
-        for i in 0..n {
-            last = cpu.push(Uop::store((i % 64) * 64, &[])).commit;
-        }
-        add(&mut t, "store stream (1 port)", n as f64, last as f64);
-    }
-
-    let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
     let mut out = format!(
         "Table 1 — simulator validation against analytic kernels\n{}\nmean \
          kernel error: {mean_err:.2}%\n",

@@ -1,0 +1,498 @@
+//! The `repro validate` subcommand: simulator validation and conformance,
+//! driven by `mallacc-validate`.
+//!
+//! ```text
+//! repro validate [--smoke] [--full] [--kernel-n N] [--fuzz N] [--laws N]
+//!                [--seed N] [--jobs N] [--json PATH]
+//! ```
+//!
+//! Three independent sections, any of which can fail the run (exit 1):
+//!
+//! 1. **Analytic latency oracle** — every Table-1 kernel's simulated
+//!    latency must land inside the declared tolerance band around its
+//!    closed-form expectation.
+//! 2. **Reference-spec conformance** — seeded coverage-guided instruction
+//!    programs replayed differentially through `mallacc::MallocCache` and
+//!    the naive reference interpreter must never diverge. `--full`
+//!    additionally requires every coverage event to be exercised.
+//! 3. **Metamorphic laws** — entries-monotone, prefetch-removal and
+//!    independent-reorder must hold on every generated trace.
+//!
+//! Work is partitioned into slots whose results depend only on `(seed,
+//! slot index)`, so the report is byte-identical for every `--jobs` value.
+
+use std::path::PathBuf;
+
+use mallacc_stats::table::Table;
+use mallacc_stats::Json;
+use mallacc_validate::program::fuzz_slot;
+use mallacc_validate::{laws, oracle, Band, CoverageEvent, FuzzReport, KernelOutcome, LawReport};
+
+/// Parsed `repro validate` arguments.
+#[derive(Debug, Clone)]
+pub struct ValidateArgs {
+    /// Iterations per oracle kernel.
+    pub kernel_n: u64,
+    /// Differential-fuzz slots (each runs one base program plus guided
+    /// mutants).
+    pub fuzz_slots: u64,
+    /// Seeded traces per metamorphic law.
+    pub law_cases: u64,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Worker threads (0 or 1 = sequential).
+    pub jobs: usize,
+    /// Fail unless the fuzz corpus exercises every coverage event.
+    pub require_full_coverage: bool,
+    /// Machine-readable report output file.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for ValidateArgs {
+    fn default() -> Self {
+        // The defaults are the smoke scale: fast enough for CI on every
+        // push, deep enough to exercise every coverage event.
+        Self {
+            kernel_n: 2_000,
+            fuzz_slots: 400,
+            law_cases: 60,
+            seed: 42,
+            jobs: 1,
+            require_full_coverage: false,
+            json: None,
+        }
+    }
+}
+
+impl ValidateArgs {
+    /// Parses the argument list after `validate`.
+    pub fn parse(args: &[String]) -> Result<ValidateArgs, String> {
+        let mut parsed = ValidateArgs::default();
+        let mut i = 0;
+        let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let int = |v: String, flag: &str| -> Result<u64, String> {
+            v.parse::<u64>()
+                .map_err(|_| format!("{flag} needs an integer"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--smoke" => {
+                    parsed.kernel_n = 2_000;
+                    parsed.fuzz_slots = 400;
+                    parsed.law_cases = 60;
+                    parsed.require_full_coverage = false;
+                }
+                "--full" => {
+                    parsed.kernel_n = 20_000;
+                    parsed.fuzz_slots = 10_000;
+                    parsed.law_cases = 1_000;
+                    parsed.require_full_coverage = true;
+                }
+                "--kernel-n" => {
+                    parsed.kernel_n = int(value(args, &mut i, "--kernel-n")?, "--kernel-n")?;
+                }
+                "--fuzz" => parsed.fuzz_slots = int(value(args, &mut i, "--fuzz")?, "--fuzz")?,
+                "--laws" => parsed.law_cases = int(value(args, &mut i, "--laws")?, "--laws")?,
+                "--seed" => parsed.seed = int(value(args, &mut i, "--seed")?, "--seed")?,
+                "--jobs" => parsed.jobs = int(value(args, &mut i, "--jobs")?, "--jobs")? as usize,
+                "--json" => parsed.json = Some(PathBuf::from(value(args, &mut i, "--json")?)),
+                other => return Err(format!("unknown validate flag {other:?}")),
+            }
+            i += 1;
+        }
+        if parsed.kernel_n == 0 {
+            return Err("--kernel-n must be at least 1".to_string());
+        }
+        if parsed.fuzz_slots == 0 {
+            return Err("--fuzz must be at least 1".to_string());
+        }
+        Ok(parsed)
+    }
+}
+
+/// Runs `total` independent slots, optionally across `jobs` workers, and
+/// merges results in slot order. Each slot's result is a pure function of
+/// its index, so the merged output is identical for every `jobs` value.
+fn run_indexed<T: Send>(total: u64, jobs: usize, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    let total = total as usize;
+    if jobs <= 1 || total <= 1 {
+        return (0..total as u64).map(f).collect();
+    }
+    let workers = jobs.min(total);
+    // Worker w takes indices w, w+workers, w+2*workers, … and keeps its
+    // results tagged by index; the merge below restores slot order.
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                s.spawn(move || {
+                    (w..total)
+                        .step_by(workers)
+                        .map(|i| (i, f(i as u64)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    for chunk in per_worker {
+        for (i, value) in chunk {
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot ran"))
+        .collect()
+}
+
+fn kernel_section(args: &ValidateArgs) -> (String, Json, bool, Vec<KernelOutcome>) {
+    let ids = oracle::KernelId::all();
+    let outcomes: Vec<KernelOutcome> = run_indexed(ids.len() as u64, args.jobs, |i| {
+        oracle::run_kernel(ids[i as usize], args.kernel_n)
+    });
+    let band = Band::table1();
+    let mut t = Table::new(&[
+        "kernel",
+        "bound by",
+        "expected",
+        "simulated",
+        "error",
+        "verdict",
+    ]);
+    let mut json_rows = Vec::new();
+    let mut mean_abs_err = 0.0;
+    for o in &outcomes {
+        t.row_owned(vec![
+            o.id.name().to_string(),
+            o.id.bound_by().to_string(),
+            format!("{:.1}", o.expected),
+            o.simulated.to_string(),
+            format!("{:+.2}%", o.error_pct),
+            if o.pass { "ok" } else { "OUT OF BAND" }.to_string(),
+        ]);
+        mean_abs_err += o.error_pct.abs() / outcomes.len() as f64;
+        json_rows.push(Json::obj([
+            ("kernel", Json::from(o.id.name())),
+            ("bound_by", Json::from(o.id.bound_by())),
+            ("n", Json::from(o.n)),
+            ("expected", Json::from(o.expected)),
+            ("simulated", Json::from(o.simulated)),
+            ("error_pct", Json::from(o.error_pct)),
+            ("pass", Json::from(o.pass)),
+        ]));
+    }
+    let pass = outcomes.iter().all(|o| o.pass);
+    let text = format!(
+        "== analytic latency oracle (band: \u{b1}{:.1}% + {:.0} cyc) ==\n{}mean kernel error: {mean_abs_err:.2}%\n",
+        100.0 * band.rel,
+        band.abs,
+        t.render(),
+    );
+    let json = Json::obj([
+        ("band_rel", Json::from(band.rel)),
+        ("band_abs_cycles", Json::from(band.abs)),
+        ("mean_abs_error_pct", Json::from(mean_abs_err)),
+        ("kernels", Json::Arr(json_rows)),
+        ("pass", Json::from(pass)),
+    ]);
+    (text, json, pass, outcomes)
+}
+
+fn fuzz_section(args: &ValidateArgs) -> (String, Json, bool, FuzzReport) {
+    let mut report = FuzzReport::default();
+    for slot in run_indexed(args.fuzz_slots, args.jobs, |i| fuzz_slot(args.seed, i)) {
+        report.merge(slot);
+    }
+    let missing = report.coverage.missing();
+    let coverage_ok = !args.require_full_coverage || missing.is_empty();
+    let pass = report.divergences.is_empty() && coverage_ok;
+    let mut text = format!(
+        "== reference-spec conformance (differential fuzz) ==\nprograms: {} ({} base + {} guided), instructions: {}\ncoverage: {}/{} events{}\ndivergences: {}\n",
+        report.programs(),
+        report.base_programs,
+        report.guided_programs,
+        report.ops,
+        report.coverage.count(),
+        CoverageEvent::ALL.len(),
+        if missing.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " (missing: {})",
+                missing
+                    .iter()
+                    .map(|e| e.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        },
+        report.divergences.len(),
+    );
+    for d in report.divergences.iter().take(5) {
+        text.push_str(&format!(
+            "  seed {:#x} step {} ({}): {}\n",
+            d.seed, d.step, d.op, d.detail
+        ));
+    }
+    let json = Json::obj([
+        ("programs", Json::from(report.programs())),
+        ("base_programs", Json::from(report.base_programs)),
+        ("guided_programs", Json::from(report.guided_programs)),
+        ("instructions", Json::from(report.ops)),
+        (
+            "coverage",
+            Json::obj([
+                ("events", Json::from(report.coverage.count())),
+                ("total", Json::from(CoverageEvent::ALL.len())),
+                (
+                    "missing",
+                    Json::Arr(missing.iter().map(|e| Json::from(e.name())).collect()),
+                ),
+            ]),
+        ),
+        (
+            "divergences",
+            Json::Arr(
+                report
+                    .divergences
+                    .iter()
+                    .map(|d| {
+                        Json::obj([
+                            ("seed", Json::from(d.seed)),
+                            ("step", Json::from(d.step)),
+                            ("op", Json::from(d.op.clone())),
+                            ("detail", Json::from(d.detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("pass", Json::from(pass)),
+    ]);
+    (text, json, pass, report)
+}
+
+fn law_section(args: &ValidateArgs) -> (String, Json, bool, LawReport) {
+    let total = laws::total_slots(args.law_cases);
+    let mut report = LawReport::default();
+    for slot in run_indexed(total, args.jobs, |i| {
+        laws::check_slot(args.seed, args.law_cases, i)
+    }) {
+        report.merge(slot);
+    }
+    let pass = report.violations.is_empty();
+    let mut text = format!(
+        "== metamorphic laws ==\ncases: {} ({}/law), comparisons: {}\nviolations: {}\n",
+        report.cases,
+        args.law_cases,
+        report.comparisons,
+        report.violations.len(),
+    );
+    for v in report.violations.iter().take(5) {
+        text.push_str(&format!(
+            "  {} seed {:#x}: {}\n",
+            v.law.name(),
+            v.seed,
+            v.detail
+        ));
+    }
+    let json = Json::obj([
+        ("cases", Json::from(report.cases)),
+        ("cases_per_law", Json::from(args.law_cases)),
+        ("comparisons", Json::from(report.comparisons)),
+        (
+            "violations",
+            Json::Arr(
+                report
+                    .violations
+                    .iter()
+                    .map(|v| {
+                        Json::obj([
+                            ("law", Json::from(v.law.name())),
+                            ("seed", Json::from(v.seed)),
+                            ("detail", Json::from(v.detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("pass", Json::from(pass)),
+    ]);
+    (text, json, pass, report)
+}
+
+/// Runs `repro validate` and returns `(exit code, report text)`. Split
+/// from [`validate`] so tests can capture the output.
+pub fn validate_report(args: &ValidateArgs) -> (i32, String) {
+    let mut out = format!(
+        "repro validate: kernels n={}, fuzz slots={}, law cases={}/law, seed {}\n\n",
+        args.kernel_n, args.fuzz_slots, args.law_cases, args.seed
+    );
+    let (kernel_text, kernel_json, kernels_pass, _) = kernel_section(args);
+    let (fuzz_text, fuzz_json, fuzz_pass, _) = fuzz_section(args);
+    let (law_text, law_json, laws_pass, _) = law_section(args);
+    out.push_str(&kernel_text);
+    out.push('\n');
+    out.push_str(&fuzz_text);
+    out.push('\n');
+    out.push_str(&law_text);
+    let pass = kernels_pass && fuzz_pass && laws_pass;
+    out.push_str(&format!(
+        "\nverdict: {}\n",
+        if pass { "PASS" } else { "FAIL" }
+    ));
+
+    if let Some(path) = &args.json {
+        let doc = Json::obj([
+            ("schema", Json::from("mallacc-validate/1")),
+            (
+                "scale",
+                Json::obj([
+                    ("kernel_n", Json::from(args.kernel_n)),
+                    ("fuzz_slots", Json::from(args.fuzz_slots)),
+                    ("law_cases", Json::from(args.law_cases)),
+                    ("seed", Json::from(args.seed)),
+                    (
+                        "require_full_coverage",
+                        Json::from(args.require_full_coverage),
+                    ),
+                ]),
+            ),
+            ("oracle", kernel_json),
+            ("conformance", fuzz_json),
+            ("laws", law_json),
+            ("pass", Json::from(pass)),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+            eprintln!("repro validate: writing {}: {e}", path.display());
+            return (1, out);
+        }
+        out.push_str(&format!("\nwrote {}", path.display()));
+    }
+    (if pass { 0 } else { 1 }, out)
+}
+
+/// Runs `repro validate`; returns the process exit code.
+pub fn validate(args: &[String]) -> i32 {
+    let parsed = match ValidateArgs::parse(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("repro validate: {e}");
+            return 2;
+        }
+    };
+    let (code, text) = validate_report(&parsed);
+    println!("{text}");
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    fn tiny() -> ValidateArgs {
+        ValidateArgs {
+            kernel_n: 400,
+            fuzz_slots: 40,
+            law_cases: 8,
+            ..ValidateArgs::default()
+        }
+    }
+
+    #[test]
+    fn parse_scales_and_rejections() {
+        let a = ValidateArgs::parse(&s(&["--smoke"])).unwrap();
+        assert_eq!((a.kernel_n, a.fuzz_slots, a.law_cases), (2_000, 400, 60));
+        assert!(!a.require_full_coverage);
+        let f = ValidateArgs::parse(&s(&["--full", "--jobs", "4"])).unwrap();
+        assert_eq!(
+            (f.kernel_n, f.fuzz_slots, f.law_cases),
+            (20_000, 10_000, 1_000)
+        );
+        assert!(f.require_full_coverage);
+        assert_eq!(f.jobs, 4);
+        let o = ValidateArgs::parse(&s(&["--fuzz", "7", "--seed", "9"])).unwrap();
+        assert_eq!((o.fuzz_slots, o.seed), (7, 9));
+        assert!(ValidateArgs::parse(&s(&["--nope"])).is_err());
+        assert!(ValidateArgs::parse(&s(&["--fuzz", "0"])).is_err());
+        assert!(ValidateArgs::parse(&s(&["--kernel-n"])).is_err());
+    }
+
+    #[test]
+    fn smoke_passes_and_report_names_all_sections() {
+        let (code, text) = validate_report(&tiny());
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("analytic latency oracle"), "{text}");
+        assert!(text.contains("reference-spec conformance"), "{text}");
+        assert!(text.contains("metamorphic laws"), "{text}");
+        assert!(text.contains("verdict: PASS"), "{text}");
+        assert!(text.contains("mean kernel error:"), "{text}");
+    }
+
+    #[test]
+    fn report_is_identical_across_jobs() {
+        let mut a = tiny();
+        let (c1, seq) = validate_report(&a);
+        a.jobs = 4;
+        let (c2, par) = validate_report(&a);
+        assert_eq!((c1, c2), (0, 0));
+        assert_eq!(seq, par, "--jobs must not change a single byte");
+    }
+
+    #[test]
+    fn json_export_parses_and_carries_the_verdict() {
+        let dir = std::env::temp_dir().join(format!("repro-validate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = ValidateArgs {
+            json: Some(dir.join("validate.json")),
+            ..tiny()
+        };
+        let (code, _) = validate_report(&a);
+        assert_eq!(code, 0);
+        let data = mallacc_stats::json::parse(
+            &std::fs::read_to_string(dir.join("validate.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            data.get("schema").and_then(Json::as_str),
+            Some("mallacc-validate/1")
+        );
+        assert_eq!(data.get("pass").and_then(Json::as_f64), None);
+        assert_eq!(
+            data.get("oracle")
+                .and_then(|o| o.get("kernels"))
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(9)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_coverage_requirement_is_enforced() {
+        // One slot cannot exercise all 19 events; with the requirement on,
+        // the run must fail even though nothing diverged.
+        let a = ValidateArgs {
+            fuzz_slots: 1,
+            require_full_coverage: true,
+            ..tiny()
+        };
+        let (code, text) = validate_report(&a);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("missing:"), "{text}");
+    }
+}

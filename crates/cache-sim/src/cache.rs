@@ -2,6 +2,41 @@
 
 use crate::Addr;
 
+/// Why a cache/TLB geometry is unusable.
+///
+/// Returned by [`CacheConfig::validate`] and the `try_new` constructors so
+/// callers building geometries from external input (the explore grid, the
+/// `repro` CLI) can reject them with a message instead of unwinding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// Capacity, line size or associativity is zero.
+    ZeroDimension,
+    /// The line size is not a power of two.
+    LineNotPowerOfTwo,
+    /// The capacity is not a whole number of lines.
+    PartialLine,
+    /// The capacity is not a whole number of ways.
+    PartialWay,
+    /// The implied set count is not a power of two.
+    SetsNotPowerOfTwo,
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroDimension => {
+                write!(f, "capacity, line size and associativity must be non-zero")
+            }
+            Self::LineNotPowerOfTwo => write!(f, "line size must be a power of two"),
+            Self::PartialLine => write!(f, "capacity must be a whole number of lines"),
+            Self::PartialWay => write!(f, "capacity must be a whole number of ways"),
+            Self::SetsNotPowerOfTwo => write!(f, "set count must be a power of two"),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -16,32 +51,38 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
+    /// Checks the geometry and returns the implied number of sets, or a
+    /// [`GeometryError`] describing the first inconsistency found.
+    pub fn validate(&self) -> Result<u64, GeometryError> {
+        if self.size_bytes == 0 || self.line_bytes == 0 || self.associativity == 0 {
+            return Err(GeometryError::ZeroDimension);
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(GeometryError::LineNotPowerOfTwo);
+        }
+        let lines = self.size_bytes / self.line_bytes;
+        if lines * self.line_bytes != self.size_bytes {
+            return Err(GeometryError::PartialLine);
+        }
+        let sets = lines / self.associativity as u64;
+        if sets * self.associativity as u64 != lines {
+            return Err(GeometryError::PartialWay);
+        }
+        if !sets.is_power_of_two() {
+            return Err(GeometryError::SetsNotPowerOfTwo);
+        }
+        Ok(sets)
+    }
+
     /// Number of sets implied by the geometry.
     ///
     /// # Panics
     ///
     /// Panics if the geometry is inconsistent (zero sizes, non-power-of-two
-    /// line/sets, or capacity not divisible by `line × ways`).
+    /// line/sets, or capacity not divisible by `line × ways`); use
+    /// [`CacheConfig::validate`] for a fallible check.
     pub fn num_sets(&self) -> u64 {
-        assert!(self.size_bytes > 0 && self.line_bytes > 0 && self.associativity > 0);
-        assert!(
-            self.line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        let lines = self.size_bytes / self.line_bytes;
-        assert_eq!(
-            lines * self.line_bytes,
-            self.size_bytes,
-            "capacity must be a whole number of lines"
-        );
-        let sets = lines / self.associativity as u64;
-        assert_eq!(
-            sets * self.associativity as u64,
-            lines,
-            "capacity must be a whole number of ways"
-        );
-        assert!(sets.is_power_of_two(), "set count must be a power of two");
-        sets
+        self.validate().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -113,15 +154,22 @@ impl SetAssocCache {
     ///
     /// Panics if the geometry is inconsistent; see [`CacheConfig::num_sets`].
     pub fn new(config: CacheConfig) -> Self {
-        let sets = config.num_sets();
-        Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds an empty cache, rejecting inconsistent geometries (zero
+    /// dimensions, non-power-of-two line/sets, partial lines or ways) with
+    /// a [`GeometryError`] instead of panicking.
+    pub fn try_new(config: CacheConfig) -> Result<Self, GeometryError> {
+        let sets = config.validate()?;
+        Ok(Self {
             config,
             sets: vec![vec![Line::default(); config.associativity as usize]; sets as usize],
             set_mask: sets - 1,
             line_shift: config.line_bytes.trailing_zeros(),
             clock: 0,
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// The geometry this cache was built with.
@@ -400,6 +448,96 @@ mod tests {
         assert!(c.probe(0));
         let evicted = c.fill(512, false);
         assert_eq!(evicted, Some(0));
+    }
+
+    #[test]
+    fn zero_dimension_geometries_are_rejected_not_panicked() {
+        for cfg in [
+            CacheConfig {
+                size_bytes: 0,
+                line_bytes: 64,
+                associativity: 2,
+                hit_latency: 1,
+            },
+            CacheConfig {
+                size_bytes: 512,
+                line_bytes: 0,
+                associativity: 2,
+                hit_latency: 1,
+            },
+            CacheConfig {
+                size_bytes: 512,
+                line_bytes: 64,
+                associativity: 0,
+                hit_latency: 1,
+            },
+        ] {
+            assert_eq!(cfg.validate(), Err(GeometryError::ZeroDimension));
+            assert!(SetAssocCache::try_new(cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn inconsistent_geometries_report_the_right_error() {
+        let base = CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            associativity: 2,
+            hit_latency: 1,
+        };
+        assert_eq!(
+            CacheConfig {
+                line_bytes: 48,
+                ..base
+            }
+            .validate(),
+            Err(GeometryError::LineNotPowerOfTwo)
+        );
+        assert_eq!(
+            CacheConfig {
+                size_bytes: 96,
+                line_bytes: 64,
+                associativity: 1,
+                hit_latency: 1,
+            }
+            .validate(),
+            Err(GeometryError::PartialLine)
+        );
+        assert_eq!(
+            CacheConfig {
+                size_bytes: 192,
+                associativity: 2,
+                ..base
+            }
+            .validate(),
+            Err(GeometryError::PartialWay)
+        );
+        assert_eq!(
+            CacheConfig {
+                size_bytes: 384,
+                associativity: 2,
+                ..base
+            }
+            .validate(),
+            Err(GeometryError::SetsNotPowerOfTwo)
+        );
+        assert_eq!(base.validate(), Ok(4));
+    }
+
+    #[test]
+    fn eviction_starts_exactly_at_the_associativity_boundary() {
+        // 2-way set: the first `associativity` conflicting fills must not
+        // evict anything; fill number associativity+1 must evict exactly
+        // one line, and it must be the LRU one.
+        let mut c = tiny();
+        assert_eq!(c.fill(0, false), None);
+        assert_eq!(c.fill(256, false), None, "boundary fill must not evict");
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.resident_lines(), 2);
+        let evicted = c.fill(512, false);
+        assert_eq!(evicted, Some(0), "one past the boundary evicts the LRU");
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.resident_lines(), 2, "occupancy is capped at the ways");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! ([`crate::Hierarchy::access`] adds the returned penalty to the access
 //! latency).
 
-use crate::cache::{CacheConfig, SetAssocCache};
+use crate::cache::{CacheConfig, GeometryError, SetAssocCache};
 use crate::Addr;
 
 /// TLB geometry and latencies.
@@ -92,24 +92,31 @@ impl Tlb {
     /// Panics if the geometry is inconsistent (non-power-of-two set
     /// counts).
     pub fn new(config: TlbConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds an empty TLB, rejecting zero-entry/zero-way (or otherwise
+    /// inconsistent) geometries with a [`GeometryError`] instead of
+    /// panicking.
+    pub fn try_new(config: TlbConfig) -> Result<Self, GeometryError> {
         let level = |entries: u32, assoc: u32, lat: u32| {
-            SetAssocCache::new(CacheConfig {
+            SetAssocCache::try_new(CacheConfig {
                 size_bytes: u64::from(entries) * config.page_bytes,
                 line_bytes: config.page_bytes,
                 associativity: assoc,
                 hit_latency: lat,
             })
         };
-        Self {
+        Ok(Self {
             config,
-            l1: level(config.l1_entries, config.l1_associativity, 0),
+            l1: level(config.l1_entries, config.l1_associativity, 0)?,
             l2: level(
                 config.l2_entries,
                 config.l2_associativity,
                 config.l2_latency,
-            ),
+            )?,
             stats: TlbStats::default(),
-        }
+        })
     }
 
     /// The configuration in use.
@@ -191,6 +198,44 @@ mod tests {
             t.translate(p * 4096 * 64); // strided revisit, mostly evicted
         }
         assert!(t.stats().walks > w, "striding past the reach must walk");
+    }
+
+    #[test]
+    fn zero_entry_and_zero_way_tlbs_are_rejected_not_panicked() {
+        let zero_entries = TlbConfig {
+            l1_entries: 0,
+            ..TlbConfig::haswell()
+        };
+        assert_eq!(
+            Tlb::try_new(zero_entries).err(),
+            Some(GeometryError::ZeroDimension)
+        );
+        let zero_ways = TlbConfig {
+            l2_associativity: 0,
+            ..TlbConfig::haswell()
+        };
+        assert_eq!(
+            Tlb::try_new(zero_ways).err(),
+            Some(GeometryError::ZeroDimension)
+        );
+        assert!(Tlb::try_new(TlbConfig::haswell()).is_ok());
+    }
+
+    #[test]
+    fn page_straddling_accesses_translate_each_side_separately() {
+        // The last byte of one page and the first byte of the next are one
+        // byte apart but live on different pages: each side of the boundary
+        // must walk independently, and warming one side must not warm the
+        // other. (Cache lines are 64 B-aligned so a single *line* never
+        // straddles a 4 KiB page; what straddles are access patterns, and
+        // the TLB must key strictly on the page number.)
+        let mut t = Tlb::new(TlbConfig::haswell());
+        assert_eq!(t.translate(0x1FFF), 30, "low side of the boundary walks");
+        assert_eq!(t.translate(0x2000), 30, "high side still walks");
+        assert_eq!(t.translate(0x1FC0), 0, "low page is now warm");
+        assert_eq!(t.translate(0x2FFF), 0, "high page warm across its span");
+        assert_eq!(t.stats().walks, 2);
+        assert_eq!(t.stats().l1_hits, 2);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use area::{AreaBits, AreaEstimate, HASWELL_CORE_MM2};
 pub use config::{AccelConfig, LimitRemove, Mode, CODE_MODEL_VERSION};
 pub use driver::{CallKind, CallRecord, MallocSim, PostList, SimTotals};
 pub use malloc_cache::{
-    MallocCache, MallocCacheConfig, MallocCacheStats, PopResult, RangeKeying, SizeLookup,
+    EntryView, MallocCache, MallocCacheConfig, MallocCacheStats, PopResult, RangeKeying, SizeLookup,
 };
 // Re-exported so downstream layers (profiling, multicore) can speak the
 // observability types without depending on the engine crate directly.

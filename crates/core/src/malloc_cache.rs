@@ -184,6 +184,29 @@ struct Entry {
     blocked_until: u64,
 }
 
+/// A read-only snapshot of one entry's architectural state, for the
+/// conformance layer (`mallacc-validate`) and debugging. Exposes everything
+/// observable about an entry *except* its LRU timestamp, which is a
+/// replacement-policy implementation detail (observable only through
+/// eviction behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryView {
+    /// Inclusive lower key bound (class index or size, per keying mode).
+    pub range_lo: u64,
+    /// Inclusive upper key bound.
+    pub range_hi: u64,
+    /// The cached size class.
+    pub size_class: u16,
+    /// The cached rounded allocation size.
+    pub alloc_size: u64,
+    /// Cached copy of the free-list head.
+    pub head: Option<Addr>,
+    /// Cached copy of the head's successor.
+    pub next: Option<Addr>,
+    /// Cycle until which an outstanding prefetch blocks the entry.
+    pub blocked_until: u64,
+}
+
 /// The malloc cache.
 ///
 /// # Example
@@ -445,6 +468,23 @@ impl MallocCache {
         self.find_class(size_class)
             .and_then(|i| self.entries[i].as_ref())
             .map(|e| (e.head, e.next))
+    }
+
+    /// A snapshot of the entry for `size_class`, if resident. Used by the
+    /// conformance layer to compare the model's full architectural state
+    /// against the executable reference spec after every instruction.
+    pub fn entry_view(&self, size_class: u16) -> Option<EntryView> {
+        self.find_class(size_class)
+            .and_then(|i| self.entries[i].as_ref())
+            .map(|e| EntryView {
+                range_lo: e.range_lo,
+                range_hi: e.range_hi,
+                size_class: e.size_class,
+                alloc_size: e.alloc_size,
+                head: e.head,
+                next: e.next,
+                blocked_until: e.blocked_until,
+            })
     }
 }
 

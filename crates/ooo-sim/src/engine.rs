@@ -7,8 +7,15 @@ use mallacc_cache::{AccessKind, AccessResult, Hierarchy};
 use crate::trace::{Component, OpMeta, StallBreakdown, StallReason, TraceSink, UopEvent};
 use crate::uop::{OpKind, Reg, Uop};
 
-/// Tracks a per-cycle issue-port budget (Haswell: 2 load ports, 1 store
-/// port). Finds the earliest cycle at or after `ready` with spare capacity.
+/// Load-issue ports per cycle (Haswell: ports 2 and 3).
+pub const LOAD_PORTS: usize = 2;
+
+/// Store-data ports per cycle (Haswell: port 4).
+pub const STORE_PORTS: usize = 1;
+
+/// Tracks a per-cycle issue-port budget (Haswell: [`LOAD_PORTS`] load
+/// ports, [`STORE_PORTS`] store port). Finds the earliest cycle at or
+/// after `ready` with spare capacity.
 #[derive(Debug, Default)]
 struct PortTracker {
     used: HashMap<u64, u8>,
@@ -386,7 +393,7 @@ impl Engine {
                 if let Some(&s) = self.store_complete.get(&(addr >> DEP_LINE_SHIFT)) {
                     ready = ready.max(s);
                 }
-                let issue = self.load_ports.issue_at(ready, 2);
+                let issue = self.load_ports.issue_at(ready, LOAD_PORTS as u8);
                 let r = self.mem.access(addr, AccessKind::Read);
                 mem = Some(r);
                 let c = issue + r.latency as u64;
@@ -394,7 +401,7 @@ impl Engine {
             }
             OpKind::Store { addr } => {
                 self.stats.stores += 1;
-                let issue = self.store_ports.issue_at(ready, 1);
+                let issue = self.store_ports.issue_at(ready, STORE_PORTS as u8);
                 let r = self.mem.access(addr, AccessKind::Write);
                 mem = Some(r);
                 // Senior store queue: the store completes and may retire one
@@ -406,7 +413,7 @@ impl Engine {
             }
             OpKind::Prefetch { addr } => {
                 self.stats.prefetches += 1;
-                let issue = self.load_ports.issue_at(ready, 2);
+                let issue = self.load_ports.issue_at(ready, LOAD_PORTS as u8);
                 let r = self.mem.access(addr, AccessKind::Prefetch);
                 mem = Some(r);
                 // Like a store: commits without waiting for the data.

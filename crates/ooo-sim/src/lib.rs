@@ -43,6 +43,6 @@ mod engine;
 pub mod trace;
 mod uop;
 
-pub use engine::{CoreConfig, CoreStats, CpiStack, Engine, UopTiming};
+pub use engine::{CoreConfig, CoreStats, CpiStack, Engine, UopTiming, LOAD_PORTS, STORE_PORTS};
 pub use trace::{Component, OpMeta, StallBreakdown, StallReason, TraceSink, UopEvent};
 pub use uop::{OpKind, Reg, Uop};

@@ -17,7 +17,9 @@
 //! * [`json`] — a dependency-free deterministic JSON value (writer and
 //!   parser) for the `repro --json` reports and the explore memo store;
 //! * [`pareto`] — two-objective dominance, Pareto frontiers and knee
-//!   selection for the design-space exploration subsystem.
+//!   selection for the design-space exploration subsystem;
+//! * [`tol`] — the shared tolerance bands used by the validation subsystem
+//!   and the differential allocator tests, documented in one place.
 //!
 //! # Example
 //!
@@ -45,6 +47,7 @@ pub mod pareto;
 mod special;
 mod summary;
 pub mod table;
+pub mod tol;
 pub mod ttest;
 
 pub use cdf::Cdf;

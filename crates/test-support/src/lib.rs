@@ -1,0 +1,162 @@
+//! Shared proptest strategies for the workspace's property suites.
+//!
+//! The allocator-differential, multi-core, exploration and validation test
+//! suites all generate the same few shapes of random input: allocator op
+//! streams, cross-thread churn, (cost, gain) point clouds, sweep
+//! configuration points. Before this crate each suite carried its own
+//! copy; they drifted (different size distributions, different weights)
+//! and bug-reproducing generator tweaks had to be applied in several
+//! places. The canonical versions live here; test files only add the
+//! assertions.
+//!
+//! Everything returns `impl Strategy`, so suites can keep composing
+//! (`prop_map`, weighting) on top of the shared bases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proptest::prelude::*;
+
+use mallacc_explore::{ConfigPoint, RunScale, Substrate};
+
+/// One step of an allocator differential stream (replayed through both
+/// functional allocator models in lockstep).
+#[derive(Debug, Clone, Copy)]
+pub enum DiffOp {
+    /// Allocate `size` bytes on both allocators.
+    Malloc {
+        /// Requested size in bytes.
+        size: u64,
+    },
+    /// Free the `index % live`-th live pair on both.
+    Free {
+        /// Selector into the live set (reduced modulo its length).
+        index: u64,
+        /// Use the sized-delete path.
+        sized: bool,
+    },
+}
+
+/// Strategy: a malloc/free stream mixing small (bin-served) and large
+/// requests 3:1, with frees interleaved at the same weight as small
+/// allocations. The distribution matters: it keeps several size classes
+/// live at once while still exercising the large-object path.
+pub fn arb_diff_stream(max_len: usize) -> impl Strategy<Value = Vec<DiffOp>> {
+    let op = prop_oneof![
+        3 => (1u64..4_096).prop_map(|size| DiffOp::Malloc { size }),
+        1 => (8_192u64..600_000).prop_map(|size| DiffOp::Malloc { size }),
+        3 => (any::<u64>(), any::<bool>()).prop_map(|(index, sized)| DiffOp::Free { index, sized }),
+    ];
+    prop::collection::vec(op, 1..max_len)
+}
+
+/// Strategy: cross-thread churn for an allocator with `threads` thread
+/// caches. Each tuple is `(tid, size, selector, do_free, sized)`: thread
+/// `tid` allocates `size` bytes, and if `do_free`, a *different* thread
+/// (derived from `selector`) frees a victim from the live set — the
+/// block-migration path the multi-core invariants guard.
+pub fn arb_cross_thread_ops(
+    threads: usize,
+    max_len: usize,
+) -> impl Strategy<Value = Vec<(usize, u64, u16, bool, bool)>> {
+    prop::collection::vec(
+        (
+            0usize..threads,
+            1u64..300_000,
+            any::<u16>(),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        1..max_len,
+    )
+}
+
+/// Strategy: an arbitrary set of finite `(cost, gain)` result points, the
+/// input shape of the Pareto-frontier helpers.
+pub fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0f64..10_000.0, -100.0f64..100.0), 0..max_len)
+}
+
+/// Strategy: an arbitrary sweep configuration point (cheap axes only —
+/// consumers hash and compare these, they never run them).
+pub fn arb_config_point() -> impl Strategy<Value = ConfigPoint> {
+    (
+        1usize..=64,
+        0u32..4,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0usize..14,
+        1usize..=8,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(entries, extra_latency, prefetch, index_opt, sampling, je, workload, cores, seed)| {
+                ConfigPoint {
+                    entries,
+                    extra_latency,
+                    prefetch,
+                    index_opt,
+                    sampling,
+                    substrate: if je {
+                        Substrate::JeMalloc
+                    } else {
+                        Substrate::TcMalloc
+                    },
+                    workload: mallacc_workloads::AnyWorkload::all_names()[workload].to_string(),
+                    cores,
+                    seed,
+                    scale: RunScale::quick(),
+                }
+            },
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::{ProptestConfig, TestRunner};
+
+    fn sample<S: Strategy>(s: &S, seed: u32) -> S::Value {
+        let runner = TestRunner::new(ProptestConfig::with_cases(1), "test-support-sample");
+        let mut rng = runner.rng_for(seed, 0);
+        s.generate(&mut rng)
+    }
+
+    #[test]
+    fn diff_streams_are_nonempty_and_bounded() {
+        let s = arb_diff_stream(50);
+        for seed in 0..40 {
+            let ops = sample(&s, seed);
+            assert!(!ops.is_empty() && ops.len() < 50);
+            for op in &ops {
+                if let DiffOp::Malloc { size } = op {
+                    assert!((1..600_000).contains(size));
+                    assert!(!(4_096..8_192).contains(size), "dead band violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_thread_ops_respect_the_thread_bound() {
+        let s = arb_cross_thread_ops(4, 60);
+        for seed in 0..40 {
+            for (tid, size, _, _, _) in sample(&s, seed) {
+                assert!(tid < 4);
+                assert!(size >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn config_points_are_valid_and_hashable() {
+        let s = arb_config_point();
+        for seed in 0..40 {
+            let p = sample(&s, seed);
+            assert!(p.entries >= 1);
+            assert_eq!(p.key(), p.clone().key());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Simulator validation and conformance for the Mallacc reproduction.
+//!
+//! The paper's credibility rests on validating its simulator against
+//! analytically expected fast-path latencies (Table 1) before trusting any
+//! speedup claim. Our timing model has golden traces, but a golden trace
+//! only pins *yesterday's* numbers — a timing regression that shifts every
+//! configuration equally would sail through. This crate adds three
+//! independent oracles:
+//!
+//! * [`oracle`] — an **analytic latency oracle**: closed-form expected
+//!   cycle counts for Table-1-style microbenchmark kernels (dependent
+//!   chains, port- and width-bound streams, miss penalties), computed from
+//!   the same [`mallacc_ooo::CoreConfig`] /
+//!   [`mallacc_cache::HierarchyConfig`] the simulator consumes, with
+//!   declared per-kernel tolerance bands (documented in
+//!   [`mallacc_stats::tol`]);
+//! * [`refspec`] — an **executable reference spec** of the five Mallacc
+//!   instructions and the malloc-cache state machine: a naive, obviously
+//!   correct interpreter ([`refspec::RefMallocCache`]) mirroring the
+//!   architectural semantics of Figures 9 and 11, differentially checked
+//!   against `mallacc::MallocCache` by [`program`]'s seeded,
+//!   coverage-guided random instruction programs;
+//! * [`laws`] — a **metamorphic law suite**: properties that must hold
+//!   across *pairs* of runs (more entries never hurts on canonical traces,
+//!   removing prefetches never helps the hit rate, independent ops
+//!   commute), plus a constructive counterexample showing why the naive
+//!   "more entries never increases miss rate" law needs its canonical-
+//!   update precondition.
+//!
+//! The `repro validate` CLI (in `mallacc-bench`) drives all three and exits
+//! non-zero on any band or conformance violation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod laws;
+pub mod oracle;
+pub mod program;
+pub mod refspec;
+
+pub use laws::{LawId, LawReport, LawViolation};
+pub use oracle::{Band, KernelId, KernelOutcome};
+pub use program::{Coverage, CoverageEvent, Divergence, FuzzReport, McOp, McProgram};
+pub use refspec::RefMallocCache;

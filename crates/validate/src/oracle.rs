@@ -1,0 +1,361 @@
+//! The analytic latency oracle (Table 1).
+//!
+//! Each [`KernelId`] is a microbenchmark whose steady-state latency has a
+//! closed-form expression in the machine parameters — fetch and commit
+//! width, issue-port counts, cache hit latencies, miss and mispredict
+//! penalties. The oracle computes that expression from the *same*
+//! [`CoreConfig`] / [`HierarchyConfig`] the simulator consumes, runs the
+//! kernel through the real [`Engine`], and asserts the simulated cycle
+//! count falls inside the declared tolerance band
+//! ([`mallacc_stats::tol::KERNEL_REL_TOL`] relative plus
+//! [`mallacc_stats::tol::KERNEL_ABS_TOL_CYCLES`] absolute — the absolute
+//! term absorbs the constant pipeline fill/drain offset).
+//!
+//! This is the same discipline the paper applies to XIOSim in Table 1:
+//! "assembly microbenchmarks with known expected latencies". Because the
+//! expectation is derived independently of the engine's scheduling code, a
+//! systematic per-µop timing bug (for example, an extra cycle on the commit
+//! path) shifts the simulated count by O(kernel length) and lands far
+//! outside the band, even though every golden trace would have been
+//! regenerated around it.
+
+use mallacc_cache::{Hierarchy, HierarchyConfig};
+use mallacc_ooo::{CoreConfig, Engine, Reg, Uop, LOAD_PORTS, STORE_PORTS};
+use mallacc_stats::tol;
+
+/// ALU latency used by the dependent-chain kernel (an IMUL-class op).
+const CHAIN_ALU_LATENCY: u32 = 3;
+
+/// Lines warmed (and strided over) by the port-throughput kernels. One
+/// page: 64 lines × 64 B.
+const STREAM_LINES: u64 = 64;
+
+/// A tolerance band around an expected value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Relative half-width (fraction of the expectation).
+    pub rel: f64,
+    /// Absolute half-width in cycles.
+    pub abs: f64,
+}
+
+impl Band {
+    /// The shared Table-1 band from [`mallacc_stats::tol`].
+    pub fn table1() -> Self {
+        Self {
+            rel: tol::KERNEL_REL_TOL,
+            abs: tol::KERNEL_ABS_TOL_CYCLES,
+        }
+    }
+
+    /// Whether `actual` lies within the band around `expected`.
+    pub fn contains(&self, expected: f64, actual: f64) -> bool {
+        tol::within_band(expected, actual, self.rel, self.abs)
+    }
+}
+
+/// The microbenchmark kernels with closed-form expected latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelId {
+    /// Independent 1-cycle ALU ops: bound by fetch/commit width.
+    AluStream,
+    /// A dependent ALU chain of latency-3 ops: bound by dataflow.
+    DependentAluChain,
+    /// A dependent load chain on one warm line: bound by L1 load-to-use.
+    DependentL1LoadChain,
+    /// Independent warm loads: bound by the load issue ports.
+    LoadStream,
+    /// Independent stores: bound by the store issue port.
+    StoreStream,
+    /// A dependent chain of cold loads, each to a fresh page: bound by the
+    /// DRAM miss penalty plus a full page walk.
+    ColdMissChain,
+    /// Independent ALU ops on a core with commit width below fetch width:
+    /// bound by retirement.
+    CommitWidthBound,
+    /// Back-to-back mispredicted branches: bound by the redirect penalty
+    /// plus the front-end refill.
+    MispredictChain,
+    /// Independent prefetches: issue on the load ports, retire early.
+    PrefetchStream,
+}
+
+impl KernelId {
+    /// Every kernel, in report order.
+    pub fn all() -> [KernelId; 9] {
+        [
+            KernelId::AluStream,
+            KernelId::DependentAluChain,
+            KernelId::DependentL1LoadChain,
+            KernelId::LoadStream,
+            KernelId::StoreStream,
+            KernelId::ColdMissChain,
+            KernelId::CommitWidthBound,
+            KernelId::MispredictChain,
+            KernelId::PrefetchStream,
+        ]
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelId::AluStream => "alu-stream",
+            KernelId::DependentAluChain => "dependent-alu-chain",
+            KernelId::DependentL1LoadChain => "dependent-l1-load-chain",
+            KernelId::LoadStream => "load-stream",
+            KernelId::StoreStream => "store-stream",
+            KernelId::ColdMissChain => "cold-miss-chain",
+            KernelId::CommitWidthBound => "commit-width-bound",
+            KernelId::MispredictChain => "mispredict-chain",
+            KernelId::PrefetchStream => "prefetch-stream",
+        }
+    }
+
+    /// What bounds the kernel, for the report.
+    pub fn bound_by(self) -> &'static str {
+        match self {
+            KernelId::AluStream => "fetch width",
+            KernelId::DependentAluChain => "dataflow (3-cycle ALU)",
+            KernelId::DependentL1LoadChain => "L1 load-to-use",
+            KernelId::LoadStream => "load ports",
+            KernelId::StoreStream => "store port",
+            KernelId::ColdMissChain => "DRAM + page walk",
+            KernelId::CommitWidthBound => "commit width",
+            KernelId::MispredictChain => "mispredict penalty",
+            KernelId::PrefetchStream => "load ports (early retire)",
+        }
+    }
+
+    /// The core configuration the kernel runs on. All kernels use the
+    /// Haswell-like default except [`KernelId::CommitWidthBound`], which
+    /// narrows retirement below fetch so the commit path is the binding
+    /// constraint.
+    pub fn core_config(self) -> CoreConfig {
+        match self {
+            KernelId::CommitWidthBound => CoreConfig {
+                commit_width: 2,
+                ..CoreConfig::haswell()
+            },
+            _ => CoreConfig::haswell(),
+        }
+    }
+
+    /// Closed-form expected cycles for `n` kernel iterations, derived only
+    /// from the configuration — never from the engine's scheduling code.
+    pub fn expected_cycles(self, core: &CoreConfig, hier: &HierarchyConfig, n: u64) -> f64 {
+        let n = n as f64;
+        match self {
+            // Width-bound: the machine retires `fetch_width` (or
+            // `commit_width`, whichever is smaller) independent 1-cycle ops
+            // per cycle.
+            KernelId::AluStream => n / core.fetch_width.min(core.commit_width) as f64,
+            KernelId::CommitWidthBound => n / core.fetch_width.min(core.commit_width) as f64,
+            // Dataflow-bound chains: one op per latency.
+            KernelId::DependentAluChain => n * CHAIN_ALU_LATENCY as f64,
+            KernelId::DependentL1LoadChain => n * hier.l1.hit_latency as f64,
+            // Port-bound streams: `ports` per cycle.
+            KernelId::LoadStream => n / LOAD_PORTS as f64,
+            KernelId::PrefetchStream => n / LOAD_PORTS as f64,
+            KernelId::StoreStream => n / STORE_PORTS as f64,
+            // Each hop misses every cache level and walks a fresh page.
+            KernelId::ColdMissChain => {
+                n * (hier.memory_latency as f64 + hier.tlb.walk_latency as f64)
+            }
+            // Each branch resolves one cycle after its front-end delivery
+            // and redirects fetch: period = frontend + resolve + penalty.
+            KernelId::MispredictChain => {
+                n * (core.frontend_latency as f64 + 1.0 + core.mispredict_penalty as f64)
+            }
+        }
+    }
+
+    /// Runs `n` iterations of the kernel on a fresh engine and returns the
+    /// commit cycle of the last µop.
+    pub fn simulate(self, n: u64) -> u64 {
+        let mut cpu = Engine::new(
+            self.core_config(),
+            Hierarchy::new(HierarchyConfig::haswell()),
+        );
+        match self {
+            KernelId::AluStream | KernelId::CommitWidthBound => {
+                let mut last = 0;
+                for _ in 0..n {
+                    let d = cpu.alloc_reg();
+                    last = cpu.push(Uop::alu(1, Some(d), &[])).commit;
+                }
+                last
+            }
+            KernelId::DependentAluChain => {
+                let mut prev: Option<Reg> = None;
+                let mut last = 0;
+                for _ in 0..n {
+                    let d = cpu.alloc_reg();
+                    let srcs: Vec<Reg> = prev.into_iter().collect();
+                    last = cpu.push(Uop::alu(CHAIN_ALU_LATENCY, Some(d), &srcs)).commit;
+                    prev = Some(d);
+                }
+                last
+            }
+            KernelId::DependentL1LoadChain => {
+                cpu.mem_mut().warm(0x100);
+                let mut prev: Option<Reg> = None;
+                let mut last = 0;
+                for _ in 0..n {
+                    let d = cpu.alloc_reg();
+                    let srcs: Vec<Reg> = prev.into_iter().collect();
+                    last = cpu.push(Uop::load(0x100, d, &srcs)).commit;
+                    prev = Some(d);
+                }
+                last
+            }
+            KernelId::LoadStream => {
+                for i in 0..STREAM_LINES {
+                    cpu.mem_mut().warm(i * 64);
+                }
+                let mut last = 0;
+                for i in 0..n {
+                    let d = cpu.alloc_reg();
+                    last = cpu.push(Uop::load((i % STREAM_LINES) * 64, d, &[])).commit;
+                }
+                last
+            }
+            KernelId::StoreStream => {
+                for i in 0..STREAM_LINES {
+                    cpu.mem_mut().warm(i * 64);
+                }
+                let mut last = 0;
+                for i in 0..n {
+                    last = cpu.push(Uop::store((i % STREAM_LINES) * 64, &[])).commit;
+                }
+                last
+            }
+            KernelId::ColdMissChain => {
+                // Each hop lands on a fresh 4 KiB page far from the warmed
+                // region, so every level misses and the TLB walks.
+                let base: u64 = 1 << 30;
+                let mut prev: Option<Reg> = None;
+                let mut last = 0;
+                for i in 0..n {
+                    let d = cpu.alloc_reg();
+                    let srcs: Vec<Reg> = prev.into_iter().collect();
+                    last = cpu.push(Uop::load(base + i * 4096, d, &srcs)).commit;
+                    prev = Some(d);
+                }
+                last
+            }
+            KernelId::MispredictChain => {
+                let mut last = 0;
+                for _ in 0..n {
+                    last = cpu.push(Uop::branch(true, &[])).commit;
+                }
+                last
+            }
+            KernelId::PrefetchStream => {
+                let mut last = 0;
+                for i in 0..n {
+                    last = cpu.push(Uop::prefetch((i % STREAM_LINES) * 64, &[])).commit;
+                }
+                last
+            }
+        }
+    }
+}
+
+/// The oracle's verdict on one kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelOutcome {
+    /// Which kernel.
+    pub id: KernelId,
+    /// Iterations simulated.
+    pub n: u64,
+    /// Closed-form expectation.
+    pub expected: f64,
+    /// Simulated commit cycle of the last µop.
+    pub simulated: u64,
+    /// Signed relative error of the simulation vs. the expectation, in %.
+    pub error_pct: f64,
+    /// Whether the simulation landed inside the band.
+    pub pass: bool,
+}
+
+/// Runs one kernel for `n` iterations and compares it against the oracle.
+pub fn run_kernel(id: KernelId, n: u64) -> KernelOutcome {
+    let core = id.core_config();
+    let hier = HierarchyConfig::haswell();
+    let expected = id.expected_cycles(&core, &hier, n);
+    let simulated = id.simulate(n);
+    let band = Band::table1();
+    KernelOutcome {
+        id,
+        n,
+        expected,
+        simulated,
+        error_pct: 100.0 * (simulated as f64 - expected) / expected,
+        pass: band.contains(expected, simulated as f64),
+    }
+}
+
+/// Runs every kernel at the same scale.
+pub fn run_all(n: u64) -> Vec<KernelOutcome> {
+    KernelId::all()
+        .into_iter()
+        .map(|id| run_kernel(id, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_is_within_band_at_smoke_scale() {
+        for o in run_all(2_000) {
+            assert!(
+                o.pass,
+                "{}: expected {:.0}, simulated {} ({:+.2}%)",
+                o.id.name(),
+                o.expected,
+                o.simulated,
+                o.error_pct
+            );
+        }
+    }
+
+    #[test]
+    fn bands_are_stable_across_scales() {
+        // The oracle error is a constant pipeline-fill offset, so doubling
+        // the kernel length must not push anything out of band.
+        for o in run_all(4_000) {
+            assert!(o.pass, "{} out of band at 4k: {o:?}", o.id.name());
+        }
+    }
+
+    #[test]
+    fn oracle_catches_a_systematic_per_op_shift() {
+        // A fake "simulated" count one cycle per op worse than expected
+        // must violate the band at validation scale — this is exactly the
+        // injected-commit-bug scenario the subsystem exists to catch.
+        let n = 2_000u64;
+        let core = CoreConfig::haswell();
+        let hier = HierarchyConfig::haswell();
+        let id = KernelId::AluStream;
+        let expected = id.expected_cycles(&core, &hier, n);
+        let shifted = expected + n as f64;
+        assert!(!Band::table1().contains(expected, shifted));
+    }
+
+    #[test]
+    fn expected_cycles_track_the_config() {
+        let hier = HierarchyConfig::haswell();
+        let fast = CoreConfig::haswell();
+        let narrow = CoreConfig {
+            fetch_width: 2,
+            commit_width: 2,
+            ..fast
+        };
+        let id = KernelId::AluStream;
+        assert!(
+            id.expected_cycles(&narrow, &hier, 1_000) > id.expected_cycles(&fast, &hier, 1_000)
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! An executable reference specification of the malloc-cache ISA.
+//!
+//! [`RefMallocCache`] re-implements the architectural semantics of the five
+//! Mallacc instructions (`mcszlookup`, `mcszupdate`, `mchdpop`, `mchdpush`,
+//! `mcnxtprefetch`; Figures 9 and 11 of the paper) plus the software-model
+//! maintenance operations (`sync_list`, `invalidate_list`, `flush`) in the
+//! most naive way possible: a plain `Vec` of entries, linear scans, and a
+//! one-`match`-arm-per-case transcription of the prose spec. It shares *no*
+//! code with `mallacc::MallocCache` — that is the point. The [`crate::program`]
+//! module replays identical instruction programs through both and demands
+//! identical observable behaviour.
+//!
+//! ## The spec, in prose
+//!
+//! The cache holds at most `entries` entries, at most one per size class.
+//! Each entry maps an inclusive key range (class indices in
+//! [`RangeKeying::ClassIndex`] mode, raw sizes otherwise) to `(size_class,
+//! alloc_size)` and caches copies of the class's free-list `(Head, Next)`.
+//! Replacement is true LRU over an internal clock that advances by one on
+//! each of the five instructions (and only those).
+//!
+//! * **lookup(requested)** — hit iff some entry's range contains the key;
+//!   a hit refreshes LRU and returns the mapping; a miss changes nothing.
+//! * **update(requested, alloc, class)** — if the class is resident, widen
+//!   its range to cover both keys and refresh LRU; otherwise insert a fresh
+//!   entry (empty list, unblocked), evicting the LRU entry if full.
+//! * **pop(class, now)** — miss if the class is absent. Otherwise charge
+//!   any prefetch-block delay and refresh LRU; if both `Head` and `Next`
+//!   are cached, return them and slide `Next` into `Head`; otherwise
+//!   invalidate both halves and miss (Figure 11's fallback).
+//! * **push(class, ptr, now)** — no-op if the class is absent; otherwise
+//!   charge block delay, refresh LRU, slide `Head` into `Next` and install
+//!   `ptr` as the new `Head`.
+//! * **prefetch(class, addr, value, arrival)** — no-op if the class is
+//!   absent. Fill an empty entry with `(addr, value)`, or fill `Next` when
+//!   `Head == addr`; anything else is dropped. An accepted prefetch blocks
+//!   the entry until `arrival`. Prefetch never refreshes LRU.
+//!
+//! The spec leaves behaviour *undefined* when software feeds inconsistent
+//! mappings (two classes whose learned ranges overlap); the differential
+//! driver only generates table-consistent updates, where ranges of distinct
+//! classes are provably disjoint and every lookup matches at most one
+//! entry — which is why the two implementations' different scan orders
+//! cannot be told apart.
+
+use mallacc::{EntryView, MallocCacheConfig, MallocCacheStats, PopResult, RangeKeying, SizeLookup};
+use mallacc_cache::Addr;
+
+/// One reference entry. All fields are architecturally observable except
+/// `last_use` (observable only through eviction order).
+#[derive(Debug, Clone, Copy)]
+struct RefEntry {
+    range_lo: u64,
+    range_hi: u64,
+    size_class: u16,
+    alloc_size: u64,
+    head: Option<Addr>,
+    next: Option<Addr>,
+    last_use: u64,
+    blocked_until: u64,
+}
+
+/// The naive reference interpreter. Mirrors the public API of
+/// `mallacc::MallocCache` operation for operation.
+#[derive(Debug, Clone)]
+pub struct RefMallocCache {
+    config: MallocCacheConfig,
+    entries: Vec<RefEntry>,
+    clock: u64,
+    stats: MallocCacheStats,
+}
+
+impl RefMallocCache {
+    /// Creates an empty reference cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.entries` is zero.
+    pub fn new(config: MallocCacheConfig) -> Self {
+        assert!(config.entries > 0, "malloc cache needs at least one entry");
+        Self {
+            config,
+            entries: Vec::new(),
+            clock: 0,
+            stats: MallocCacheStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MallocCacheStats {
+        self.stats
+    }
+
+    /// Number of resident entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn key_of(&self, requested: u64) -> u64 {
+        match self.config.keying {
+            RangeKeying::ClassIndex => mallacc_tcmalloc::class_index(requested).unwrap_or(u64::MAX),
+            RangeKeying::RequestedSize => requested,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn find(&mut self, size_class: u16) -> Option<&mut RefEntry> {
+        self.entries.iter_mut().find(|e| e.size_class == size_class)
+    }
+
+    /// `mcszlookup`.
+    pub fn lookup(&mut self, requested: u64, _now: u64) -> Option<SizeLookup> {
+        let key = self.key_of(requested);
+        let clock = self.tick();
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.range_lo <= key && key <= e.range_hi)
+        {
+            Some(e) => {
+                e.last_use = clock;
+                self.stats.lookup_hits += 1;
+                Some(SizeLookup {
+                    size_class: e.size_class,
+                    alloc_size: e.alloc_size,
+                })
+            }
+            None => {
+                self.stats.lookup_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// `mcszupdate`.
+    pub fn update(&mut self, requested: u64, alloc_size: u64, size_class: u16) {
+        let key_lo = self.key_of(requested);
+        let key_hi = self.key_of(alloc_size);
+        let clock = self.tick();
+        if let Some(e) = self.find(size_class) {
+            e.range_lo = e.range_lo.min(key_lo);
+            e.range_hi = e.range_hi.max(key_hi);
+            e.last_use = clock;
+            self.stats.range_extends += 1;
+            return;
+        }
+        if self.entries.len() == self.config.entries {
+            // Full: evict the least-recently-used entry. Instruction clocks
+            // are strictly increasing, so the minimum is unique.
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("cache is full, hence non-empty");
+            self.entries.swap_remove(lru);
+            self.stats.evictions += 1;
+        }
+        self.entries.push(RefEntry {
+            range_lo: key_lo,
+            range_hi: key_hi,
+            size_class,
+            alloc_size,
+            head: None,
+            next: None,
+            last_use: clock,
+            blocked_until: 0,
+        });
+        self.stats.inserts += 1;
+    }
+
+    /// `mchdpop`.
+    pub fn pop(&mut self, size_class: u16, now: u64) -> PopResult {
+        let clock = self.tick();
+        let Some(e) = self.find(size_class) else {
+            self.stats.pop_misses += 1;
+            return PopResult::Miss;
+        };
+        let blocked = e.blocked_until.saturating_sub(now);
+        e.last_use = clock;
+        let result = match (e.head, e.next) {
+            (Some(head), Some(next)) => {
+                e.head = Some(next);
+                e.next = None;
+                PopResult::Hit { head, next }
+            }
+            _ => {
+                e.head = None;
+                e.next = None;
+                PopResult::Miss
+            }
+        };
+        self.stats.blocked_cycles += blocked;
+        match result {
+            PopResult::Hit { .. } => self.stats.pop_hits += 1,
+            PopResult::Miss => self.stats.pop_misses += 1,
+        }
+        result
+    }
+
+    /// `mchdpush`.
+    pub fn push(&mut self, size_class: u16, new_head: Addr, now: u64) {
+        let clock = self.tick();
+        let Some(e) = self.find(size_class) else {
+            return;
+        };
+        let blocked = e.blocked_until.saturating_sub(now);
+        e.last_use = clock;
+        e.next = e.head;
+        e.head = Some(new_head);
+        self.stats.blocked_cycles += blocked;
+        self.stats.push_hits += 1;
+    }
+
+    /// `mcnxtprefetch`. Never refreshes LRU.
+    pub fn prefetch(&mut self, size_class: u16, addr: Addr, value: Option<Addr>, arrival: u64) {
+        self.tick();
+        let Some(e) = self.find(size_class) else {
+            return;
+        };
+        match (e.head, e.next) {
+            (None, _) => {
+                e.head = Some(addr);
+                e.next = value;
+            }
+            (Some(h), None) if h == addr => {
+                e.next = value;
+            }
+            _ => return,
+        }
+        e.blocked_until = e.blocked_until.max(arrival);
+        self.stats.prefetches += 1;
+    }
+
+    /// Cycles an access at `now` must wait for the class's entry to
+    /// unblock.
+    pub fn block_delay(&self, size_class: u16, now: u64) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.size_class == size_class)
+            .map(|e| e.blocked_until.saturating_sub(now))
+            .unwrap_or(0)
+    }
+
+    /// Overwrites the cached list copy after slow-path list surgery.
+    pub fn sync_list(&mut self, size_class: u16, head: Option<Addr>, next: Option<Addr>) {
+        if let Some(e) = self.find(size_class) {
+            e.head = head;
+            e.next = if head.is_some() { next } else { None };
+        }
+    }
+
+    /// Drops the cached list state for one class, keeping the size mapping.
+    pub fn invalidate_list(&mut self, size_class: u16) {
+        let mut hit = false;
+        if let Some(e) = self.find(size_class) {
+            e.head = None;
+            e.next = None;
+            e.blocked_until = 0;
+            hit = true;
+        }
+        if hit {
+            self.stats.list_invalidations += 1;
+        }
+    }
+
+    /// Flushes every entry (statistics and clock survive).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The cached `(head, next)` pair for a class.
+    pub fn cached_list(&self, size_class: u16) -> Option<(Option<Addr>, Option<Addr>)> {
+        self.entries
+            .iter()
+            .find(|e| e.size_class == size_class)
+            .map(|e| (e.head, e.next))
+    }
+
+    /// A snapshot of the class's entry in the model's [`EntryView`] shape.
+    pub fn entry_view(&self, size_class: u16) -> Option<EntryView> {
+        self.entries
+            .iter()
+            .find(|e| e.size_class == size_class)
+            .map(|e| EntryView {
+                range_lo: e.range_lo,
+                range_hi: e.range_hi,
+                size_class: e.size_class,
+                alloc_size: e.alloc_size,
+                head: e.head,
+                next: e.next,
+                blocked_until: e.blocked_until,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(n: usize) -> RefMallocCache {
+        RefMallocCache::new(MallocCacheConfig {
+            entries: n,
+            keying: RangeKeying::ClassIndex,
+            extra_latency: 0,
+        })
+    }
+
+    #[test]
+    fn lookup_miss_update_hit() {
+        let mut rc = cache(4);
+        assert!(rc.lookup(100, 0).is_none());
+        rc.update(100, 104, 7);
+        let h = rc.lookup(100, 1).expect("warm lookup");
+        assert_eq!(h.size_class, 7);
+        assert_eq!(h.alloc_size, 104);
+    }
+
+    #[test]
+    fn pop_needs_both_and_invalidates_on_half() {
+        let mut rc = cache(4);
+        rc.update(64, 64, 9);
+        rc.push(9, 0x1000, 0);
+        assert_eq!(rc.pop(9, 0), PopResult::Miss);
+        assert_eq!(rc.cached_list(9), Some((None, None)));
+        rc.push(9, 0x1000, 0);
+        rc.push(9, 0x2000, 0);
+        assert_eq!(
+            rc.pop(9, 0),
+            PopResult::Hit {
+                head: 0x2000,
+                next: 0x1000
+            }
+        );
+    }
+
+    #[test]
+    fn lru_eviction_is_by_least_recent_instruction() {
+        let mut rc = cache(2);
+        rc.update(8, 8, 1);
+        rc.update(16, 16, 2);
+        assert!(rc.lookup(8, 0).is_some()); // class 1 becomes MRU
+        rc.update(3000, 3072, 30); // evicts class 2
+        assert_eq!(rc.stats().evictions, 1);
+        assert!(rc.lookup(8, 1).is_some());
+        assert!(rc.lookup(16, 2).is_none());
+    }
+
+    #[test]
+    fn prefetch_blocks_and_pop_charges_the_wait() {
+        let mut rc = cache(4);
+        rc.update(64, 64, 9);
+        rc.prefetch(9, 0x3000, Some(0x2F00), 100);
+        assert_eq!(rc.block_delay(9, 40), 60);
+        let _ = rc.pop(9, 40);
+        assert_eq!(rc.stats().blocked_cycles, 60);
+    }
+}

@@ -11,35 +11,9 @@
 use proptest::prelude::*;
 
 use mallacc_jemalloc::JeMalloc;
+use mallacc_stats::tol::{BYTES_IN_USE_SLACK, ROUNDING_SLACK};
 use mallacc_tcmalloc::TcMalloc;
-
-/// Maximum documented divergence of small-object rounding between the
-/// TCMalloc 2007 table and jemalloc's classic bins: both round a request
-/// up to at most 2x (plus the 8/16-byte floor on tiny requests).
-const ROUNDING_SLACK: f64 = 2.0;
-
-/// Bytes-in-use slack across allocators for identical live sets. The
-/// tables' worst single-class mismatch is ROUNDING_SLACK; aggregates over
-/// mixed sizes stay well inside it.
-const BYTES_IN_USE_SLACK: f64 = 2.0;
-
-/// One step of a differential stream.
-#[derive(Debug, Clone, Copy)]
-enum DiffOp {
-    /// Allocate `size` bytes on both allocators.
-    Malloc { size: u64 },
-    /// Free the `index % live`-th oldest live pair on both.
-    Free { index: u64, sized: bool },
-}
-
-fn arb_stream(max_len: usize) -> impl Strategy<Value = Vec<DiffOp>> {
-    let op = prop_oneof![
-        3 => (1u64..4_096).prop_map(|size| DiffOp::Malloc { size }),
-        1 => (8_192u64..600_000).prop_map(|size| DiffOp::Malloc { size }),
-        3 => (any::<u64>(), any::<bool>()).prop_map(|(index, sized)| DiffOp::Free { index, sized }),
-    ];
-    prop::collection::vec(op, 1..max_len)
-}
+use mallacc_test_support::{arb_diff_stream, DiffOp};
 
 /// A live allocation as seen by both allocators.
 #[derive(Debug, Clone, Copy)]
@@ -69,7 +43,7 @@ proptest! {
     /// stay within the documented per-request and aggregate slack, and
     /// agree exactly on live-block counts and small/large classification.
     #[test]
-    fn tcmalloc_and_jemalloc_agree_on_identical_streams(ops in arb_stream(150)) {
+    fn tcmalloc_and_jemalloc_agree_on_identical_streams(ops in arb_diff_stream(150)) {
         let mut tc = TcMalloc::default();
         let mut je = JeMalloc::new();
         let mut live: Vec<LivePair> = Vec::new();

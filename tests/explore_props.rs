@@ -6,47 +6,7 @@ use proptest::prelude::*;
 
 use mallacc_explore::{run_sweep, ConfigPoint, ParamGrid, RunScale, Substrate, SweepOptions};
 use mallacc_stats::{dominates, knee_index, pareto_frontier};
-
-/// Strategy: an arbitrary set of finite (cost, gain) result points.
-fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
-    prop::collection::vec((0.0f64..10_000.0, -100.0f64..100.0), 0..max_len)
-}
-
-/// Strategy: an arbitrary configuration point (cheap axes only — these
-/// tests never run the point, they only hash it).
-fn arb_config_point() -> impl Strategy<Value = ConfigPoint> {
-    (
-        1usize..=64,
-        0u32..4,
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        0usize..14,
-        1usize..=8,
-        any::<u64>(),
-    )
-        .prop_map(
-            |(entries, extra_latency, prefetch, index_opt, sampling, je, workload, cores, seed)| {
-                ConfigPoint {
-                    entries,
-                    extra_latency,
-                    prefetch,
-                    index_opt,
-                    sampling,
-                    substrate: if je {
-                        Substrate::JeMalloc
-                    } else {
-                        Substrate::TcMalloc
-                    },
-                    workload: mallacc_workloads::AnyWorkload::all_names()[workload].to_string(),
-                    cores,
-                    seed,
-                    scale: RunScale::quick(),
-                }
-            },
-        )
-}
+use mallacc_test_support::{arb_config_point, arb_points};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

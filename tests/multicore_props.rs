@@ -21,6 +21,7 @@ use proptest::prelude::*;
 use mallacc::Mode;
 use mallacc_multicore::{MtRunResult, MulticoreSim};
 use mallacc_tcmalloc::{ClassId, TcMalloc};
+use mallacc_test_support::arb_cross_thread_ops;
 use mallacc_workloads::{MtOp, MtTrace};
 
 const THREADS: usize = 4;
@@ -60,10 +61,7 @@ proptest! {
     /// never breaks per-class conservation, at any intermediate state.
     #[test]
     fn cross_thread_churn_preserves_residency_and_conservation(
-        ops in prop::collection::vec(
-            (0usize..THREADS, 1u64..300_000, any::<u16>(), any::<bool>(), any::<bool>()),
-            1..120,
-        )
+        ops in arb_cross_thread_ops(THREADS, 120)
     ) {
         let mut a = TcMalloc::with_threads(Default::default(), THREADS);
         let mut live: Vec<u64> = Vec::new();
