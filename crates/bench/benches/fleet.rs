@@ -1,0 +1,71 @@
+//! Criterion benchmark of the fleet engine's simulation throughput:
+//! retired µops per wall-clock second on a fixed fleet scenario.
+//!
+//! The fixture is pinned — scenario, cores, request count and seed never
+//! change — so numbers are comparable across commits; `BENCH_fleet.json`
+//! at the repo root holds the committed baseline. The µop count of the
+//! fixture is measured once with a counting sink (the simulation is
+//! deterministic, so it is the same every run), then the timed loop runs
+//! sink-free.
+
+use std::any::Any;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mallacc::{Mode, OpMeta, TraceSink, UopEvent};
+use mallacc_fleet::Scenario;
+use mallacc_multicore::MulticoreSim;
+
+/// The pinned fixture: the catalogue's first scenario on 4 cores.
+const SCENARIO: &str = "rpc-fanout";
+const CORES: usize = 4;
+const REQUESTS: u64 = 64;
+const SEED: u64 = 42;
+
+#[derive(Debug, Default)]
+struct UopCount(u64);
+
+impl TraceSink for UopCount {
+    fn on_retire(&mut self, _event: &UopEvent) {
+        self.0 += 1;
+    }
+    fn on_op_end(&mut self, _op: &OpMeta<'_>) {}
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Counts the retired µops of one fixture run under `mode`.
+fn fixture_uops(scenario: &Scenario, mode: Mode) -> u64 {
+    let sinks: Vec<Box<dyn TraceSink>> = (0..CORES)
+        .map(|_| Box::new(UopCount::default()) as Box<dyn TraceSink>)
+        .collect();
+    let mut stream = scenario.stream(CORES, REQUESTS, SEED);
+    let (_, sinks) = MulticoreSim::new(mode, CORES).run_stream_with_sinks(&mut stream, sinks);
+    sinks
+        .into_iter()
+        .map(|s| s.into_any().downcast::<UopCount>().expect("uop sink").0)
+        .sum()
+}
+
+fn fleet_throughput(c: &mut Criterion) {
+    let scenario = Scenario::by_name(SCENARIO).expect("pinned scenario exists");
+    let mut g = c.benchmark_group("fleet/simulated_uops");
+    for (name, mode) in [
+        ("baseline", Mode::Baseline),
+        ("mallacc", Mode::mallacc_default()),
+    ] {
+        let uops = fixture_uops(scenario, mode);
+        assert!(uops > 0, "fixture retired no uops");
+        g.throughput(Throughput::Elements(uops));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut stream = scenario.stream(CORES, REQUESTS, SEED);
+                MulticoreSim::new(mode, CORES).run_stream(&mut stream)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fleet_throughput);
+criterion_main!(benches);

@@ -17,13 +17,19 @@
 //!
 //! repro validate [--smoke] [--full] [--kernel-n N] [--fuzz N] [--laws N]
 //!       [--seed N] [--jobs N] [--json PATH]
+//!
+//! repro fleet [--smoke] [--full] [--cores A,B,...] [--scenario NAME]...
+//!       [--requests N] [--weak-requests N] [--seed N] [--jobs N]
+//!       [--json PATH]
 //! ```
 //!
 //! `--json PATH` additionally writes the machine-readable datasets of the
 //! experiments that have one (fig13, fig14, fig17, table2, mt) — the same
 //! numbers the text renders, not a re-run.
 
-use mallacc_bench::{explore_cli, figures, mt, profile_cli, tables, validate_cli, Scale};
+use mallacc_bench::{
+    explore_cli, figures, fleet_cli, mt, profile_cli, tables, validate_cli, Scale,
+};
 use mallacc_stats::Json;
 
 fn usage() -> ! {
@@ -36,7 +42,9 @@ fn usage() -> ! {
          \x20      repro profile [--smoke] [--quick] [--pairs N] [--warmup N] \
          [--seed N] [--jobs N] [--uops N] [--trace PATH] [--json PATH]\n\
          \x20      repro validate [--smoke] [--full] [--kernel-n N] [--fuzz N] \
-         [--laws N] [--seed N] [--jobs N] [--json PATH]"
+         [--laws N] [--seed N] [--jobs N] [--json PATH]\n\
+         \x20      repro fleet [--smoke] [--full] [--cores A,B,...] [--scenario NAME]... \
+         [--requests N] [--weak-requests N] [--seed N] [--jobs N] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -53,6 +61,9 @@ fn main() {
     }
     if cmd == "validate" {
         std::process::exit(validate_cli::validate(&args[1..]));
+    }
+    if cmd == "fleet" {
+        std::process::exit(fleet_cli::fleet(&args[1..]));
     }
 
     let mut scale = Scale::full();

@@ -1,0 +1,304 @@
+//! The `repro fleet` subcommand: datacenter fleet scenarios, driven by
+//! `mallacc-fleet`.
+//!
+//! ```text
+//! repro fleet [--smoke] [--full] [--cores A,B,...] [--scenario NAME]...
+//!             [--requests N] [--weak-requests N] [--seed N] [--jobs N]
+//!             [--json PATH]
+//! ```
+//!
+//! Runs request-driven service-traffic scenarios on the multi-core
+//! simulator and reports, per scenario, strong/weak scaling curves and
+//! per-malloc tail latency (p50/p99/p999 cycles) for baseline vs. Mallacc,
+//! plus the p99 *knee*: the core count at which per-core malloc caches
+//! stop improving p99.
+//!
+//! Every cell's result is a pure function of `(seed, scenario, cores,
+//! scaling)`, so the report is byte-identical for every `--jobs` value —
+//! the smoke report is golden-snapshotted on exactly that promise.
+
+use std::path::PathBuf;
+
+use mallacc_fleet::{json_doc, render_report, run_fleet, FleetConfig, Scenario};
+
+/// Parsed `repro fleet` arguments.
+#[derive(Debug, Clone)]
+pub struct FleetArgs {
+    /// Scenario names to run (empty = the whole catalogue).
+    pub scenarios: Vec<String>,
+    /// Core counts to sweep (`None` = the scale's default).
+    pub cores: Option<Vec<usize>>,
+    /// Total requests of every strong-scaling cell.
+    pub strong_requests: u64,
+    /// Requests per core of every weak-scaling cell.
+    pub weak_requests_per_core: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (0 or 1 = sequential). Output-invariant.
+    pub jobs: usize,
+    /// Smoke scale (1/2/4 cores) instead of the full 1..16 sweep.
+    pub smoke: bool,
+    /// Machine-readable report output file.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for FleetArgs {
+    fn default() -> Self {
+        let full = FleetConfig::full(42, 1);
+        Self {
+            scenarios: Vec::new(),
+            cores: None,
+            strong_requests: full.strong_requests,
+            weak_requests_per_core: full.weak_requests_per_core,
+            seed: 42,
+            jobs: 1,
+            smoke: false,
+            json: None,
+        }
+    }
+}
+
+impl FleetArgs {
+    /// Parses the argument list after `fleet`.
+    pub fn parse(args: &[String]) -> Result<FleetArgs, String> {
+        let mut parsed = FleetArgs::default();
+        let mut i = 0;
+        let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let int = |v: String, flag: &str| -> Result<u64, String> {
+            v.parse::<u64>()
+                .map_err(|_| format!("{flag} needs an integer"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--smoke" => {
+                    let smoke = FleetConfig::smoke(parsed.seed, parsed.jobs);
+                    parsed.smoke = true;
+                    parsed.strong_requests = smoke.strong_requests;
+                    parsed.weak_requests_per_core = smoke.weak_requests_per_core;
+                }
+                "--full" => {
+                    let full = FleetConfig::full(parsed.seed, parsed.jobs);
+                    parsed.smoke = false;
+                    parsed.strong_requests = full.strong_requests;
+                    parsed.weak_requests_per_core = full.weak_requests_per_core;
+                }
+                "--cores" => {
+                    let spec = value(args, &mut i, "--cores")?;
+                    let mut cores = Vec::new();
+                    for part in spec.split(',') {
+                        let c: usize = part
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("--cores: bad core count {part:?}"))?;
+                        if c == 0 {
+                            return Err("--cores: core counts must be >= 1".to_string());
+                        }
+                        cores.push(c);
+                    }
+                    if cores.is_empty() {
+                        return Err("--cores needs at least one value".to_string());
+                    }
+                    parsed.cores = Some(cores);
+                }
+                "--scenario" => parsed.scenarios.push(value(args, &mut i, "--scenario")?),
+                "--requests" => {
+                    parsed.strong_requests = int(value(args, &mut i, "--requests")?, "--requests")?;
+                }
+                "--weak-requests" => {
+                    parsed.weak_requests_per_core =
+                        int(value(args, &mut i, "--weak-requests")?, "--weak-requests")?;
+                }
+                "--seed" => parsed.seed = int(value(args, &mut i, "--seed")?, "--seed")?,
+                "--jobs" => parsed.jobs = int(value(args, &mut i, "--jobs")?, "--jobs")? as usize,
+                "--json" => parsed.json = Some(PathBuf::from(value(args, &mut i, "--json")?)),
+                other => return Err(format!("unknown fleet flag {other:?}")),
+            }
+            i += 1;
+        }
+        if parsed.strong_requests == 0 || parsed.weak_requests_per_core == 0 {
+            return Err("request volumes must be at least 1".to_string());
+        }
+        Ok(parsed)
+    }
+
+    /// Resolves the arguments into an engine configuration.
+    fn config(&self) -> Result<FleetConfig, String> {
+        let scenarios: Vec<&'static Scenario> = if self.scenarios.is_empty() {
+            Scenario::all().iter().collect()
+        } else {
+            self.scenarios
+                .iter()
+                .map(|name| {
+                    Scenario::by_name(name).ok_or_else(|| {
+                        let known: Vec<&str> = Scenario::all().iter().map(|s| s.name).collect();
+                        format!(
+                            "unknown scenario {name:?} (available: {})",
+                            known.join(", ")
+                        )
+                    })
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let default = if self.smoke {
+            FleetConfig::smoke(self.seed, self.jobs)
+        } else {
+            FleetConfig::full(self.seed, self.jobs)
+        };
+        Ok(FleetConfig {
+            scenarios,
+            core_counts: self.cores.clone().unwrap_or(default.core_counts),
+            strong_requests: self.strong_requests,
+            weak_requests_per_core: self.weak_requests_per_core,
+            seed: self.seed,
+            jobs: self.jobs,
+        })
+    }
+}
+
+/// Runs `repro fleet` and returns `(exit code, report text)`. Split from
+/// [`fleet`] so tests and the golden snapshot can capture the output.
+pub fn fleet_report(args: &FleetArgs) -> (i32, String) {
+    let config = match args.config() {
+        Ok(config) => config,
+        Err(e) => return (2, format!("repro fleet: {e}")),
+    };
+    let result = run_fleet(&config);
+    let mut out = render_report(&result);
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, json_doc(&result).render_pretty()) {
+            eprintln!("repro fleet: writing {}: {e}", path.display());
+            return (1, out);
+        }
+        out.push_str(&format!("\nwrote {}", path.display()));
+    }
+    (0, out)
+}
+
+/// Runs `repro fleet`; returns the process exit code.
+pub fn fleet(args: &[String]) -> i32 {
+    let parsed = match FleetArgs::parse(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("repro fleet: {e}");
+            return 2;
+        }
+    };
+    let (code, text) = fleet_report(&parsed);
+    println!("{text}");
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    fn tiny() -> FleetArgs {
+        FleetArgs {
+            scenarios: vec!["rpc-fanout".to_string()],
+            cores: Some(vec![1, 2]),
+            strong_requests: 24,
+            weak_requests_per_core: 8,
+            ..FleetArgs::default()
+        }
+    }
+
+    #[test]
+    fn parse_covers_scales_and_rejections() {
+        let a = FleetArgs::parse(&s(&["--smoke", "--jobs", "4"])).unwrap();
+        assert!(a.smoke);
+        assert_eq!(a.jobs, 4);
+        let smoke = FleetConfig::smoke(42, 1);
+        assert_eq!(a.strong_requests, smoke.strong_requests);
+
+        let b = FleetArgs::parse(&s(&[
+            "--cores",
+            "1,4,16",
+            "--scenario",
+            "tenant-mix",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(b.cores.as_deref(), Some(&[1, 4, 16][..]));
+        assert_eq!(b.scenarios, vec!["tenant-mix"]);
+        assert_eq!(b.seed, 7);
+
+        assert!(FleetArgs::parse(&s(&["--nope"])).is_err());
+        assert!(FleetArgs::parse(&s(&["--cores", "0"])).is_err());
+        assert!(FleetArgs::parse(&s(&["--cores", "x"])).is_err());
+        assert!(FleetArgs::parse(&s(&["--scenario"])).is_err());
+        assert!(FleetArgs::parse(&s(&["--requests", "0"])).is_err());
+    }
+
+    #[test]
+    fn unknown_scenario_lists_the_catalogue() {
+        let a = FleetArgs {
+            scenarios: vec!["no-such".to_string()],
+            ..tiny()
+        };
+        let (code, text) = fleet_report(&a);
+        assert_eq!(code, 2);
+        assert!(text.contains("unknown scenario"), "{text}");
+        assert!(text.contains("rpc-fanout"), "{text}");
+    }
+
+    #[test]
+    fn report_names_the_load_bearing_sections() {
+        let (code, text) = fleet_report(&tiny());
+        assert_eq!(code, 0, "{text}");
+        for needle in [
+            "fleet report",
+            "strong scaling",
+            "weak scaling",
+            "malloc tail latency",
+            "p99 knee",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn report_is_identical_across_jobs() {
+        let mut a = tiny();
+        a.jobs = 1;
+        let (c1, seq) = fleet_report(&a);
+        a.jobs = 4;
+        let (c2, par) = fleet_report(&a);
+        assert_eq!((c1, c2), (0, 0));
+        assert_eq!(seq, par, "--jobs must not change a single byte");
+    }
+
+    #[test]
+    fn json_export_parses_and_carries_cells() {
+        use mallacc_stats::Json;
+        let dir = std::env::temp_dir().join(format!("repro-fleet-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = FleetArgs {
+            json: Some(dir.join("fleet.json")),
+            ..tiny()
+        };
+        let (code, _) = fleet_report(&a);
+        assert_eq!(code, 0);
+        let data =
+            mallacc_stats::json::parse(&std::fs::read_to_string(dir.join("fleet.json")).unwrap())
+                .unwrap();
+        assert_eq!(
+            data.get("schema").and_then(Json::as_str),
+            Some("mallacc-fleet/1")
+        );
+        assert_eq!(
+            data.get("cells").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(4)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -34,7 +34,10 @@
 //! Figure 2-style component tables, Chrome trace export). `repro
 //! validate` ([`validate_cli`]) drives the `mallacc-validate`
 //! conformance subsystem (analytic latency oracle, reference-spec
-//! differential fuzzing, metamorphic laws).
+//! differential fuzzing, metamorphic laws). `repro fleet`
+//! ([`fleet_cli`]) drives the `mallacc-fleet` datacenter scenario
+//! engine (request-driven traffic, strong/weak scaling curves, and
+//! per-malloc tail latency on the multi-core simulator).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@
 pub mod experiments;
 pub mod explore_cli;
 pub mod figures;
+pub mod fleet_cli;
 pub mod mt;
 pub mod profile_cli;
 pub mod tables;

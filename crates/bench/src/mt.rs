@@ -12,9 +12,9 @@
 //! 1-core run).
 
 use mallacc::Mode;
-use mallacc_multicore::{MtRunResult, MulticoreSim};
+use mallacc_multicore::{latency_sinks, take_latencies, MtRunResult, MulticoreSim};
 use mallacc_stats::table::Table;
-use mallacc_stats::Json;
+use mallacc_stats::{Cdf, Json};
 use mallacc_workloads::{MacroWorkload, MtTrace};
 
 use crate::experiments::{improvement_pct, Scale};
@@ -42,6 +42,10 @@ pub struct MtRow {
     pub steals: u64,
     /// Per-core malloc-cache `(lookup hit %, pop hit %)` under Mallacc.
     pub hit_rates: Vec<(f64, f64)>,
+    /// Baseline per-malloc `(p99, p999)` cycles across all cores.
+    pub base_tail: (u64, u64),
+    /// Mallacc per-malloc `(p99, p999)` cycles across all cores.
+    pub accel_tail: (u64, u64),
 }
 
 /// One workload's multi-core scaling block.
@@ -57,6 +61,24 @@ fn run(mode: Mode, trace: &MtTrace) -> MtRunResult {
     MulticoreSim::new(mode, trace.cores()).run(trace)
 }
 
+/// Runs `trace` with per-call latency sinks attached and returns the
+/// result plus the malloc-latency `(p99, p999)` across all cores.
+fn run_with_tails(mode: Mode, trace: &MtTrace) -> (MtRunResult, (u64, u64)) {
+    let sim = MulticoreSim::new(mode, trace.cores());
+    let (r, sinks) = sim.run_with_sinks(trace, latency_sinks(trace.cores()));
+    let mut cdf = Cdf::new();
+    for lat in take_latencies(sinks) {
+        for &c in &lat.malloc_cycles {
+            cdf.record(c as f64, 1.0);
+        }
+    }
+    let tails = (
+        cdf.p99().unwrap_or(0.0) as u64,
+        cdf.p999().unwrap_or(0.0) as u64,
+    );
+    (r, tails)
+}
+
 fn mc_hit_rates(r: &MtRunResult) -> Vec<(f64, f64)> {
     r.per_core
         .iter()
@@ -70,8 +92,8 @@ fn workload_block(name: &str, scale: Scale, make: impl Fn(usize, usize) -> MtTra
         // Strong scaling: the same total calls, split across cores.
         let calls_per_core = (scale.calls / cores).max(40);
         let trace = make(cores, calls_per_core);
-        let base = run(Mode::Baseline, &trace);
-        let accel = run(Mode::mallacc_default(), &trace);
+        let (base, base_tail) = run_with_tails(Mode::Baseline, &trace);
+        let (accel, accel_tail) = run_with_tails(Mode::mallacc_default(), &trace);
         let limit = run(Mode::limit_all(), &trace);
         rows.push(MtRow {
             cores,
@@ -83,6 +105,8 @@ fn workload_block(name: &str, scale: Scale, make: impl Fn(usize, usize) -> MtTra
             remote_frees: base.alloc.remote_frees,
             steals: base.alloc.steals,
             hit_rates: mc_hit_rates(&accel),
+            base_tail,
+            accel_tail,
         });
     }
     MtBlock {
@@ -134,6 +158,10 @@ pub fn mt_json(blocks: &[MtBlock]) -> Json {
                                         ("limit_improvement_pct", r.limit_impr.into()),
                                         ("remote_frees", r.remote_frees.into()),
                                         ("steals", r.steals.into()),
+                                        ("base_malloc_p99", r.base_tail.0.into()),
+                                        ("base_malloc_p999", r.base_tail.1.into()),
+                                        ("mallacc_malloc_p99", r.accel_tail.0.into()),
+                                        ("mallacc_malloc_p999", r.accel_tail.1.into()),
                                         (
                                             "mc_hit_rates_pct",
                                             Json::Arr(
@@ -162,9 +190,10 @@ pub fn mt_json(blocks: &[MtBlock]) -> Json {
 /// Renders the multi-core text report from its dataset.
 pub fn render_mt(blocks: &[MtBlock]) -> String {
     let mut out = String::from(
-        "Multi-core — allocator time and malloc-cache hit rates vs. core \
-         count\n(strong scaling: total calls fixed as cores grow; \
-         hit-rates column is lookup%/pop% per core)\n\n",
+        "Multi-core — allocator time, malloc tail latency and malloc-cache \
+         hit rates vs. core count\n(strong scaling: total calls fixed as \
+         cores grow; tail columns are per-malloc p99/p999 cycles, \
+         baseline→mallacc; hit-rates column is lookup%/pop% per core)\n\n",
     );
     for (i, b) in blocks.iter().enumerate() {
         if i > 0 {
@@ -179,6 +208,8 @@ pub fn render_mt(blocks: &[MtBlock]) -> String {
             "impr",
             "remote frees",
             "steals",
+            "malloc p99 b→m",
+            "p999 b→m",
             "mc lookup/pop hit% per core",
         ]);
         for r in &b.rows {
@@ -196,6 +227,8 @@ pub fn render_mt(blocks: &[MtBlock]) -> String {
                 format!("{:.1}%", r.limit_impr),
                 r.remote_frees.to_string(),
                 r.steals.to_string(),
+                format!("{}→{}", r.base_tail.0, r.accel_tail.0),
+                format!("{}→{}", r.base_tail.1, r.accel_tail.1),
                 rates.join(" "),
             ]);
         }

@@ -85,8 +85,9 @@ impl ParamGrid {
     /// Parses a `--grid` spec: semicolon-separated `axis=v1,v2,…`
     /// overrides applied to the default single-point grid. Axes:
     /// `entries`, `xlat`, `prefetch`, `index`, `sampling` (`on`/`off`),
-    /// `substrate` (`tcmalloc`/`jemalloc`), `workload` (names, or the
-    /// families `micro`/`macro`/`all`), `cores`.
+    /// `substrate` (`tcmalloc`/`jemalloc`), `workload` (names, the
+    /// families `micro`/`macro`/`all`, the `fleet` family, or individual
+    /// `fleet:NAME` scenarios), `cores`.
     pub fn parse(spec: &str) -> Result<ParamGrid, String> {
         let mut grid = ParamGrid::default();
         for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
@@ -154,6 +155,11 @@ impl ParamGrid {
                             "all" => {
                                 names.extend(AnyWorkload::all_names().iter().map(|n| n.to_string()))
                             }
+                            "fleet" => names.extend(
+                                mallacc_fleet::Scenario::all()
+                                    .iter()
+                                    .map(|s| format!("fleet:{}", s.name)),
+                            ),
                             name => names.push(name.to_string()),
                         }
                     }
@@ -171,11 +177,15 @@ impl ParamGrid {
         Ok(grid)
     }
 
-    /// Workload names in the grid that resolve to neither suite.
+    /// Workload names in the grid that resolve to no suite: neither a
+    /// micro/macro workload nor a `fleet:NAME` scenario.
     pub fn unknown_workloads(&self) -> Vec<String> {
         self.workloads
             .iter()
-            .filter(|n| AnyWorkload::by_name(n).is_none())
+            .filter(|n| match n.strip_prefix("fleet:") {
+                Some(scenario) => mallacc_fleet::Scenario::by_name(scenario).is_none(),
+                None => AnyWorkload::by_name(n).is_none(),
+            })
             .cloned()
             .collect()
     }
@@ -186,15 +196,21 @@ impl ParamGrid {
     ///
     /// Combinations the simulator stack cannot express are skipped:
     /// multi-core points exist only on the TCMalloc substrate and only
-    /// for macro workloads (microbenchmarks have no multi-threaded trace
-    /// generator).
+    /// for macro workloads or fleet scenarios (microbenchmarks have no
+    /// multi-threaded trace generator), and fleet scenarios — which run
+    /// on the shared multi-core TCMalloc — have no jemalloc variant at
+    /// any core count.
     pub fn expand(&self) -> Vec<ConfigPoint> {
         let mut points = Vec::new();
         for workload in &self.workloads {
             let is_micro = AnyWorkload::by_name(workload).is_some_and(|w| w.is_micro());
+            let is_fleet = workload.starts_with("fleet:");
             for &substrate in &self.substrates {
+                if is_fleet && substrate == Substrate::JeMalloc {
+                    continue;
+                }
                 for &cores in &self.cores {
-                    if cores > 1 && (substrate == Substrate::JeMalloc || is_micro) {
+                    if cores > 1 && !is_fleet && (substrate == Substrate::JeMalloc || is_micro) {
                         continue;
                     }
                     for &entries in &self.entries {
@@ -293,5 +309,35 @@ mod tests {
     fn unknown_workloads_are_reported() {
         let g = ParamGrid::parse("workload=tp_small,bogus").unwrap();
         assert_eq!(g.unknown_workloads(), vec!["bogus".to_string()]);
+    }
+
+    #[test]
+    fn fleet_family_expands_to_prefixed_scenarios() {
+        let g = ParamGrid::parse("workload=fleet").unwrap();
+        assert_eq!(g.workloads.len(), mallacc_fleet::Scenario::all().len());
+        assert!(g.workloads.iter().all(|w| w.starts_with("fleet:")));
+        assert!(g.unknown_workloads().is_empty());
+        assert_eq!(
+            ParamGrid::parse("workload=fleet:bogus")
+                .unwrap()
+                .unknown_workloads(),
+            vec!["fleet:bogus".to_string()]
+        );
+    }
+
+    #[test]
+    fn fleet_points_are_multicore_tcmalloc_only() {
+        let g =
+            ParamGrid::parse("workload=fleet:rpc-fanout;substrate=tcmalloc,jemalloc;cores=1,4,16")
+                .unwrap();
+        let pts = g.expand();
+        // No jemalloc variant at any core count; every tcmalloc core
+        // count survives, including multi-core.
+        assert_eq!(pts.len(), 3);
+        assert!(pts.iter().all(|p| p.substrate == Substrate::TcMalloc));
+        assert_eq!(
+            pts.iter().map(|p| p.cores).collect::<Vec<_>>(),
+            vec![1, 4, 16]
+        );
     }
 }

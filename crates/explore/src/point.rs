@@ -139,6 +139,13 @@ impl ConfigPoint {
         AreaEstimate::for_entries(self.entries).total_um2() * self.cores as f64
     }
 
+    /// Requests a `fleet:` point streams, derived from the scale so quick
+    /// and full sweeps stay proportionate (a request is ~8 allocator
+    /// calls through the fan-out graph).
+    fn fleet_requests(&self) -> u64 {
+        (self.scale.calls as u64 / 8).max(8)
+    }
+
     /// Runs the point: baseline vs. accelerated allocator cycles on the
     /// substrate/core-count the point names.
     ///
@@ -146,12 +153,30 @@ impl ConfigPoint {
     ///
     /// Panics if the workload name does not resolve, or if the point
     /// names a combination [`crate::ParamGrid::expand`] filters out
-    /// (multi-core jemalloc, multi-core microbenchmarks). The engine
-    /// validates grids before running.
+    /// (multi-core jemalloc, multi-core microbenchmarks, jemalloc fleet
+    /// scenarios). The engine validates grids before running.
     pub fn run(&self) -> PointResult {
+        let accel = Mode::Mallacc(self.accel_config());
+        if let Some(name) = self.workload.strip_prefix("fleet:") {
+            let scenario = mallacc_fleet::Scenario::by_name(name)
+                .unwrap_or_else(|| panic!("unknown fleet scenario {name}"));
+            assert!(
+                self.substrate == Substrate::TcMalloc,
+                "fleet scenarios run on the tcmalloc substrate"
+            );
+            let requests = self.fleet_requests();
+            let run = |mode: Mode| {
+                let mut stream = scenario.stream(self.cores, requests, self.seed);
+                let totals = MulticoreSim::new(mode, self.cores)
+                    .run_stream(&mut stream)
+                    .aggregate();
+                (totals.malloc_cycles + totals.free_cycles) as f64
+            };
+            let (base_cycles, accel_cycles) = (run(Mode::Baseline), run(accel));
+            return self.result_from(base_cycles, accel_cycles);
+        }
         let workload = AnyWorkload::by_name(&self.workload)
             .unwrap_or_else(|| panic!("unknown workload {}", self.workload));
-        let accel = Mode::Mallacc(self.accel_config());
         let (base_cycles, accel_cycles) = if self.cores > 1 {
             let AnyWorkload::Macro(w) = &workload else {
                 panic!("multi-core sweeps need a macro workload");
@@ -186,6 +211,11 @@ impl ConfigPoint {
                 ),
             }
         };
+        self.result_from(base_cycles, accel_cycles)
+    }
+
+    /// Packs raw cycle totals into a [`PointResult`].
+    fn result_from(&self, base_cycles: f64, accel_cycles: f64) -> PointResult {
         PointResult {
             base_cycles,
             accel_cycles,
@@ -343,6 +373,35 @@ mod tests {
         assert_eq!(cfg.cache.keying, RangeKeying::RequestedSize);
         assert!(!cfg.prefetch && !cfg.sampling_opt);
         assert!(cfg.size_class_opt && cfg.list_opt);
+    }
+
+    #[test]
+    fn running_a_fleet_point_shows_a_gain_on_two_cores() {
+        let r = ConfigPoint {
+            workload: "fleet:rpc-fanout".to_string(),
+            cores: 2,
+            scale: RunScale {
+                calls: 200,
+                warmup: 0,
+            },
+            ..point()
+        }
+        .run();
+        assert!(r.base_cycles > 0.0);
+        assert!(r.improvement_pct > 0.0, "fleet traffic should accelerate");
+    }
+
+    #[test]
+    fn fleet_points_key_on_the_scenario_name() {
+        let a = ConfigPoint {
+            workload: "fleet:rpc-fanout".to_string(),
+            ..point()
+        };
+        let b = ConfigPoint {
+            workload: "fleet:tenant-mix".to_string(),
+            ..point()
+        };
+        assert_ne!(a.key(), b.key());
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Deterministic request-arrival processes.
+//!
+//! A fleet scenario is driven by a stream of inter-arrival gaps (cycles of
+//! front-end idle time between consecutive requests). Three shapes cover
+//! the traffic patterns the datacenter-tax literature cares about: steady
+//! load, on/off bursts, and a diurnal load curve. All three are computed
+//! with integer arithmetic and a seeded [`SmallRng`] only — no
+//! transcendental floats — so the generated gaps are bit-identical on
+//! every platform, which is what lets fleet reports be golden-snapshotted.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Inter-arrival behaviour of a scenario's request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Uniform load: every gap jitters around `mean_gap` cycles.
+    Steady {
+        /// Mean inter-arrival gap in cycles.
+        mean_gap: u32,
+    },
+    /// On/off bursts: `burst_len` requests arrive `boost`× faster than
+    /// the mean, then a single idle gap `boost`× longer than the mean
+    /// restores the long-run average rate.
+    Bursty {
+        /// Mean inter-arrival gap in cycles (long-run average).
+        mean_gap: u32,
+        /// Requests per burst.
+        burst_len: u32,
+        /// Rate multiplier inside a burst (and idle multiplier between).
+        boost: u32,
+    },
+    /// Diurnal load curve: a triangle wave with period `period_requests`
+    /// sweeps the instantaneous request rate between `(1 ∓
+    /// amplitude_pm/1000)`× the mean. Integer per-mille arithmetic stands
+    /// in for the usual sinusoid so the curve has no libm dependency.
+    Diurnal {
+        /// Mean inter-arrival gap in cycles (mid-curve).
+        mean_gap: u32,
+        /// Peak-to-mean amplitude in per-mille (e.g. 600 = ±60% load).
+        amplitude_pm: u32,
+        /// Requests per full day/night cycle.
+        period_requests: u32,
+    },
+}
+
+/// Infinite iterator of inter-arrival gaps for one arrival process.
+///
+/// Deterministic: the `n`-th gap is a pure function of `(process, seed)`,
+/// independent of how the stream is consumed.
+///
+/// # Example
+///
+/// ```
+/// use mallacc_fleet::{ArrivalProcess, Arrivals};
+///
+/// let p = ArrivalProcess::Steady { mean_gap: 200 };
+/// let a: Vec<u32> = Arrivals::new(p, 7).take(4).collect();
+/// let b: Vec<u32> = Arrivals::new(p, 7).take(4).collect();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Arrivals {
+    process: ArrivalProcess,
+    rng: SmallRng,
+    idx: u64,
+}
+
+impl Arrivals {
+    /// The gap stream of `process` under `seed`.
+    pub fn new(process: ArrivalProcess, seed: u64) -> Arrivals {
+        Arrivals {
+            process,
+            rng: SmallRng::seed_from_u64(seed ^ 0xA5A5_1234_DEAD_BEEF),
+            idx: 0,
+        }
+    }
+
+    /// ±25% uniform jitter around `gap`, floored so every gap costs
+    /// at least a few cycles.
+    fn jitter(&mut self, gap: u32) -> u32 {
+        let g = gap.max(4);
+        self.rng.gen_range(g - g / 4..=g + g / 4)
+    }
+}
+
+impl Iterator for Arrivals {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        let idx = self.idx;
+        self.idx += 1;
+        let gap = match self.process {
+            ArrivalProcess::Steady { mean_gap } => self.jitter(mean_gap),
+            ArrivalProcess::Bursty {
+                mean_gap,
+                burst_len,
+                boost,
+            } => {
+                let cycle = u64::from(burst_len.max(1)) + 1;
+                if idx % cycle < u64::from(burst_len.max(1)) {
+                    self.jitter((mean_gap / boost.max(1)).max(1))
+                } else {
+                    self.jitter(mean_gap.saturating_mul(boost.max(1)))
+                }
+            }
+            ArrivalProcess::Diurnal {
+                mean_gap,
+                amplitude_pm,
+                period_requests,
+            } => {
+                let period = u64::from(period_requests.max(2));
+                let half = period / 2;
+                let phase = idx % period;
+                // Triangle in [0, half]: 0 at trough, `half` at peak.
+                let tri = if phase < half { phase } else { period - phase };
+                let amp = amplitude_pm.min(900) as u64;
+                // Load factor in per-mille: (1000 - amp) .. (1000 + amp).
+                let load_pm = (1000 - amp) + (2 * amp * tri) / half.max(1);
+                let gap = (u64::from(mean_gap) * 1000 / load_pm.max(1)) as u32;
+                self.jitter(gap)
+            }
+        };
+        Some(gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn take(p: ArrivalProcess, seed: u64, n: usize) -> Vec<u32> {
+        Arrivals::new(p, seed).take(n).collect()
+    }
+
+    #[test]
+    fn every_process_is_deterministic_per_seed() {
+        let procs = [
+            ArrivalProcess::Steady { mean_gap: 200 },
+            ArrivalProcess::Bursty {
+                mean_gap: 200,
+                burst_len: 16,
+                boost: 8,
+            },
+            ArrivalProcess::Diurnal {
+                mean_gap: 200,
+                amplitude_pm: 600,
+                period_requests: 128,
+            },
+        ];
+        for p in procs {
+            assert_eq!(take(p, 11, 500), take(p, 11, 500), "{p:?}");
+            assert_ne!(take(p, 11, 500), take(p, 12, 500), "{p:?} ignores seed");
+        }
+    }
+
+    #[test]
+    fn steady_gaps_stay_near_the_mean() {
+        let gaps = take(ArrivalProcess::Steady { mean_gap: 400 }, 3, 1000);
+        assert!(gaps.iter().all(|&g| (300..=500).contains(&g)));
+        let mean = gaps.iter().map(|&g| u64::from(g)).sum::<u64>() / 1000;
+        assert!((350..=450).contains(&mean), "mean drifted to {mean}");
+    }
+
+    #[test]
+    fn bursty_alternates_fast_and_idle_gaps() {
+        let p = ArrivalProcess::Bursty {
+            mean_gap: 800,
+            burst_len: 8,
+            boost: 8,
+        };
+        let gaps = take(p, 5, 9 * 10);
+        // Within a burst gaps are ~100 cycles; the idle gap is ~6400.
+        for (i, &g) in gaps.iter().enumerate() {
+            if i % 9 < 8 {
+                assert!(g < 200, "burst gap {g} too long at {i}");
+            } else {
+                assert!(g > 4000, "idle gap {g} too short at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_peak_is_faster_than_trough() {
+        let p = ArrivalProcess::Diurnal {
+            mean_gap: 1000,
+            amplitude_pm: 600,
+            period_requests: 100,
+        };
+        let gaps = take(p, 9, 100);
+        // Trough (phase 0): load 0.4× → gaps ~2500. Peak (phase 50):
+        // load 1.6× → gaps ~625.
+        assert!(
+            gaps[0] > gaps[50] * 2,
+            "trough {} peak {}",
+            gaps[0],
+            gaps[50]
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! Per-request allocation graphs: tenants, RPC fan-out, and free topology.
+//!
+//! One "request" models a front-end query fanning out to back-end RPCs, the
+//! dominant allocation shape of datacenter services (the paper's xapian and
+//! masstree macrobenchmarks are single-node slices of exactly this). A
+//! request picks a tenant (which fixes its size-class mix), allocates a
+//! request buffer on its entry core, fans out to worker cores that allocate
+//! per-RPC scratch blocks, then retires every block it allocated — so a
+//! drained request stream conserves memory by construction, and `requests
+//! issued == requests retired` is checkable.
+
+use mallacc_workloads::MtOp;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One tenant of a multi-tenant service: a traffic share plus a weighted
+/// allocation-size palette (its size-class mix).
+#[derive(Debug, Clone, Copy)]
+pub struct Tenant {
+    /// Display name.
+    pub name: &'static str,
+    /// Share of requests, relative to the other tenants' weights.
+    pub weight: u32,
+    /// Weighted `(bytes, weight)` allocation palette.
+    pub sizes: &'static [(u64, u32)],
+}
+
+impl Tenant {
+    /// Samples one allocation size from the palette.
+    pub fn sample_size(&self, rng: &mut SmallRng) -> u64 {
+        weighted_pick(self.sizes.iter().map(|&(s, w)| (s, w)), rng)
+    }
+}
+
+/// Who frees the blocks a worker RPC allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// The entry core frees worker blocks when it merges responses — the
+    /// classic producer–consumer hand-off (workers produce, entry
+    /// consumes), concentrating remote frees on the entry core.
+    ProducerConsumer,
+    /// A third core — neither the allocator nor the entry — frees each
+    /// worker block: free-heavy cross-core scatter, the worst case for
+    /// TCMalloc's transfer cache and for malloc-cache list coherence.
+    CrossCoreFree,
+}
+
+impl Topology {
+    /// Stable lowercase name (used in reports and JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::ProducerConsumer => "producer-consumer",
+            Topology::CrossCoreFree => "cross-core-free",
+        }
+    }
+}
+
+/// Shape of every request in a scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestProfile {
+    /// The tenants sharing this service.
+    pub tenants: &'static [Tenant],
+    /// Inclusive range of back-end RPCs per request.
+    pub fanout: (u8, u8),
+    /// Inclusive range of scratch allocations per RPC.
+    pub allocs_per_rpc: (u8, u8),
+    /// Inclusive range of per-RPC service compute, in cycles.
+    pub service_gap: (u32, u32),
+    /// Cache lines each RPC touches of its working set (0 = none).
+    pub touch_lines: u16,
+    /// Working-set size in lines for [`MtOp::AppTouch`].
+    pub working_set_lines: u32,
+    /// Who frees worker-allocated blocks.
+    pub topology: Topology,
+}
+
+impl RequestProfile {
+    /// Picks the tenant serving request, by traffic weight.
+    pub fn pick_tenant(&self, rng: &mut SmallRng) -> &Tenant {
+        assert!(
+            !self.tenants.is_empty(),
+            "profile needs at least one tenant"
+        );
+        let i = weighted_pick(
+            self.tenants.iter().enumerate().map(|(i, t)| (i, t.weight)),
+            rng,
+        );
+        &self.tenants[i]
+    }
+
+    /// Generates the full op list of request `req_idx` on a `cores`-core
+    /// fleet, starting with `arrival_gap` cycles of front-end idle time.
+    ///
+    /// Every block the request allocates is freed before the list ends,
+    /// and tokens embed `req_idx` so concurrent in-flight requests never
+    /// collide.
+    pub fn gen_request(
+        &self,
+        req_idx: u64,
+        cores: usize,
+        arrival_gap: u32,
+        rng: &mut SmallRng,
+    ) -> Vec<(usize, MtOp)> {
+        assert!(cores > 0, "need at least one core");
+        let entry = (req_idx % cores as u64) as usize;
+        let mut next_block = 0u64;
+        let mut token = move || {
+            let t = (req_idx << 16) | next_block;
+            next_block += 1;
+            t
+        };
+        let tenant = *self.pick_tenant(rng);
+        let mut ops = Vec::new();
+
+        // Front-end: wait for the request, allocate its buffer, parse it.
+        ops.push((
+            entry,
+            MtOp::AppRun {
+                cycles: arrival_gap,
+            },
+        ));
+        let req_buf = token();
+        ops.push((
+            entry,
+            MtOp::Malloc {
+                size: tenant.sample_size(rng),
+                token: req_buf,
+            },
+        ));
+        let (g_lo, g_hi) = self.service_gap;
+        ops.push((
+            entry,
+            MtOp::AppRun {
+                cycles: rng.gen_range(g_lo..=g_hi) / 4 + 1,
+            },
+        ));
+
+        // Fan out to worker RPCs.
+        let (f_lo, f_hi) = self.fanout;
+        let fanout = u64::from(rng.gen_range(u32::from(f_lo)..=u32::from(f_hi.max(f_lo))));
+        for j in 0..fanout {
+            let worker = ((entry as u64 + 1 + j) % cores as u64) as usize;
+            ops.push((
+                worker,
+                MtOp::AppRun {
+                    cycles: rng.gen_range(g_lo..=g_hi),
+                },
+            ));
+            if self.touch_lines > 0 {
+                ops.push((
+                    worker,
+                    MtOp::AppTouch {
+                        lines: self.touch_lines,
+                        working_set_lines: self.working_set_lines,
+                    },
+                ));
+            }
+            let (a_lo, a_hi) = self.allocs_per_rpc;
+            let allocs = rng.gen_range(u32::from(a_lo)..=u32::from(a_hi.max(a_lo)));
+            let mut scratch = Vec::with_capacity(allocs as usize);
+            for _ in 0..allocs {
+                let t = token();
+                ops.push((
+                    worker,
+                    MtOp::Malloc {
+                        size: tenant.sample_size(rng),
+                        token: t,
+                    },
+                ));
+                scratch.push(t);
+            }
+            // Response hand-off: who retires the RPC's blocks.
+            let freer = match self.topology {
+                Topology::ProducerConsumer => entry,
+                Topology::CrossCoreFree => {
+                    // A core that is neither the worker nor (when possible)
+                    // the entry, chosen deterministically per RPC.
+                    if cores == 1 {
+                        0
+                    } else {
+                        let mut c = rng.gen_range(0..cores as u64) as usize;
+                        while c == worker {
+                            c = (c + 1) % cores;
+                        }
+                        c
+                    }
+                }
+            };
+            for t in scratch {
+                ops.push((
+                    freer,
+                    MtOp::Free {
+                        token: t,
+                        sized: rng.gen_bool(0.7),
+                    },
+                ));
+            }
+        }
+
+        // Merge responses and retire the request buffer locally.
+        ops.push((
+            entry,
+            MtOp::AppRun {
+                cycles: rng.gen_range(g_lo..=g_hi) / 2 + 1,
+            },
+        ));
+        ops.push((
+            entry,
+            MtOp::Free {
+                token: req_buf,
+                sized: true,
+            },
+        ));
+        ops
+    }
+}
+
+/// Weighted choice over `(value, weight)` pairs. Total weight must be > 0.
+fn weighted_pick<T: Copy>(pairs: impl Iterator<Item = (T, u32)> + Clone, rng: &mut SmallRng) -> T {
+    let total: u64 = pairs.clone().map(|(_, w)| u64::from(w)).sum();
+    assert!(total > 0, "weights must not all be zero");
+    let mut roll = rng.gen_range(0..total);
+    for (v, w) in pairs {
+        let w = u64::from(w);
+        if roll < w {
+            return v;
+        }
+        roll -= w;
+    }
+    unreachable!("roll exceeded total weight")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    const T_SMALL: Tenant = Tenant {
+        name: "small",
+        weight: 3,
+        sizes: &[(32, 4), (64, 2), (128, 1)],
+    };
+    const T_BIG: Tenant = Tenant {
+        name: "big",
+        weight: 1,
+        sizes: &[(4096, 1)],
+    };
+
+    fn profile(topology: Topology) -> RequestProfile {
+        RequestProfile {
+            tenants: &[T_SMALL, T_BIG],
+            fanout: (2, 4),
+            allocs_per_rpc: (1, 3),
+            service_gap: (80, 240),
+            touch_lines: 0,
+            working_set_lines: 0,
+            topology,
+        }
+    }
+
+    #[test]
+    fn requests_conserve_blocks_and_scope_tokens() {
+        let p = profile(Topology::ProducerConsumer);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for req in 0..50u64 {
+            let ops = p.gen_request(req, 4, 100, &mut rng);
+            let mut live: HashMap<u64, usize> = HashMap::new();
+            for &(core, op) in &ops {
+                match op {
+                    MtOp::Malloc { token, .. } => {
+                        assert_eq!(token >> 16, req, "token outside request scope");
+                        assert!(live.insert(token, core).is_none(), "token reuse");
+                    }
+                    MtOp::Free { token, .. } => {
+                        assert!(live.remove(&token).is_some(), "free of unknown token");
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                live.is_empty(),
+                "request {req} leaked {} blocks",
+                live.len()
+            );
+        }
+    }
+
+    #[test]
+    fn producer_consumer_frees_on_the_entry_core() {
+        let p = profile(Topology::ProducerConsumer);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ops = p.gen_request(0, 4, 100, &mut rng);
+        let entry = 0usize;
+        for &(core, op) in &ops {
+            if let MtOp::Free { .. } = op {
+                assert_eq!(core, entry, "all frees flow back to the entry core");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_core_free_never_frees_on_the_allocating_core() {
+        let p = profile(Topology::CrossCoreFree);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut remote = 0usize;
+        for req in 0..40u64 {
+            let ops = p.gen_request(req, 4, 100, &mut rng);
+            let mut owner: HashMap<u64, usize> = HashMap::new();
+            for &(core, op) in &ops {
+                match op {
+                    MtOp::Malloc { token, .. } => {
+                        owner.insert(token, core);
+                    }
+                    // The request buffer retires on its own (entry)
+                    // core; worker scratch must not.
+                    MtOp::Free { token, .. } if token & 0xFFFF != 0 => {
+                        assert_ne!(owner[&token], core, "scratch freed locally");
+                        remote += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(remote > 0, "no cross-core frees generated");
+    }
+
+    #[test]
+    fn tenant_weights_shape_traffic() {
+        let p = profile(Topology::ProducerConsumer);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut small = 0usize;
+        for _ in 0..4000 {
+            if p.pick_tenant(&mut rng).name == "small" {
+                small += 1;
+            }
+        }
+        // Weight 3:1 → about 75% of requests.
+        assert!(
+            (2700..=3300).contains(&small),
+            "small tenant won {small}/4000"
+        );
+    }
+
+    #[test]
+    fn single_core_degenerates_to_all_local() {
+        let p = profile(Topology::CrossCoreFree);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let ops = p.gen_request(7, 1, 50, &mut rng);
+        assert!(ops.iter().all(|&(c, _)| c == 0));
+    }
+}

@@ -1,0 +1,347 @@
+//! Named fleet scenarios and the bounded-memory op stream they produce.
+//!
+//! A [`Scenario`] bundles an arrival process, a request profile and an
+//! in-flight window into a reproducible traffic description. Its
+//! [`stream`](Scenario::stream) interleaves the ops of up to `inflight`
+//! concurrent requests round-robin — so cores genuinely overlap work, as
+//! they would under real load — while holding only those requests' ops in
+//! memory. The stream plugs straight into
+//! [`MulticoreSim::run_stream`](mallacc_multicore::MulticoreSim::run_stream):
+//! the full trace never materialises.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use mallacc_workloads::MtOp;
+
+use crate::arrival::{ArrivalProcess, Arrivals};
+use crate::request::{RequestProfile, Tenant, Topology};
+
+/// A named, fully deterministic fleet traffic scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Stable scenario name (CLI `--scenario`, reports, JSON).
+    pub name: &'static str,
+    /// One-line description for reports.
+    pub description: &'static str,
+    /// Request arrival process.
+    pub arrival: ArrivalProcess,
+    /// Per-request allocation graph.
+    pub profile: RequestProfile,
+    /// Maximum concurrently in-flight requests in the interleave window.
+    pub inflight: usize,
+}
+
+/// Front-end tenant: small request/response buffers, Zipf-ish mix.
+const FRONTEND: Tenant = Tenant {
+    name: "frontend",
+    weight: 1,
+    sizes: &[(32, 6), (64, 5), (128, 3), (256, 2), (512, 1)],
+};
+/// Caching tenant: small hot values dominate.
+const CACHE: Tenant = Tenant {
+    name: "cache",
+    weight: 5,
+    sizes: &[(32, 8), (64, 4), (96, 2)],
+};
+/// Logging/analytics tenant: mid-size record buffers.
+const LOGGER: Tenant = Tenant {
+    name: "logger",
+    weight: 2,
+    sizes: &[(256, 3), (1024, 2), (4096, 1)],
+};
+/// Search tenant: document scratch, mixed sizes.
+const SEARCH: Tenant = Tenant {
+    name: "search",
+    weight: 3,
+    sizes: &[(64, 4), (288, 3), (2048, 1)],
+};
+
+/// The built-in scenario catalogue.
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "rpc-fanout",
+        description: "steady load, 2-4 way RPC fan-out, producer-consumer frees",
+        arrival: ArrivalProcess::Steady { mean_gap: 300 },
+        profile: RequestProfile {
+            tenants: &[FRONTEND],
+            fanout: (2, 4),
+            allocs_per_rpc: (2, 4),
+            service_gap: (80, 240),
+            touch_lines: 0,
+            working_set_lines: 0,
+            topology: Topology::ProducerConsumer,
+        },
+        inflight: 8,
+    },
+    Scenario {
+        name: "tenant-mix",
+        description: "bursty multi-tenant traffic, cross-core-free heavy",
+        arrival: ArrivalProcess::Bursty {
+            mean_gap: 400,
+            burst_len: 16,
+            boost: 8,
+        },
+        profile: RequestProfile {
+            tenants: &[CACHE, LOGGER, SEARCH],
+            fanout: (1, 3),
+            allocs_per_rpc: (2, 5),
+            service_gap: (60, 200),
+            touch_lines: 0,
+            working_set_lines: 0,
+            topology: Topology::CrossCoreFree,
+        },
+        inflight: 8,
+    },
+    Scenario {
+        name: "diurnal-burst",
+        description: "diurnal load curve with app cache pressure, producer-consumer",
+        arrival: ArrivalProcess::Diurnal {
+            mean_gap: 350,
+            amplitude_pm: 600,
+            period_requests: 96,
+        },
+        profile: RequestProfile {
+            tenants: &[FRONTEND, SEARCH],
+            fanout: (1, 2),
+            allocs_per_rpc: (1, 3),
+            service_gap: (100, 300),
+            touch_lines: 24,
+            working_set_lines: 4096,
+            topology: Topology::ProducerConsumer,
+        },
+        inflight: 4,
+    },
+];
+
+impl Scenario {
+    /// All built-in scenarios, in catalogue order.
+    pub fn all() -> &'static [Scenario] {
+        SCENARIOS
+    }
+
+    /// Looks a scenario up by its stable name.
+    pub fn by_name(name: &str) -> Option<&'static Scenario> {
+        SCENARIOS.iter().find(|s| s.name == name)
+    }
+
+    /// The deterministic op stream of `requests` requests of this scenario
+    /// on a `cores`-core fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn stream(&self, cores: usize, requests: u64, seed: u64) -> ScenarioStream {
+        assert!(cores > 0, "need at least one core");
+        let mut s = ScenarioStream {
+            profile: self.profile,
+            arrivals: Arrivals::new(self.arrival, seed),
+            rng: SmallRng::seed_from_u64(
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5851_F42D_4C95_7F2D,
+            ),
+            cores,
+            requests,
+            slots: vec![Slot::default(); self.inflight.max(1)],
+            cursor: 0,
+            issued: 0,
+            retired: 0,
+            ops_emitted: 0,
+        };
+        for i in 0..s.slots.len() {
+            s.refill(i);
+        }
+        s
+    }
+}
+
+/// One in-flight request's remaining ops.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    ops: Vec<(usize, MtOp)>,
+    pos: usize,
+}
+
+impl Slot {
+    fn done(&self) -> bool {
+        self.pos >= self.ops.len()
+    }
+}
+
+/// Iterator of globally interleaved `(core, op)` pairs for one scenario
+/// run. Memory is bounded by `inflight × ops-per-request`, independent of
+/// the total request count.
+///
+/// After exhaustion, [`requests_issued`](ScenarioStream::requests_issued)
+/// and [`requests_retired`](ScenarioStream::requests_retired) report the
+/// conservation ledger (both equal the configured request count).
+#[derive(Debug, Clone)]
+pub struct ScenarioStream {
+    profile: RequestProfile,
+    arrivals: Arrivals,
+    rng: SmallRng,
+    cores: usize,
+    requests: u64,
+    slots: Vec<Slot>,
+    cursor: usize,
+    issued: u64,
+    retired: u64,
+    ops_emitted: u64,
+}
+
+impl ScenarioStream {
+    /// Core count the stream was generated for.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Requests generated into the interleave window so far.
+    pub fn requests_issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Requests whose every op (including all frees) has been emitted.
+    pub fn requests_retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Total `(core, op)` pairs emitted so far.
+    pub fn ops_emitted(&self) -> u64 {
+        self.ops_emitted
+    }
+
+    /// Loads the next pending request into slot `i`, if any remain.
+    fn refill(&mut self, i: usize) {
+        if self.issued >= self.requests {
+            return;
+        }
+        let req_idx = self.issued;
+        self.issued += 1;
+        let gap = self.arrivals.next().expect("arrivals are infinite");
+        let ops = self
+            .profile
+            .gen_request(req_idx, self.cores, gap, &mut self.rng);
+        self.slots[i] = Slot { ops, pos: 0 };
+    }
+}
+
+impl Iterator for ScenarioStream {
+    type Item = (usize, MtOp);
+
+    fn next(&mut self) -> Option<(usize, MtOp)> {
+        let n = self.slots.len();
+        for _ in 0..n {
+            let i = self.cursor;
+            self.cursor = (self.cursor + 1) % n;
+            if self.slots[i].done() {
+                continue;
+            }
+            let op = self.slots[i].ops[self.slots[i].pos];
+            self.slots[i].pos += 1;
+            if self.slots[i].done() {
+                self.retired += 1;
+                self.refill(i);
+            }
+            self.ops_emitted += 1;
+            return Some(op);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn catalogue_has_at_least_three_named_scenarios() {
+        assert!(Scenario::all().len() >= 3);
+        for s in Scenario::all() {
+            assert_eq!(Scenario::by_name(s.name).unwrap().name, s.name);
+        }
+        assert!(Scenario::by_name("no-such").is_none());
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_seed_sensitive() {
+        let s = Scenario::by_name("rpc-fanout").unwrap();
+        let a: Vec<_> = s.stream(4, 50, 9).collect();
+        let b: Vec<_> = s.stream(4, 50, 9).collect();
+        let c: Vec<_> = s.stream(4, 50, 10).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_conserves_requests_and_blocks() {
+        for s in Scenario::all() {
+            let mut stream = s.stream(4, 60, 3);
+            let mut live: HashMap<u64, usize> = HashMap::new();
+            let mut mallocs = 0u64;
+            for (core, op) in &mut stream {
+                match op {
+                    MtOp::Malloc { token, .. } => {
+                        mallocs += 1;
+                        assert!(live.insert(token, core).is_none(), "token reuse");
+                    }
+                    MtOp::Free { token, .. } => {
+                        assert!(live.remove(&token).is_some(), "unknown token freed");
+                    }
+                    _ => {}
+                }
+            }
+            assert!(live.is_empty(), "{}: leaked {}", s.name, live.len());
+            assert!(mallocs >= 60, "{}: too few allocations", s.name);
+            assert_eq!(stream.requests_issued(), 60, "{}", s.name);
+            assert_eq!(stream.requests_retired(), 60, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn interleaving_overlaps_concurrent_requests() {
+        let s = Scenario::by_name("rpc-fanout").unwrap();
+        let ops: Vec<_> = s.stream(4, 40, 1).collect();
+        // With an in-flight window > 1, ops from different requests (token
+        // high bits) must interleave rather than appear contiguously.
+        let reqs: Vec<u64> = ops
+            .iter()
+            .filter_map(|&(_, op)| match op {
+                MtOp::Malloc { token, .. } => Some(token >> 16),
+                _ => None,
+            })
+            .collect();
+        let mut switches = 0;
+        let mut revisits = 0;
+        let mut seen = std::collections::HashSet::new();
+        for w in reqs.windows(2) {
+            if w[0] != w[1] {
+                switches += 1;
+                if !seen.insert(w[1]) {
+                    revisits += 1;
+                }
+            }
+        }
+        assert!(
+            switches > 40,
+            "requests did not interleave ({switches} switches)"
+        );
+        assert!(
+            revisits > 0,
+            "round-robin never returned to an in-flight request"
+        );
+    }
+
+    #[test]
+    fn stream_runs_on_the_multicore_simulator() {
+        use mallacc::Mode;
+        use mallacc_multicore::MulticoreSim;
+
+        let s = Scenario::by_name("tenant-mix").unwrap();
+        let mut stream = s.stream(2, 30, 5);
+        let r = MulticoreSim::new(Mode::mallacc_default(), 2).run_stream(&mut stream);
+        let agg = r.aggregate();
+        assert_eq!(agg.malloc_calls, agg.free_calls, "stream frees everything");
+        assert_eq!(stream.requests_retired(), 30);
+        assert!(agg.app_cycles > 0, "arrival gaps became app time");
+    }
+}

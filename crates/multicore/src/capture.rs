@@ -159,14 +159,33 @@ fn post_list(alloc: &TcMalloc, core: usize, cls: Option<ClassId>) -> PostList {
 ///
 /// Panics if the trace frees a token it never allocated (malformed trace).
 pub fn capture(trace: &MtTrace, config: TcMallocConfig) -> Capture {
-    let cores = trace.cores();
+    capture_stream(trace.cores(), trace.ops().iter().copied(), config)
+}
+
+/// Streaming variant of [`capture`]: consumes `(core, op)` pairs from any
+/// iterator — a generator, a [`MtOpReader`](mallacc_workloads::MtOpReader)
+/// over a trace file — so the full op sequence never has to exist in
+/// memory. The fleet scenario engine feeds million-request service
+/// streams through this entry point.
+///
+/// # Panics
+///
+/// Panics if an op names a core `>= cores`, frees a token it never
+/// allocated, or allocates a token twice (malformed stream).
+pub fn capture_stream(
+    cores: usize,
+    ops: impl IntoIterator<Item = (usize, MtOp)>,
+    config: TcMallocConfig,
+) -> Capture {
+    assert!(cores > 0, "need at least one core");
     let mut alloc = TcMalloc::with_threads(config, cores);
     let mut streams: Vec<Vec<CoreEvent>> = vec![Vec::new(); cores];
     let mut blocks: HashMap<u64, Addr> = HashMap::new();
     let mut contention = ContentionModel::default();
     let mut steal_invalidates = 0u64;
 
-    for &(core, op) in trace.ops() {
+    for (core, op) in ops {
+        assert!(core < cores, "op names core {core} >= {cores}");
         match op {
             MtOp::Malloc { size, token } => {
                 let outcome = alloc.malloc_on(core, size);
@@ -258,6 +277,29 @@ mod tests {
         assert_eq!(a.streams.len(), b.streams.len());
         for (x, y) in a.streams.iter().zip(&b.streams) {
             assert_eq!(x.len(), y.len());
+        }
+    }
+
+    #[test]
+    fn capture_streamed_through_text_io_matches_in_memory() {
+        // Serialise a trace through the chunked MT text format, stream it
+        // back through MtOpReader into capture_stream, and require the
+        // exact capture the in-memory path produces.
+        let t = MtTrace::producer_consumer(3, 90, 11);
+        let direct = capture(&t, TcMallocConfig::default());
+        let bytes = mallacc_workloads::write_mt_ops(t.cores(), t.ops().iter().copied(), Vec::new())
+            .unwrap();
+        let reader = mallacc_workloads::MtOpReader::new(bytes.as_slice()).unwrap();
+        let streamed = capture_stream(
+            reader.cores(),
+            reader.map(|r| r.expect("round-trip parses")),
+            TcMallocConfig::default(),
+        );
+        assert_eq!(direct.alloc_stats, streamed.alloc_stats);
+        assert_eq!(direct.steal_invalidates, streamed.steal_invalidates);
+        assert_eq!(direct.streams.len(), streamed.streams.len());
+        for (a, b) in direct.streams.iter().zip(&streamed.streams) {
+            assert_eq!(a.len(), b.len());
         }
     }
 

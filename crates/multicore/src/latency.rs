@@ -1,0 +1,108 @@
+//! Per-call latency collection for tail-latency reporting.
+//!
+//! The multicore replay returns aggregate cycle totals, but datacenter
+//! tail-latency questions ("what does Mallacc do to p999 malloc time under
+//! contention?") need the full per-call distribution. [`CallLatencySink`]
+//! is a [`TraceSink`] that records every operation window's attributed
+//! latency — contention stalls included, because the driver opens the
+//! window before charging them — without perturbing timing.
+
+use std::any::Any;
+
+use mallacc::{OpMeta, TraceSink, UopEvent};
+
+/// A [`TraceSink`] that records each malloc/free call's attributed cycles
+/// in core program order.
+#[derive(Debug, Default)]
+pub struct CallLatencySink {
+    /// Attributed cycles of every malloc call, in call order.
+    pub malloc_cycles: Vec<u64>,
+    /// Attributed cycles of every free call, in call order.
+    pub free_cycles: Vec<u64>,
+}
+
+impl TraceSink for CallLatencySink {
+    fn on_retire(&mut self, _event: &UopEvent) {}
+
+    fn on_op_end(&mut self, op: &OpMeta<'_>) {
+        let cycles = op.end.saturating_sub(op.start);
+        if op.is_malloc {
+            self.malloc_cycles.push(cycles);
+        } else {
+            self.free_cycles.push(cycles);
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Makes one boxed [`CallLatencySink`] per core, ready for
+/// [`MulticoreSim::run_with_sinks`](crate::MulticoreSim::run_with_sinks).
+pub fn latency_sinks(cores: usize) -> Vec<Box<dyn TraceSink>> {
+    (0..cores)
+        .map(|_| Box::new(CallLatencySink::default()) as Box<dyn TraceSink>)
+        .collect()
+}
+
+/// Downcasts the sinks [`MulticoreSim::run_with_sinks`](crate::MulticoreSim::run_with_sinks)
+/// returns back into per-core latency records (in core order).
+///
+/// # Panics
+///
+/// Panics if a sink is not a [`CallLatencySink`].
+pub fn take_latencies(sinks: Vec<Box<dyn TraceSink>>) -> Vec<CallLatencySink> {
+    sinks
+        .into_iter()
+        .map(|s| {
+            *s.into_any()
+                .downcast::<CallLatencySink>()
+                .expect("latency sink")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MulticoreSim;
+    use mallacc::Mode;
+    use mallacc_workloads::MtTrace;
+
+    #[test]
+    fn sink_sees_every_call_and_conserves_totals() {
+        let t = MtTrace::producer_consumer(2, 100, 3);
+        let sim = MulticoreSim::new(Mode::mallacc_default(), 2);
+        let (r, sinks) = sim.run_with_sinks(&t, latency_sinks(2));
+        let lats = take_latencies(sinks);
+        assert_eq!(lats.len(), 2);
+        for (core, (rep, lat)) in r.per_core.iter().zip(&lats).enumerate() {
+            assert_eq!(
+                lat.malloc_cycles.len() as u64,
+                rep.totals.malloc_calls,
+                "core {core} malloc count"
+            );
+            assert_eq!(
+                lat.free_cycles.len() as u64,
+                rep.totals.free_calls,
+                "core {core} free count"
+            );
+            let sum: u64 = lat.malloc_cycles.iter().sum();
+            assert_eq!(sum, rep.totals.malloc_cycles, "core {core} malloc cycles");
+            let sum: u64 = lat.free_cycles.iter().sum();
+            assert_eq!(sum, rep.totals.free_cycles, "core {core} free cycles");
+        }
+    }
+
+    #[test]
+    fn collection_does_not_perturb_timing() {
+        let t = MtTrace::producer_consumer(2, 80, 5);
+        let sim = MulticoreSim::new(Mode::Baseline, 2);
+        let plain = sim.run(&t);
+        let (observed, _) = sim.run_with_sinks(&t, latency_sinks(2));
+        for (p, o) in plain.per_core.iter().zip(&observed.per_core) {
+            assert_eq!(p.totals, o.totals);
+        }
+    }
+}

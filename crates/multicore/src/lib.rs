@@ -45,7 +45,9 @@
 #![warn(missing_docs)]
 
 mod capture;
+mod latency;
 mod sim;
 
-pub use capture::{capture, Capture, CoreEvent};
+pub use capture::{capture, capture_stream, Capture, CoreEvent};
+pub use latency::{latency_sinks, take_latencies, CallLatencySink};
 pub use sim::{CoreReport, MtRunResult, MulticoreSim, DEFAULT_EPOCH_EVENTS};

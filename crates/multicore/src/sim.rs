@@ -20,9 +20,9 @@
 use mallacc::{CallRecord, MallocCacheStats, MallocSim, Mode, SimTotals, TraceSink};
 use mallacc_cache::{Addr, CacheStats, SharedL3};
 use mallacc_tcmalloc::TcMallocConfig;
-use mallacc_workloads::MtTrace;
+use mallacc_workloads::{MtOp, MtTrace};
 
-use crate::capture::{capture, CoreEvent};
+use crate::capture::{capture_stream, CoreEvent};
 
 /// Default events each core replays between L3 synchronisation barriers.
 pub const DEFAULT_EPOCH_EVENTS: usize = 256;
@@ -254,11 +254,32 @@ impl MulticoreSim {
             self.cores,
             "trace core count must match the simulator"
         );
+        self.run_stream_with_sinks(trace.ops().iter().copied(), sinks)
+    }
+
+    /// Streaming variant of [`MulticoreSim::run`]: captures from any
+    /// `(core, op)` iterator via [`capture_stream`], so the trace never
+    /// has to be materialised (the fleet engine's entry point).
+    pub fn run_stream(&self, ops: impl IntoIterator<Item = (usize, MtOp)>) -> MtRunResult {
+        self.run_stream_with_sinks(ops, Vec::new()).0
+    }
+
+    /// Streaming variant of [`MulticoreSim::run_with_sinks`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op names a core out of range, or if `sinks` is
+    /// non-empty with a length other than `cores`.
+    pub fn run_stream_with_sinks(
+        &self,
+        ops: impl IntoIterator<Item = (usize, MtOp)>,
+        sinks: Vec<Box<dyn TraceSink>>,
+    ) -> (MtRunResult, Vec<Box<dyn TraceSink>>) {
         assert!(
             sinks.is_empty() || sinks.len() == self.cores,
             "need one sink per core (or none)"
         );
-        let cap = capture(trace, self.alloc_config);
+        let cap = capture_stream(self.cores, ops, self.alloc_config);
 
         let mut sink_slots: Vec<Option<Box<dyn TraceSink>>> = if sinks.is_empty() {
             (0..self.cores).map(|_| None).collect()

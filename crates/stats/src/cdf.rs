@@ -111,6 +111,23 @@ impl Cdf {
         self.samples.last().map(|&(v, _)| v)
     }
 
+    /// The median: [`Cdf::quantile`] at 0.50. `None` if empty.
+    pub fn p50(&mut self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// The 99th percentile: the tail-latency headline number of
+    /// datacenter SLOs. `None` if empty.
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th percentile — the "killer microseconds" tail the fleet
+    /// reports track per malloc call. `None` if empty.
+    pub fn p999(&mut self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
     /// The full CDF as `(value, cumulative percent)` steps.
     pub fn steps_percent(&mut self) -> Vec<(f64, f64)> {
         if self.total_weight == 0.0 {
@@ -196,6 +213,33 @@ mod tests {
         assert_eq!(steps.len(), 2);
         assert!((steps[0].1 - 50.0).abs() < 1e-12);
         assert!((steps[1].1 - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_quantiles_use_exact_ranks() {
+        // 1000 equally weighted distinct values 1..=1000. quantile(q)
+        // returns the smallest v with at least q of the weight at or
+        // below it, so the exact ranks are ceil(q * 1000).
+        let mut c: Cdf = (1..=1000).map(|v| (v as f64, 1.0)).collect();
+        assert_eq!(c.p50(), Some(500.0));
+        assert_eq!(c.p99(), Some(990.0));
+        assert_eq!(c.p999(), Some(999.0));
+        assert_eq!(c.quantile(1.0), Some(1000.0));
+
+        // With 10 samples, p99 and p999 both land on the last-rank value
+        // (ceil(9.9) = ceil(9.99) = 10) — small samples saturate the tail.
+        let mut small: Cdf = (1..=10).map(|v| (v as f64, 1.0)).collect();
+        assert_eq!(small.p50(), Some(5.0));
+        assert_eq!(small.p99(), Some(10.0));
+        assert_eq!(small.p999(), Some(10.0));
+
+        // Weighted: one heavy fast mode and a 0.5% slow tail. p50 stays
+        // in the fast mode; p999 must surface the tail value.
+        let mut w: Cdf = [(20.0, 99.5), (400.0, 0.5)].into_iter().collect();
+        assert_eq!(w.p50(), Some(20.0));
+        assert_eq!(w.p99(), Some(20.0));
+        assert_eq!(w.p999(), Some(400.0));
+        assert_eq!(Cdf::new().p999(), None);
     }
 
     #[test]

@@ -113,6 +113,36 @@ pub fn arb_config_point() -> impl Strategy<Value = ConfigPoint> {
         )
 }
 
+/// Parameters for one fleet scenario run, as drawn by
+/// [`arb_fleet_params`]: which catalogue scenario to stream, on how many
+/// cores, how many requests, and the arrival seed.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetParams {
+    /// A name from [`mallacc_fleet::Scenario::all`].
+    pub scenario: &'static str,
+    /// Simulated core count.
+    pub cores: usize,
+    /// Requests to issue.
+    pub requests: u64,
+    /// Arrival/request RNG seed.
+    pub seed: u64,
+}
+
+/// Strategy: parameters for one fleet scenario run — any catalogue
+/// scenario, 1..=8 cores, a request volume small enough that a property
+/// case simulates in milliseconds, and an arbitrary seed.
+pub fn arb_fleet_params() -> impl Strategy<Value = FleetParams> {
+    let n = mallacc_fleet::Scenario::all().len();
+    (0..n, 1usize..=8, 4u64..48, any::<u64>()).prop_map(|(idx, cores, requests, seed)| {
+        FleetParams {
+            scenario: mallacc_fleet::Scenario::all()[idx].name,
+            cores,
+            requests,
+            seed,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +177,17 @@ mod tests {
                 assert!(tid < 4);
                 assert!(size >= 1);
             }
+        }
+    }
+
+    #[test]
+    fn fleet_params_resolve_and_stay_bounded() {
+        let s = arb_fleet_params();
+        for seed in 0..40 {
+            let p = sample(&s, seed);
+            assert!(mallacc_fleet::Scenario::by_name(p.scenario).is_some());
+            assert!((1..=8).contains(&p.cores));
+            assert!((4..48).contains(&p.requests));
         }
     }
 

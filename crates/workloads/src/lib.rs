@@ -38,4 +38,7 @@ pub use micro::Microbenchmark;
 pub use mt::{MtOp, MtTrace};
 pub use ops::{GenericStats, Op, RunStats, SimBackend, Trace};
 pub use resolve::{resolve_or_list, AnyWorkload};
-pub use trace_io::{from_text, to_text, ParseTraceError};
+pub use trace_io::{
+    from_text, to_text, write_mt_ops, write_ops, MtOpReader, OpReader, ParseTraceError,
+    TraceWriter, CHUNK_OPS,
+};

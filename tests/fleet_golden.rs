@@ -1,0 +1,68 @@
+//! Golden snapshot for the `repro fleet --smoke` report: the full text
+//! output — scaling curves, tail-latency tables and p99 knees for every
+//! catalogue scenario — must be byte-identical on every run, on every
+//! host, and at every `--jobs` value.
+//!
+//! Snapshots live in `tests/golden/`. When an intentional engine or
+//! scenario change shifts the report, regenerate with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test fleet_golden
+//! ```
+//!
+//! and review the diff like any other code change — unintentional drift
+//! in the traffic generators or the timing model fails CI.
+
+use std::path::PathBuf;
+
+use mallacc_bench::fleet_cli::{fleet_report, FleetArgs};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compares `actual` against the named snapshot, regenerating it when
+/// `UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {}: {e}\nrun UPDATE_GOLDEN=1 cargo test --test fleet_golden",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "fleet report drift against {}:\n--- expected ---\n{expected}\n--- actual ---\n{actual}\n\
+         If this change is intentional, regenerate with UPDATE_GOLDEN=1.",
+        path.display()
+    );
+}
+
+fn smoke_args(jobs: usize) -> FleetArgs {
+    let args: Vec<String> = ["--smoke", "--jobs", &jobs.to_string()]
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    FleetArgs::parse(&args).unwrap()
+}
+
+#[test]
+fn smoke_report_matches_snapshot() {
+    let (code, text) = fleet_report(&smoke_args(1));
+    assert_eq!(code, 0, "smoke fleet run must pass on main:\n{text}");
+    assert_golden("fleet_smoke.txt", &text);
+}
+
+#[test]
+fn jobs_value_does_not_change_a_byte() {
+    let (c1, seq) = fleet_report(&smoke_args(1));
+    let (c4, par) = fleet_report(&smoke_args(4));
+    assert_eq!((c1, c4), (0, 0));
+    assert_eq!(seq, par, "--jobs must not change the report");
+}
