@@ -1,0 +1,64 @@
+//! Criterion benchmark of the offload subsystem: raw helper-queue
+//! enqueue/drain throughput, and end-to-end simulation throughput of the
+//! driver's offload modes against baseline and Mallacc on a pinned
+//! single-core workload.
+//!
+//! The fixtures are pinned — workload, call count, seed and queue shape
+//! never change — so numbers are comparable across commits;
+//! `BENCH_offload.json` at the repo root holds the committed baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mallacc::{MallocSim, Mode, OffloadConfig};
+use mallacc_offload::OffloadQueue;
+use mallacc_workloads::AnyWorkload;
+
+/// The pinned driver fixture: a queue-saturating microbenchmark.
+const WORKLOAD: &str = "tp_small";
+const CALLS: usize = 2_000;
+const SEED: u64 = 42;
+
+/// Raw queue-model throughput: enqueues per second on a bursty stream
+/// that exercises both the stall and the drained path.
+fn queue_throughput(c: &mut Criterion) {
+    const REQUESTS: u64 = 10_000;
+    let mut g = c.benchmark_group("offload/queue_enqueues");
+    g.throughput(Throughput::Elements(REQUESTS));
+    g.bench_function("depth8", |b| {
+        b.iter(|| {
+            let mut q = OffloadQueue::new(OffloadConfig::speedmalloc_default());
+            let mut now = 0u64;
+            for i in 0..REQUESTS {
+                now += (i * 7) % 30;
+                black_box(q.enqueue(now, 10 + (i % 5) * 13));
+            }
+            q.stats()
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end driver throughput: simulated allocator calls per second
+/// under each machine variant on the pinned workload.
+fn driver_throughput(c: &mut Criterion) {
+    let workload = AnyWorkload::by_name(WORKLOAD).expect("pinned workload exists");
+    let trace = workload.trace(CALLS, SEED);
+    let mut g = c.benchmark_group("offload/simulated_calls");
+    g.throughput(Throughput::Elements(CALLS as u64));
+    for (name, mode) in [
+        ("baseline", Mode::Baseline),
+        ("mallacc", Mode::mallacc_default()),
+        ("offload", Mode::offload_default()),
+        ("both", Mode::offload_both()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = MallocSim::new(mode);
+                trace.replay_on(&mut sim)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, queue_throughput, driver_throughput);
+criterion_main!(benches);

@@ -16,11 +16,15 @@
 //!       [--jobs N] [--uops N] [--trace PATH] [--json PATH]
 //!
 //! repro validate [--smoke] [--full] [--kernel-n N] [--fuzz N] [--laws N]
-//!       [--seed N] [--jobs N] [--json PATH]
+//!       [--offload-fuzz N] [--seed N] [--jobs N] [--json PATH]
 //!
 //! repro fleet [--smoke] [--full] [--cores A,B,...] [--scenario NAME]...
 //!       [--requests N] [--weak-requests N] [--seed N] [--jobs N]
 //!       [--json PATH]
+//!
+//! repro offload [--smoke] [--full] [--workload NAME]... [--scenario NAME]...
+//!       [--depths A,B,...] [--cores A,B,...] [--calls N] [--warmup N]
+//!       [--requests N] [--seed N] [--jobs N] [--json PATH]
 //! ```
 //!
 //! `--json PATH` additionally writes the machine-readable datasets of the
@@ -28,7 +32,7 @@
 //! numbers the text renders, not a re-run.
 
 use mallacc_bench::{
-    explore_cli, figures, fleet_cli, mt, profile_cli, tables, validate_cli, Scale,
+    cli, explore_cli, figures, fleet_cli, mt, offload_cli, profile_cli, tables, validate_cli, Scale,
 };
 use mallacc_stats::Json;
 
@@ -42,9 +46,12 @@ fn usage() -> ! {
          \x20      repro profile [--smoke] [--quick] [--pairs N] [--warmup N] \
          [--seed N] [--jobs N] [--uops N] [--trace PATH] [--json PATH]\n\
          \x20      repro validate [--smoke] [--full] [--kernel-n N] [--fuzz N] \
-         [--laws N] [--seed N] [--jobs N] [--json PATH]\n\
+         [--laws N] [--offload-fuzz N] [--seed N] [--jobs N] [--json PATH]\n\
          \x20      repro fleet [--smoke] [--full] [--cores A,B,...] [--scenario NAME]... \
-         [--requests N] [--weak-requests N] [--seed N] [--jobs N] [--json PATH]"
+         [--requests N] [--weak-requests N] [--seed N] [--jobs N] [--json PATH]\n\
+         \x20      repro offload [--smoke] [--full] [--workload NAME]... [--scenario NAME]... \
+         [--depths A,B,...] [--cores A,B,...] [--calls N] [--warmup N] [--requests N] \
+         [--seed N] [--jobs N] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -65,44 +72,48 @@ fn main() {
     if cmd == "fleet" {
         std::process::exit(fleet_cli::fleet(&args[1..]));
     }
+    if cmd == "offload" {
+        std::process::exit(offload_cli::offload(&args[1..]));
+    }
 
+    // The generic experiment path (mt, figures, tables) shares the
+    // `--seed`/`--json` plumbing with the subcommand CLIs; its scale
+    // flag is `--quick` rather than `--smoke`/`--full`.
     let mut scale = Scale::full();
     let mut index_keying = true;
-    let mut json_path: Option<String> = None;
+    let mut common = cli::CommonFlags::default();
     let mut i = 1;
     while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => scale = Scale::quick(),
-            "--no-index-opt" => index_keying = false,
-            "--calls" => {
-                i += 1;
-                scale.calls = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+        let taken = cli::take_common(&args, &mut i, &cli::CommonSpec::SEED_JSON, &mut common)
+            .unwrap_or_else(|e| {
+                eprintln!("repro: {e}");
+                usage()
+            });
+        if !taken {
+            match args[i].as_str() {
+                "--quick" => scale = Scale::quick(),
+                "--no-index-opt" => index_keying = false,
+                "--calls" => {
+                    scale.calls = cli::value(&args, &mut i, "--calls")
+                        .and_then(|v| cli::int(v, "--calls"))
+                        .map(|n| n as usize)
+                        .unwrap_or_else(|_| usage());
+                }
+                "--trials" => {
+                    scale.trials = cli::value(&args, &mut i, "--trials")
+                        .and_then(|v| cli::int(v, "--trials"))
+                        .map(|n| n as usize)
+                        .unwrap_or_else(|_| usage());
+                }
+                _ => usage(),
             }
-            "--trials" => {
-                i += 1;
-                scale.trials = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--seed" => {
-                i += 1;
-                scale.seed = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--json" => {
-                i += 1;
-                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            _ => usage(),
         }
         i += 1;
     }
+    if let Some(seed) = common.seed {
+        scale.seed = seed;
+    }
+    let json_path = common.json;
 
     // Experiments with structured datasets compute the data once and
     // derive both the text and (when `--json` is given) the JSON from it.
@@ -204,9 +215,9 @@ fn main() {
             ("experiments", Json::Obj(datasets.into_iter().collect())),
         ]);
         if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
-            eprintln!("repro: writing {path}: {e}");
+            eprintln!("repro: writing {}: {e}", path.display());
             std::process::exit(1);
         }
-        eprintln!("wrote {path}");
+        eprintln!("wrote {}", path.display());
     }
 }

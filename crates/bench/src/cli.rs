@@ -1,0 +1,250 @@
+//! Shared flag plumbing for the `repro` subcommands.
+//!
+//! Every subcommand CLI (`explore`, `profile`, `validate`, `fleet`,
+//! `offload`, plus the generic experiment path serving `mt` and the
+//! figures/tables) accepts some subset of the same flags — `--smoke`,
+//! `--full`, `--seed N`, `--jobs N`, `--json PATH` — and before this
+//! module each carried its own copy of the cursor/value/integer
+//! boilerplate; they drifted in error wording and in which flags were
+//! recognised. The shared pieces live here:
+//!
+//! * [`value`] / [`int`] — the flag-value cursor helpers;
+//! * [`CommonFlags`] + [`take_common`] — one-pass recognition of the
+//!   shared flags, gated per subcommand by a [`CommonSpec`] so a CLI
+//!   that never had `--full` or `--json` keeps rejecting them;
+//! * [`run_indexed`] — the strided-worker slot runner behind every
+//!   "byte-identical across `--jobs`" report.
+//!
+//! The shared flags are *collected*, not applied: each CLI applies
+//! `scale` first and explicit overrides after, so `--smoke --fuzz 7`
+//! and `--fuzz 7 --smoke` both mean "smoke scale, but 7 fuzz slots".
+
+use std::path::PathBuf;
+
+/// The run scale selected by `--smoke`/`--full` (whichever came last).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleFlag {
+    /// CI-sized runs.
+    Smoke,
+    /// Paper-sized runs.
+    Full,
+}
+
+/// Values of the shared subcommand flags, as collected by
+/// [`take_common`]. `None` means the flag did not appear.
+#[derive(Debug, Clone, Default)]
+pub struct CommonFlags {
+    /// `--smoke`/`--full`.
+    pub scale: Option<ScaleFlag>,
+    /// `--seed N`.
+    pub seed: Option<u64>,
+    /// `--jobs N`.
+    pub jobs: Option<usize>,
+    /// `--json PATH`.
+    pub json: Option<PathBuf>,
+}
+
+/// Which shared flags a subcommand accepts. Disabled flags fall through
+/// [`take_common`] to the subcommand's own matcher, which rejects them
+/// as unknown — preserving each CLI's historical surface.
+#[derive(Debug, Clone, Copy)]
+pub struct CommonSpec {
+    /// Accept `--smoke`.
+    pub smoke: bool,
+    /// Accept `--full`.
+    pub full: bool,
+    /// Accept `--seed`.
+    pub seed: bool,
+    /// Accept `--jobs`.
+    pub jobs: bool,
+    /// Accept `--json`.
+    pub json: bool,
+}
+
+impl CommonSpec {
+    /// Every shared flag enabled (`validate`, `fleet`, `offload`).
+    pub const ALL: CommonSpec = CommonSpec {
+        smoke: true,
+        full: true,
+        seed: true,
+        jobs: true,
+        json: true,
+    };
+
+    /// Everything but `--full` (`profile`, whose second scale is
+    /// `--quick`).
+    pub const NO_FULL: CommonSpec = CommonSpec {
+        full: false,
+        ..CommonSpec::ALL
+    };
+
+    /// Only `--smoke`, `--seed` and `--jobs` (`explore`, whose output
+    /// file is `--out` and whose scales are grid presets).
+    pub const SMOKE_SEED_JOBS: CommonSpec = CommonSpec {
+        smoke: true,
+        full: false,
+        seed: true,
+        jobs: true,
+        json: false,
+    };
+
+    /// Only `--seed` and `--json` (the generic experiment path in the
+    /// `repro` binary — `mt`, the figures and the tables — whose scale
+    /// flag is `--quick` and which runs serially, so no `--jobs`).
+    pub const SEED_JSON: CommonSpec = CommonSpec {
+        smoke: false,
+        full: false,
+        seed: true,
+        jobs: false,
+        json: true,
+    };
+}
+
+/// Fetches the value of the flag at `args[*i]`, advancing the cursor
+/// past it.
+pub fn value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Parses an integer flag value.
+pub fn int(v: String, flag: &str) -> Result<u64, String> {
+    v.parse::<u64>()
+        .map_err(|_| format!("{flag} needs an integer"))
+}
+
+/// If `args[*i]` is a shared flag `spec` enables, consumes it (and its
+/// value) into `flags` and returns `true`; otherwise leaves the cursor
+/// untouched and returns `false` so the caller's matcher runs.
+pub fn take_common(
+    args: &[String],
+    i: &mut usize,
+    spec: &CommonSpec,
+    flags: &mut CommonFlags,
+) -> Result<bool, String> {
+    match args[*i].as_str() {
+        "--smoke" if spec.smoke => flags.scale = Some(ScaleFlag::Smoke),
+        "--full" if spec.full => flags.scale = Some(ScaleFlag::Full),
+        "--seed" if spec.seed => flags.seed = Some(int(value(args, i, "--seed")?, "--seed")?),
+        "--jobs" if spec.jobs => {
+            flags.jobs = Some(int(value(args, i, "--jobs")?, "--jobs")? as usize);
+        }
+        "--json" if spec.json => flags.json = Some(PathBuf::from(value(args, i, "--json")?)),
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Runs `total` independent slots, optionally across `jobs` workers, and
+/// merges results in slot order. Each slot's result must be a pure
+/// function of its index, so the merged output is identical for every
+/// `jobs` value — the invariant behind every jobs-invariance golden.
+pub fn run_indexed<T: Send>(total: u64, jobs: usize, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    let total = total as usize;
+    if jobs <= 1 || total <= 1 {
+        return (0..total as u64).map(f).collect();
+    }
+    let workers = jobs.min(total);
+    // Worker w takes indices w, w+workers, w+2*workers, … and keeps its
+    // results tagged by index; the merge below restores slot order.
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                s.spawn(move || {
+                    (w..total)
+                        .step_by(workers)
+                        .map(|i| (i, f(i as u64)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    for chunk in per_worker {
+        for (i, value) in chunk {
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn common_flags_are_collected_and_gated() {
+        let args = s(&[
+            "--smoke", "--seed", "7", "--jobs", "4", "--json", "out.json",
+        ]);
+        let mut flags = CommonFlags::default();
+        let mut i = 0;
+        while i < args.len() {
+            assert!(take_common(&args, &mut i, &CommonSpec::ALL, &mut flags).unwrap());
+            i += 1;
+        }
+        assert_eq!(flags.scale, Some(ScaleFlag::Smoke));
+        assert_eq!(flags.seed, Some(7));
+        assert_eq!(flags.jobs, Some(4));
+        assert_eq!(
+            flags.json.as_deref().and_then(|p| p.to_str()),
+            Some("out.json")
+        );
+
+        // A disabled flag falls through to the caller untouched.
+        let args = s(&["--json", "out.json"]);
+        let mut i = 0;
+        let taken = take_common(&args, &mut i, &CommonSpec::SMOKE_SEED_JOBS, &mut flags).unwrap();
+        assert!(!taken);
+        assert_eq!(i, 0, "cursor must not move on fall-through");
+    }
+
+    #[test]
+    fn last_scale_flag_wins() {
+        let args = s(&["--smoke", "--full"]);
+        let mut flags = CommonFlags::default();
+        let mut i = 0;
+        while i < args.len() {
+            assert!(take_common(&args, &mut i, &CommonSpec::ALL, &mut flags).unwrap());
+            i += 1;
+        }
+        assert_eq!(flags.scale, Some(ScaleFlag::Full));
+    }
+
+    #[test]
+    fn missing_values_error_with_the_flag_name() {
+        let args = s(&["--seed"]);
+        let mut flags = CommonFlags::default();
+        let mut i = 0;
+        let err = take_common(&args, &mut i, &CommonSpec::ALL, &mut flags).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        assert_eq!(
+            int("x".to_string(), "--n").unwrap_err(),
+            "--n needs an integer"
+        );
+    }
+
+    #[test]
+    fn run_indexed_is_jobs_invariant() {
+        let f = |i: u64| i * i + 1;
+        let serial = run_indexed(23, 1, f);
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(run_indexed(23, jobs, f), serial, "jobs={jobs}");
+        }
+        assert!(run_indexed(0, 4, f).is_empty());
+    }
+}

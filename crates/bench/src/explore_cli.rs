@@ -9,6 +9,7 @@
 
 use std::path::PathBuf;
 
+use crate::cli::{self, CommonFlags, CommonSpec, ScaleFlag};
 use mallacc_explore::{run_sweep, ParamGrid, RunScale, SweepOptions};
 
 /// Parsed `repro explore` arguments.
@@ -28,53 +29,34 @@ pub struct ExploreArgs {
 }
 
 impl ExploreArgs {
-    /// Parses the argument list after `explore`.
+    /// Parses the argument list after `explore`. Shared flags are
+    /// collected via [`crate::cli`] and applied after the loop, so an
+    /// explicit `--grid`/`--preset` wins over `--smoke` regardless of
+    /// flag order.
     pub fn parse(args: &[String]) -> Result<ExploreArgs, String> {
         let mut parsed = ExploreArgs {
             grid: ParamGrid::default(),
             ..ExploreArgs::default()
         };
+        let mut common = CommonFlags::default();
         let mut quick = false;
-        let mut seed = None;
+        let mut grid_spec: Option<String> = None;
+        let mut preset: Option<String> = None;
         let mut i = 0;
-        let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
-            *i += 1;
-            args.get(*i)
-                .cloned()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
         while i < args.len() {
+            if cli::take_common(args, &mut i, &CommonSpec::SMOKE_SEED_JOBS, &mut common)? {
+                i += 1;
+                continue;
+            }
             match args[i].as_str() {
-                "--smoke" => parsed.grid = ParamGrid::smoke(),
-                "--grid" => parsed.grid = ParamGrid::parse(&value(args, &mut i, "--grid")?)?,
-                "--preset" => {
-                    parsed.grid = match value(args, &mut i, "--preset")?.as_str() {
-                        "micro-entries" => ParamGrid::micro_entries(),
-                        name => {
-                            return Err(format!(
-                                "unknown preset {name:?}; available: micro-entries"
-                            ))
-                        }
-                    }
-                }
+                "--grid" => grid_spec = Some(cli::value(args, &mut i, "--grid")?),
+                "--preset" => preset = Some(cli::value(args, &mut i, "--preset")?),
                 "--quick" => quick = true,
-                "--seed" => {
-                    seed = Some(
-                        value(args, &mut i, "--seed")?
-                            .parse::<u64>()
-                            .map_err(|_| "--seed needs an integer".to_string())?,
-                    );
-                }
-                "--jobs" => {
-                    parsed.jobs = value(args, &mut i, "--jobs")?
-                        .parse::<usize>()
-                        .map_err(|_| "--jobs needs an integer".to_string())?;
-                }
-                "--memo" => parsed.memo = Some(PathBuf::from(value(args, &mut i, "--memo")?)),
-                "--out" => parsed.out = Some(PathBuf::from(value(args, &mut i, "--out")?)),
+                "--memo" => parsed.memo = Some(PathBuf::from(cli::value(args, &mut i, "--memo")?)),
+                "--out" => parsed.out = Some(PathBuf::from(cli::value(args, &mut i, "--out")?)),
                 "--assert-memo-frac" => {
                     parsed.assert_memo_frac = Some(
-                        value(args, &mut i, "--assert-memo-frac")?
+                        cli::value(args, &mut i, "--assert-memo-frac")?
                             .parse::<f64>()
                             .map_err(|_| "--assert-memo-frac needs a number".to_string())?,
                     );
@@ -83,11 +65,26 @@ impl ExploreArgs {
             }
             i += 1;
         }
+        if common.scale == Some(ScaleFlag::Smoke) {
+            parsed.grid = ParamGrid::smoke();
+        }
+        if let Some(name) = preset {
+            parsed.grid = match name.as_str() {
+                "micro-entries" => ParamGrid::micro_entries(),
+                name => return Err(format!("unknown preset {name:?}; available: micro-entries")),
+            };
+        }
+        if let Some(spec) = grid_spec {
+            parsed.grid = ParamGrid::parse(&spec)?;
+        }
         if quick {
             parsed.grid.scale = RunScale::quick();
         }
-        if let Some(seed) = seed {
+        if let Some(seed) = common.seed {
             parsed.grid.seed = seed;
+        }
+        if let Some(jobs) = common.jobs {
+            parsed.jobs = jobs;
         }
         Ok(parsed)
     }

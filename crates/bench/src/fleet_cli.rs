@@ -19,6 +19,7 @@
 
 use std::path::PathBuf;
 
+use crate::cli::{self, CommonFlags, CommonSpec, ScaleFlag};
 use mallacc_fleet::{json_doc, render_report, run_fleet, FleetConfig, Scenario};
 
 /// Parsed `repro fleet` arguments.
@@ -59,36 +60,23 @@ impl Default for FleetArgs {
 }
 
 impl FleetArgs {
-    /// Parses the argument list after `fleet`.
+    /// Parses the argument list after `fleet`. Shared flags are
+    /// collected via [`crate::cli`] and applied after the loop, so
+    /// explicit request volumes win over `--smoke`/`--full` regardless
+    /// of flag order.
     pub fn parse(args: &[String]) -> Result<FleetArgs, String> {
         let mut parsed = FleetArgs::default();
+        let mut common = CommonFlags::default();
+        let (mut strong, mut weak) = (None, None);
         let mut i = 0;
-        let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
-            *i += 1;
-            args.get(*i)
-                .cloned()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
-        let int = |v: String, flag: &str| -> Result<u64, String> {
-            v.parse::<u64>()
-                .map_err(|_| format!("{flag} needs an integer"))
-        };
         while i < args.len() {
+            if cli::take_common(args, &mut i, &CommonSpec::ALL, &mut common)? {
+                i += 1;
+                continue;
+            }
             match args[i].as_str() {
-                "--smoke" => {
-                    let smoke = FleetConfig::smoke(parsed.seed, parsed.jobs);
-                    parsed.smoke = true;
-                    parsed.strong_requests = smoke.strong_requests;
-                    parsed.weak_requests_per_core = smoke.weak_requests_per_core;
-                }
-                "--full" => {
-                    let full = FleetConfig::full(parsed.seed, parsed.jobs);
-                    parsed.smoke = false;
-                    parsed.strong_requests = full.strong_requests;
-                    parsed.weak_requests_per_core = full.weak_requests_per_core;
-                }
                 "--cores" => {
-                    let spec = value(args, &mut i, "--cores")?;
+                    let spec = cli::value(args, &mut i, "--cores")?;
                     let mut cores = Vec::new();
                     for part in spec.split(',') {
                         let c: usize = part
@@ -98,6 +86,9 @@ impl FleetArgs {
                         if c == 0 {
                             return Err("--cores: core counts must be >= 1".to_string());
                         }
+                        if c > 64 {
+                            return Err("--cores: core counts must be <= 64".to_string());
+                        }
                         cores.push(c);
                     }
                     if cores.is_empty() {
@@ -105,21 +96,53 @@ impl FleetArgs {
                     }
                     parsed.cores = Some(cores);
                 }
-                "--scenario" => parsed.scenarios.push(value(args, &mut i, "--scenario")?),
+                "--scenario" => parsed
+                    .scenarios
+                    .push(cli::value(args, &mut i, "--scenario")?),
                 "--requests" => {
-                    parsed.strong_requests = int(value(args, &mut i, "--requests")?, "--requests")?;
+                    strong = Some(cli::int(
+                        cli::value(args, &mut i, "--requests")?,
+                        "--requests",
+                    )?);
                 }
                 "--weak-requests" => {
-                    parsed.weak_requests_per_core =
-                        int(value(args, &mut i, "--weak-requests")?, "--weak-requests")?;
+                    weak = Some(cli::int(
+                        cli::value(args, &mut i, "--weak-requests")?,
+                        "--weak-requests",
+                    )?);
                 }
-                "--seed" => parsed.seed = int(value(args, &mut i, "--seed")?, "--seed")?,
-                "--jobs" => parsed.jobs = int(value(args, &mut i, "--jobs")?, "--jobs")? as usize,
-                "--json" => parsed.json = Some(PathBuf::from(value(args, &mut i, "--json")?)),
                 other => return Err(format!("unknown fleet flag {other:?}")),
             }
             i += 1;
         }
+        if let Some(seed) = common.seed {
+            parsed.seed = seed;
+        }
+        if let Some(jobs) = common.jobs {
+            parsed.jobs = jobs;
+        }
+        match common.scale {
+            Some(ScaleFlag::Smoke) => {
+                let smoke = FleetConfig::smoke(parsed.seed, parsed.jobs);
+                parsed.smoke = true;
+                parsed.strong_requests = smoke.strong_requests;
+                parsed.weak_requests_per_core = smoke.weak_requests_per_core;
+            }
+            Some(ScaleFlag::Full) => {
+                let full = FleetConfig::full(parsed.seed, parsed.jobs);
+                parsed.smoke = false;
+                parsed.strong_requests = full.strong_requests;
+                parsed.weak_requests_per_core = full.weak_requests_per_core;
+            }
+            None => {}
+        }
+        if let Some(v) = strong {
+            parsed.strong_requests = v;
+        }
+        if let Some(v) = weak {
+            parsed.weak_requests_per_core = v;
+        }
+        parsed.json = common.json;
         if parsed.strong_requests == 0 || parsed.weak_requests_per_core == 0 {
             return Err("request volumes must be at least 1".to_string());
         }
@@ -232,8 +255,12 @@ mod tests {
         assert_eq!(b.scenarios, vec!["tenant-mix"]);
         assert_eq!(b.seed, 7);
 
+        let wide = FleetArgs::parse(&s(&["--cores", "1,32,64"])).unwrap();
+        assert_eq!(wide.cores.as_deref(), Some(&[1, 32, 64][..]));
+
         assert!(FleetArgs::parse(&s(&["--nope"])).is_err());
         assert!(FleetArgs::parse(&s(&["--cores", "0"])).is_err());
+        assert!(FleetArgs::parse(&s(&["--cores", "65"])).is_err());
         assert!(FleetArgs::parse(&s(&["--cores", "x"])).is_err());
         assert!(FleetArgs::parse(&s(&["--scenario"])).is_err());
         assert!(FleetArgs::parse(&s(&["--requests", "0"])).is_err());

@@ -42,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
 pub mod explore_cli;
 pub mod figures;
 pub mod fleet_cli;
 pub mod mt;
+pub mod offload_cli;
 pub mod profile_cli;
 pub mod tables;
 pub mod validate_cli;

@@ -15,6 +15,7 @@
 
 use std::path::PathBuf;
 
+use crate::cli::{self, CommonFlags, CommonSpec, ScaleFlag};
 use mallacc::{Mode, StallReason};
 use mallacc_prof::chrome::{chrome_trace, validate_chrome_trace};
 use mallacc_prof::mt::profile_multicore;
@@ -64,48 +65,74 @@ impl Default for ProfileArgs {
 }
 
 impl ProfileArgs {
-    /// Parses the argument list after `profile`.
+    /// Parses the argument list after `profile`. Shared flags are
+    /// collected via [`crate::cli`] and applied after the loop, so
+    /// explicit sizes win over `--smoke`/`--quick` regardless of flag
+    /// order.
     pub fn parse(args: &[String]) -> Result<ProfileArgs, String> {
         let mut parsed = ProfileArgs::default();
+        let mut common = CommonFlags::default();
+        let mut quick = false;
+        let (mut pairs, mut warmup, mut mt_calls, mut uops) = (None, None, None, None);
         let mut i = 0;
-        let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
-            *i += 1;
-            args.get(*i)
-                .cloned()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
-        let int = |v: String, flag: &str| -> Result<u64, String> {
-            v.parse::<u64>()
-                .map_err(|_| format!("{flag} needs an integer"))
-        };
         while i < args.len() {
+            if cli::take_common(args, &mut i, &CommonSpec::NO_FULL, &mut common)? {
+                i += 1;
+                continue;
+            }
             match args[i].as_str() {
-                "--smoke" => {
-                    parsed.pairs = 200;
-                    parsed.warmup = 50;
-                    parsed.mt_calls = 60;
-                    parsed.uops = 128;
+                "--quick" => quick = true,
+                "--pairs" => {
+                    pairs = Some(cli::int(cli::value(args, &mut i, "--pairs")?, "--pairs")?)
                 }
-                "--quick" => {
-                    parsed.pairs = 500;
-                    parsed.warmup = 100;
-                    parsed.mt_calls = 100;
+                "--warmup" => {
+                    warmup = Some(cli::int(cli::value(args, &mut i, "--warmup")?, "--warmup")?);
                 }
-                "--pairs" => parsed.pairs = int(value(args, &mut i, "--pairs")?, "--pairs")?,
-                "--warmup" => parsed.warmup = int(value(args, &mut i, "--warmup")?, "--warmup")?,
                 "--mt-calls" => {
-                    parsed.mt_calls =
-                        int(value(args, &mut i, "--mt-calls")?, "--mt-calls")? as usize;
+                    mt_calls = Some(
+                        cli::int(cli::value(args, &mut i, "--mt-calls")?, "--mt-calls")? as usize,
+                    );
                 }
-                "--seed" => parsed.seed = int(value(args, &mut i, "--seed")?, "--seed")?,
-                "--uops" => parsed.uops = int(value(args, &mut i, "--uops")?, "--uops")? as usize,
-                "--jobs" => parsed.jobs = int(value(args, &mut i, "--jobs")?, "--jobs")? as usize,
-                "--trace" => parsed.trace = Some(PathBuf::from(value(args, &mut i, "--trace")?)),
-                "--json" => parsed.json = Some(PathBuf::from(value(args, &mut i, "--json")?)),
+                "--uops" => {
+                    uops = Some(cli::int(cli::value(args, &mut i, "--uops")?, "--uops")? as usize);
+                }
+                "--trace" => {
+                    parsed.trace = Some(PathBuf::from(cli::value(args, &mut i, "--trace")?));
+                }
                 other => return Err(format!("unknown profile flag {other:?}")),
             }
             i += 1;
         }
+        if common.scale == Some(ScaleFlag::Smoke) {
+            parsed.pairs = 200;
+            parsed.warmup = 50;
+            parsed.mt_calls = 60;
+            parsed.uops = 128;
+        }
+        if quick {
+            parsed.pairs = 500;
+            parsed.warmup = 100;
+            parsed.mt_calls = 100;
+        }
+        if let Some(v) = pairs {
+            parsed.pairs = v;
+        }
+        if let Some(v) = warmup {
+            parsed.warmup = v;
+        }
+        if let Some(v) = mt_calls {
+            parsed.mt_calls = v;
+        }
+        if let Some(v) = uops {
+            parsed.uops = v;
+        }
+        if let Some(seed) = common.seed {
+            parsed.seed = seed;
+        }
+        if let Some(jobs) = common.jobs {
+            parsed.jobs = jobs;
+        }
+        parsed.json = common.json;
         if parsed.pairs == 0 {
             return Err("--pairs must be at least 1".to_string());
         }

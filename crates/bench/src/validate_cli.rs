@@ -3,10 +3,10 @@
 //!
 //! ```text
 //! repro validate [--smoke] [--full] [--kernel-n N] [--fuzz N] [--laws N]
-//!                [--seed N] [--jobs N] [--json PATH]
+//!                [--offload-fuzz N] [--seed N] [--jobs N] [--json PATH]
 //! ```
 //!
-//! Three independent sections, any of which can fail the run (exit 1):
+//! Four independent sections, any of which can fail the run (exit 1):
 //!
 //! 1. **Analytic latency oracle** — every Table-1 kernel's simulated
 //!    latency must land inside the declared tolerance band around its
@@ -17,16 +17,23 @@
 //!    additionally requires every coverage event to be exercised.
 //! 3. **Metamorphic laws** — entries-monotone, prefetch-removal and
 //!    independent-reorder must hold on every generated trace.
+//! 4. **Offload-core conformance** — the helper-queue timing model fuzzed
+//!    differentially against its reference interpreter, with queue
+//!    conservation laws and heap identity of the offload driver modes.
 //!
 //! Work is partitioned into slots whose results depend only on `(seed,
 //! slot index)`, so the report is byte-identical for every `--jobs` value.
 
 use std::path::PathBuf;
 
+use crate::cli::{self, run_indexed, CommonFlags, CommonSpec, ScaleFlag};
 use mallacc_stats::table::Table;
 use mallacc_stats::Json;
 use mallacc_validate::program::fuzz_slot;
-use mallacc_validate::{laws, oracle, Band, CoverageEvent, FuzzReport, KernelOutcome, LawReport};
+use mallacc_validate::{
+    laws, offload_fuzz_slot, oracle, Band, CoverageEvent, FuzzReport, KernelOutcome, LawReport,
+    OffloadFuzzReport,
+};
 
 /// Parsed `repro validate` arguments.
 #[derive(Debug, Clone)]
@@ -38,6 +45,9 @@ pub struct ValidateArgs {
     pub fuzz_slots: u64,
     /// Seeded traces per metamorphic law.
     pub law_cases: u64,
+    /// Offload-conformance slots (each runs two queue differentials and
+    /// one heap-identity program).
+    pub offload_slots: u64,
     /// Corpus seed.
     pub seed: u64,
     /// Worker threads (0 or 1 = sequential).
@@ -56,6 +66,7 @@ impl Default for ValidateArgs {
             kernel_n: 2_000,
             fuzz_slots: 400,
             law_cases: 60,
+            offload_slots: 200,
             seed: 42,
             jobs: 1,
             require_full_coverage: false,
@@ -65,94 +76,88 @@ impl Default for ValidateArgs {
 }
 
 impl ValidateArgs {
-    /// Parses the argument list after `validate`.
+    /// Parses the argument list after `validate`. Shared flags are
+    /// collected via [`crate::cli`] and applied after the loop, so
+    /// explicit scales win over `--smoke`/`--full` regardless of flag
+    /// order.
     pub fn parse(args: &[String]) -> Result<ValidateArgs, String> {
         let mut parsed = ValidateArgs::default();
+        let mut common = CommonFlags::default();
+        let (mut kernel_n, mut fuzz_slots, mut law_cases, mut offload_slots) =
+            (None, None, None, None);
         let mut i = 0;
-        let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
-            *i += 1;
-            args.get(*i)
-                .cloned()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
-        let int = |v: String, flag: &str| -> Result<u64, String> {
-            v.parse::<u64>()
-                .map_err(|_| format!("{flag} needs an integer"))
-        };
         while i < args.len() {
+            if cli::take_common(args, &mut i, &CommonSpec::ALL, &mut common)? {
+                i += 1;
+                continue;
+            }
             match args[i].as_str() {
-                "--smoke" => {
-                    parsed.kernel_n = 2_000;
-                    parsed.fuzz_slots = 400;
-                    parsed.law_cases = 60;
-                    parsed.require_full_coverage = false;
-                }
-                "--full" => {
-                    parsed.kernel_n = 20_000;
-                    parsed.fuzz_slots = 10_000;
-                    parsed.law_cases = 1_000;
-                    parsed.require_full_coverage = true;
-                }
                 "--kernel-n" => {
-                    parsed.kernel_n = int(value(args, &mut i, "--kernel-n")?, "--kernel-n")?;
+                    kernel_n = Some(cli::int(
+                        cli::value(args, &mut i, "--kernel-n")?,
+                        "--kernel-n",
+                    )?);
                 }
-                "--fuzz" => parsed.fuzz_slots = int(value(args, &mut i, "--fuzz")?, "--fuzz")?,
-                "--laws" => parsed.law_cases = int(value(args, &mut i, "--laws")?, "--laws")?,
-                "--seed" => parsed.seed = int(value(args, &mut i, "--seed")?, "--seed")?,
-                "--jobs" => parsed.jobs = int(value(args, &mut i, "--jobs")?, "--jobs")? as usize,
-                "--json" => parsed.json = Some(PathBuf::from(value(args, &mut i, "--json")?)),
+                "--fuzz" => {
+                    fuzz_slots = Some(cli::int(cli::value(args, &mut i, "--fuzz")?, "--fuzz")?);
+                }
+                "--laws" => {
+                    law_cases = Some(cli::int(cli::value(args, &mut i, "--laws")?, "--laws")?);
+                }
+                "--offload-fuzz" => {
+                    offload_slots = Some(cli::int(
+                        cli::value(args, &mut i, "--offload-fuzz")?,
+                        "--offload-fuzz",
+                    )?);
+                }
                 other => return Err(format!("unknown validate flag {other:?}")),
             }
             i += 1;
         }
+        match common.scale {
+            Some(ScaleFlag::Smoke) => {
+                parsed.kernel_n = 2_000;
+                parsed.fuzz_slots = 400;
+                parsed.law_cases = 60;
+                parsed.offload_slots = 200;
+                parsed.require_full_coverage = false;
+            }
+            Some(ScaleFlag::Full) => {
+                parsed.kernel_n = 20_000;
+                parsed.fuzz_slots = 10_000;
+                parsed.law_cases = 1_000;
+                parsed.offload_slots = 4_000;
+                parsed.require_full_coverage = true;
+            }
+            None => {}
+        }
+        if let Some(v) = kernel_n {
+            parsed.kernel_n = v;
+        }
+        if let Some(v) = fuzz_slots {
+            parsed.fuzz_slots = v;
+        }
+        if let Some(v) = law_cases {
+            parsed.law_cases = v;
+        }
+        if let Some(v) = offload_slots {
+            parsed.offload_slots = v;
+        }
+        if let Some(seed) = common.seed {
+            parsed.seed = seed;
+        }
+        if let Some(jobs) = common.jobs {
+            parsed.jobs = jobs;
+        }
+        parsed.json = common.json;
         if parsed.kernel_n == 0 {
             return Err("--kernel-n must be at least 1".to_string());
         }
-        if parsed.fuzz_slots == 0 {
-            return Err("--fuzz must be at least 1".to_string());
+        if parsed.fuzz_slots == 0 || parsed.offload_slots == 0 {
+            return Err("--fuzz and --offload-fuzz must be at least 1".to_string());
         }
         Ok(parsed)
     }
-}
-
-/// Runs `total` independent slots, optionally across `jobs` workers, and
-/// merges results in slot order. Each slot's result is a pure function of
-/// its index, so the merged output is identical for every `jobs` value.
-fn run_indexed<T: Send>(total: u64, jobs: usize, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
-    let total = total as usize;
-    if jobs <= 1 || total <= 1 {
-        return (0..total as u64).map(f).collect();
-    }
-    let workers = jobs.min(total);
-    // Worker w takes indices w, w+workers, w+2*workers, … and keeps its
-    // results tagged by index; the merge below restores slot order.
-    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let f = &f;
-                s.spawn(move || {
-                    (w..total)
-                        .step_by(workers)
-                        .map(|i| (i, f(i as u64)))
-                        .collect()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
-    for chunk in per_worker {
-        for (i, value) in chunk {
-            slots[i] = Some(value);
-        }
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot ran"))
-        .collect()
 }
 
 fn kernel_section(args: &ValidateArgs) -> (String, Json, bool, Vec<KernelOutcome>) {
@@ -331,22 +336,74 @@ fn law_section(args: &ValidateArgs) -> (String, Json, bool, LawReport) {
     (text, json, pass, report)
 }
 
+fn offload_section(args: &ValidateArgs) -> (String, Json, bool, OffloadFuzzReport) {
+    let mut report = OffloadFuzzReport::default();
+    for slot in run_indexed(args.offload_slots, args.jobs, |i| {
+        offload_fuzz_slot(args.seed, i)
+    }) {
+        report.merge(slot);
+    }
+    let pass = report.divergences.is_empty();
+    let mut text = format!(
+        "== offload-core conformance (queue differential + heap identity) ==\nqueue programs: {} ({} requests), heap programs: {} ({} calls)\ndivergences: {}\n",
+        report.queue_programs,
+        report.requests,
+        report.heap_programs,
+        report.heap_calls,
+        report.divergences.len(),
+    );
+    for d in report.divergences.iter().take(5) {
+        text.push_str(&format!(
+            "  seed {:#x} step {} ({}): {}\n",
+            d.seed, d.step, d.check, d.detail
+        ));
+    }
+    let json = Json::obj([
+        ("queue_programs", Json::from(report.queue_programs)),
+        ("requests", Json::from(report.requests)),
+        ("heap_programs", Json::from(report.heap_programs)),
+        ("heap_calls", Json::from(report.heap_calls)),
+        (
+            "divergences",
+            Json::Arr(
+                report
+                    .divergences
+                    .iter()
+                    .map(|d| {
+                        Json::obj([
+                            ("seed", Json::from(d.seed)),
+                            ("step", Json::from(d.step)),
+                            ("check", Json::from(d.check)),
+                            ("detail", Json::from(d.detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("pass", Json::from(pass)),
+    ]);
+    (text, json, pass, report)
+}
+
 /// Runs `repro validate` and returns `(exit code, report text)`. Split
 /// from [`validate`] so tests can capture the output.
 pub fn validate_report(args: &ValidateArgs) -> (i32, String) {
     let mut out = format!(
-        "repro validate: kernels n={}, fuzz slots={}, law cases={}/law, seed {}\n\n",
-        args.kernel_n, args.fuzz_slots, args.law_cases, args.seed
+        "repro validate: kernels n={}, fuzz slots={}, law cases={}/law, offload slots={}, seed {}\n\n",
+        args.kernel_n, args.fuzz_slots, args.law_cases, args.offload_slots, args.seed
     );
     let (kernel_text, kernel_json, kernels_pass, _) = kernel_section(args);
     let (fuzz_text, fuzz_json, fuzz_pass, _) = fuzz_section(args);
     let (law_text, law_json, laws_pass, _) = law_section(args);
+    let (offload_text, offload_json, offload_pass, _) = offload_section(args);
     out.push_str(&kernel_text);
     out.push('\n');
     out.push_str(&fuzz_text);
     out.push('\n');
     out.push_str(&law_text);
-    let pass = kernels_pass && fuzz_pass && laws_pass;
+    out.push('\n');
+    out.push_str(&offload_text);
+    let pass = kernels_pass && fuzz_pass && laws_pass && offload_pass;
     out.push_str(&format!(
         "\nverdict: {}\n",
         if pass { "PASS" } else { "FAIL" }
@@ -361,6 +418,7 @@ pub fn validate_report(args: &ValidateArgs) -> (i32, String) {
                     ("kernel_n", Json::from(args.kernel_n)),
                     ("fuzz_slots", Json::from(args.fuzz_slots)),
                     ("law_cases", Json::from(args.law_cases)),
+                    ("offload_slots", Json::from(args.offload_slots)),
                     ("seed", Json::from(args.seed)),
                     (
                         "require_full_coverage",
@@ -371,6 +429,7 @@ pub fn validate_report(args: &ValidateArgs) -> (i32, String) {
             ("oracle", kernel_json),
             ("conformance", fuzz_json),
             ("laws", law_json),
+            ("offload", offload_json),
             ("pass", Json::from(pass)),
         ]);
         if let Err(e) = std::fs::write(path, doc.render_pretty()) {
@@ -409,6 +468,7 @@ mod tests {
             kernel_n: 400,
             fuzz_slots: 40,
             law_cases: 8,
+            offload_slots: 16,
             ..ValidateArgs::default()
         }
     }
@@ -417,18 +477,22 @@ mod tests {
     fn parse_scales_and_rejections() {
         let a = ValidateArgs::parse(&s(&["--smoke"])).unwrap();
         assert_eq!((a.kernel_n, a.fuzz_slots, a.law_cases), (2_000, 400, 60));
+        assert_eq!(a.offload_slots, 200);
         assert!(!a.require_full_coverage);
         let f = ValidateArgs::parse(&s(&["--full", "--jobs", "4"])).unwrap();
         assert_eq!(
             (f.kernel_n, f.fuzz_slots, f.law_cases),
             (20_000, 10_000, 1_000)
         );
+        assert_eq!(f.offload_slots, 4_000);
         assert!(f.require_full_coverage);
         assert_eq!(f.jobs, 4);
-        let o = ValidateArgs::parse(&s(&["--fuzz", "7", "--seed", "9"])).unwrap();
-        assert_eq!((o.fuzz_slots, o.seed), (7, 9));
+        let o = ValidateArgs::parse(&s(&["--fuzz", "7", "--offload-fuzz", "11", "--seed", "9"]))
+            .unwrap();
+        assert_eq!((o.fuzz_slots, o.offload_slots, o.seed), (7, 11, 9));
         assert!(ValidateArgs::parse(&s(&["--nope"])).is_err());
         assert!(ValidateArgs::parse(&s(&["--fuzz", "0"])).is_err());
+        assert!(ValidateArgs::parse(&s(&["--offload-fuzz", "0"])).is_err());
         assert!(ValidateArgs::parse(&s(&["--kernel-n"])).is_err());
     }
 
@@ -439,6 +503,7 @@ mod tests {
         assert!(text.contains("analytic latency oracle"), "{text}");
         assert!(text.contains("reference-spec conformance"), "{text}");
         assert!(text.contains("metamorphic laws"), "{text}");
+        assert!(text.contains("offload-core conformance"), "{text}");
         assert!(text.contains("verdict: PASS"), "{text}");
         assert!(text.contains("mean kernel error:"), "{text}");
     }

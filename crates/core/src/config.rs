@@ -1,4 +1,7 @@
-//! Simulation modes: baseline, Mallacc, and the paper's limit studies.
+//! Simulation modes: baseline, Mallacc, allocation offload, and the
+//! paper's limit studies.
+
+use mallacc_offload::OffloadConfig;
 
 use crate::malloc_cache::MallocCacheConfig;
 
@@ -112,6 +115,11 @@ pub enum Mode {
     Mallacc(AccelConfig),
     /// An idealised upper bound: the selected component µops vanish.
     Limit(LimitRemove),
+    /// Allocation offload: malloc/free retire on a SpeedMalloc-style
+    /// helper core behind a bounded queue while the main core speculates
+    /// past the result. Functionally identical to baseline — only timing
+    /// changes.
+    Offload(OffloadConfig),
 }
 
 impl Mode {
@@ -123,6 +131,16 @@ impl Mode {
     /// The paper's full limit study.
     pub fn limit_all() -> Self {
         Mode::Limit(LimitRemove::all())
+    }
+
+    /// The SpeedMalloc-style offload reference configuration.
+    pub fn offload_default() -> Self {
+        Mode::Offload(OffloadConfig::speedmalloc_default())
+    }
+
+    /// Offload with a malloc-cache-equipped helper (the combined design).
+    pub fn offload_both() -> Self {
+        Mode::Offload(OffloadConfig::both_default())
     }
 }
 

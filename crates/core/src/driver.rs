@@ -19,6 +19,7 @@
 //! consistency invariant of §4.1.
 
 use mallacc_cache::Addr;
+use mallacc_offload::{service_cycles, OffloadConfig, OffloadQueue, OffloadStats, ServicePath};
 use mallacc_ooo::{Component, CoreConfig, Engine, OpMeta, Reg, TraceSink, Uop};
 use mallacc_tcmalloc::{
     layout, ClassId, FreePath, MallocOutcome, MallocPath, TcMalloc, TcMallocConfig,
@@ -186,6 +187,8 @@ pub struct MallocSim {
     lookup_bp: LocalPredictor,
     /// Branch predictor for the `mchdpop` fallback branch.
     pop_bp: LocalPredictor,
+    /// Request/response queue to the helper core ([`Mode::Offload`] only).
+    offload: Option<OffloadQueue>,
 }
 
 /// A small local-history branch predictor (6 bits of history indexing
@@ -242,6 +245,10 @@ impl MallocSim {
             Mode::Mallacc(a) => a.cache,
             _ => crate::malloc_cache::MallocCacheConfig::paper_default(),
         };
+        let offload = match mode {
+            Mode::Offload(cfg) => Some(OffloadQueue::new(cfg)),
+            _ => None,
+        };
         Self {
             mode,
             alloc: TcMalloc::new(alloc_cfg),
@@ -250,6 +257,7 @@ impl MallocSim {
             totals: SimTotals::default(),
             lookup_bp: LocalPredictor::new(),
             pop_bp: LocalPredictor::new(),
+            offload,
         }
     }
 
@@ -288,6 +296,11 @@ impl MallocSim {
     /// The malloc cache (meaningful in [`Mode::Mallacc`]).
     pub fn malloc_cache(&self) -> &MallocCache {
         &self.mc
+    }
+
+    /// Offload-queue conservation counters ([`Mode::Offload`] only).
+    pub fn offload_stats(&self) -> Option<OffloadStats> {
+        self.offload.as_ref().map(OffloadQueue::stats)
     }
 
     /// Installs an observability sink on the core. Tracing is observation-
@@ -417,7 +430,11 @@ impl MallocSim {
         }
         self.cpu.set_component(Component::Boundary);
         self.call_boundary();
-        let kind = self.emit_malloc(outcome, post);
+        let kind = if let Mode::Offload(cfg) = self.mode {
+            self.emit_offload_malloc(outcome, cfg)
+        } else {
+            self.emit_malloc(outcome, post)
+        };
         self.cpu.set_component(Component::Boundary);
         self.call_boundary();
         self.cpu.set_component(Component::App);
@@ -469,7 +486,11 @@ impl MallocSim {
         }
         self.cpu.set_component(Component::Boundary);
         self.call_boundary();
-        let kind = self.emit_free(outcome, post);
+        let kind = if let Mode::Offload(cfg) = self.mode {
+            self.emit_offload_free(outcome, cfg)
+        } else {
+            self.emit_free(outcome, post)
+        };
         self.cpu.set_component(Component::Boundary);
         self.call_boundary();
         self.cpu.set_component(Component::App);
@@ -499,6 +520,137 @@ impl MallocSim {
     /// taken branch that ends the fetch group.
     fn call_boundary(&mut self) {
         self.cpu.push(Uop::jump(&[]));
+    }
+
+    // ----- offload emission -----------------------------------------------
+
+    /// The helper-side service path a malloc outcome maps to.
+    fn malloc_service_path(outcome: &MallocOutcome) -> ServicePath {
+        match &outcome.path {
+            MallocPath::Large { pages, grew_heap } => ServicePath::MallocLarge {
+                pages: *pages,
+                grew_heap: *grew_heap,
+            },
+            MallocPath::ThreadCacheHit { .. } => ServicePath::MallocFast,
+            MallocPath::CentralRefill {
+                batch, populate, ..
+            } => match populate {
+                Some(p) if p.span.grew_heap => ServicePath::MallocOs {
+                    batch: batch.len() as u64,
+                    objects: p.object_count,
+                    pages: p.span.pages,
+                },
+                Some(p) => ServicePath::MallocSpan {
+                    batch: batch.len() as u64,
+                    objects: p.object_count,
+                    pages: p.span.pages,
+                },
+                None => ServicePath::MallocCentral {
+                    batch: batch.len() as u64,
+                },
+            },
+        }
+    }
+
+    /// The helper-side service path a free outcome maps to.
+    fn free_service_path(outcome: &mallacc_tcmalloc::FreeOutcome) -> ServicePath {
+        let unsized_walk = outcome.pagemap_addrs.is_some();
+        match &outcome.path {
+            FreePath::Large { pages } => ServicePath::FreeLarge { pages: *pages },
+            FreePath::ThreadCachePush { released, .. } => match released {
+                Some(moved) => ServicePath::FreeRelease {
+                    moved: moved.len() as u64,
+                    unsized_walk,
+                },
+                None => ServicePath::FreeFast { unsized_walk },
+            },
+        }
+    }
+
+    /// Call-kind classification of a malloc outcome (mode-independent).
+    fn malloc_kind(outcome: &MallocOutcome) -> CallKind {
+        match &outcome.path {
+            MallocPath::Large { .. } => CallKind::MallocLarge,
+            MallocPath::ThreadCacheHit { .. } => CallKind::MallocFast,
+            MallocPath::CentralRefill { populate, .. } => match populate {
+                Some(p) if p.span.grew_heap => CallKind::MallocOs,
+                Some(_) => CallKind::MallocSpan,
+                None => CallKind::MallocCentral,
+            },
+        }
+    }
+
+    /// Call-kind classification of a free outcome (mode-independent).
+    fn free_kind(outcome: &mallacc_tcmalloc::FreeOutcome) -> CallKind {
+        match &outcome.path {
+            FreePath::Large { .. } => CallKind::FreeLarge,
+            FreePath::ThreadCachePush { released, .. } => match released {
+                Some(_) => CallKind::FreeRelease,
+                None => CallKind::FreeFast,
+            },
+        }
+    }
+
+    /// Marshals one request onto the offload queue; returns the queue's
+    /// timing answer. Emits the main-core µops: operand marshal, the
+    /// doorbell write, and — as explicit `Offload`-tagged stalls — any
+    /// queue-full backpressure.
+    fn emit_offload_request(&mut self, cfg: OffloadConfig, service: u64) -> (u64, u64) {
+        self.cpu.set_component(Component::Offload);
+        let req = self.cpu.alloc_reg();
+        self.cpu.push(Uop::alu(1, Some(req), &[]));
+        let db = self.cpu.alloc_reg();
+        let t = self
+            .cpu
+            .push(Uop::alu(cfg.enqueue_latency.max(1), Some(db), &[req]));
+        let enq = self
+            .offload
+            .as_mut()
+            .expect("offload mode has a queue")
+            .enqueue(t.complete, service);
+        if enq.stall_cycles > 0 {
+            // Queue-full backpressure: the doorbell write blocks until the
+            // oldest response drains. Charged as one Offload-tagged stall
+            // µop so per-µop attribution sees the handoff cost.
+            let stalled = self.cpu.alloc_reg();
+            let wait = u32::try_from(enq.stall_cycles).unwrap_or(u32::MAX);
+            self.cpu.push(Uop::alu(wait.max(1), Some(stalled), &[db]));
+        }
+        (t.complete, enq.response_ready)
+    }
+
+    /// Emits the offload-mode malloc: enqueue the request, then stall only
+    /// for the part of the response latency the speculation window cannot
+    /// hide.
+    fn emit_offload_malloc(&mut self, outcome: &MallocOutcome, cfg: OffloadConfig) -> CallKind {
+        let path = Self::malloc_service_path(outcome);
+        let service = service_cycles(path, outcome.sampled, &cfg);
+        let (submitted, response_ready) = self.emit_offload_request(cfg, service);
+        // The main core speculates past the returned pointer for up to
+        // `speculative_window` cycles; it stalls for the remainder.
+        let need_at = submitted + u64::from(cfg.speculative_window);
+        let wait = response_ready.saturating_sub(need_at.max(self.cpu.now()));
+        if wait > 0 {
+            let d = self.cpu.alloc_reg();
+            let w = u32::try_from(wait).unwrap_or(u32::MAX);
+            self.cpu.push(Uop::alu(w.max(1), Some(d), &[]));
+        }
+        self.cpu.set_component(Component::App);
+        Self::malloc_kind(outcome)
+    }
+
+    /// Emits the offload-mode free: fire-and-forget — the main core never
+    /// waits on the response, only on queue-full backpressure.
+    fn emit_offload_free(
+        &mut self,
+        outcome: &mallacc_tcmalloc::FreeOutcome,
+        cfg: OffloadConfig,
+    ) -> CallKind {
+        let path = Self::free_service_path(outcome);
+        let service = service_cycles(path, false, &cfg);
+        self.emit_offload_request(cfg, service);
+        self.cpu.set_component(Component::App);
+        Self::free_kind(outcome)
     }
 
     // ----- µop emission ---------------------------------------------------
@@ -1077,6 +1229,112 @@ mod tests {
         let hw = run(Mode::mallacc_default());
         assert!(!sw.is_empty());
         assert_eq!(sw, hw, "sampling decisions must not depend on the mode");
+    }
+
+    #[test]
+    fn offload_heap_is_bit_identical_to_baseline() {
+        // Offload is performance-only: the functional allocator must hand
+        // out exactly the same pointers, classes and sampling decisions.
+        let run = |mode: Mode| {
+            let mut sim = MallocSim::new(mode);
+            let mut log = Vec::new();
+            let mut live = Vec::new();
+            for i in 0..300u64 {
+                let r = sim.malloc(16 + (i * 37) % 400);
+                log.push((r.ptr, r.kind, r.cls, r.sampled));
+                live.push(r.ptr);
+                if i % 3 == 2 {
+                    let p = live.remove((i as usize * 7) % live.len());
+                    let f = sim.free(p, i % 2 == 0);
+                    log.push((f.ptr, f.kind, f.cls, f.sampled));
+                }
+            }
+            log
+        };
+        assert_eq!(run(Mode::Baseline), run(Mode::offload_default()));
+        assert_eq!(run(Mode::Baseline), run(Mode::offload_both()));
+    }
+
+    #[test]
+    fn offload_frees_are_fire_and_forget_cheap() {
+        let mut sim = MallocSim::new(Mode::offload_default());
+        warm_rotating(&mut sim, 80);
+        sim.reset_totals();
+        for i in 0..200 {
+            let r = sim.malloc(32 + (i as u64 % 4) * 32);
+            sim.app_run(200); // drain the queue between calls
+            sim.free(r.ptr, true);
+            sim.app_run(200);
+        }
+        let t = sim.totals();
+        let per_free = t.free_cycles as f64 / t.free_calls as f64;
+        // enqueue is ~2 µops + boundary jumps; no response wait.
+        assert!(per_free < 12.0, "fire-and-forget free = {per_free} cycles");
+    }
+
+    #[test]
+    fn offload_loses_on_back_to_back_allocation() {
+        // With zero app compute between calls the bounded queue saturates
+        // and the in-order helper's service time becomes the bottleneck —
+        // the regime where Mallacc's in-core cache wins.
+        let run = |mode: Mode| {
+            let mut sim = MallocSim::new(mode);
+            warm_rotating(&mut sim, 80);
+            sim.reset_totals();
+            warm_rotating(&mut sim, 400);
+            let t = sim.totals();
+            t.allocator_cycles() as f64 / t.malloc_calls as f64
+        };
+        let mallacc = run(Mode::mallacc_default());
+        let offload = run(Mode::offload_default());
+        assert!(
+            offload > mallacc * 1.3,
+            "saturated offload {offload} should lose to mallacc {mallacc}"
+        );
+        let s = {
+            let mut sim = MallocSim::new(Mode::offload_default());
+            warm_rotating(&mut sim, 200);
+            sim.offload_stats().unwrap()
+        };
+        assert!(s.queue_full_stalls > 0, "tight loop must hit backpressure");
+    }
+
+    #[test]
+    fn offload_wins_with_app_compute_between_calls() {
+        // With app work between calls the queue drains, and the visible
+        // cost collapses to the enqueue — beating even Mallacc's fast path.
+        let run = |mode: Mode| {
+            let mut sim = MallocSim::new(mode);
+            warm_rotating(&mut sim, 80);
+            sim.reset_totals();
+            for i in 0..300 {
+                let r = sim.malloc(32 + (i as u64 % 4) * 32);
+                sim.app_run(150);
+                sim.free(r.ptr, true);
+                sim.app_run(150);
+            }
+            sim.totals().allocator_cycles()
+        };
+        let base = run(Mode::Baseline);
+        let mallacc = run(Mode::mallacc_default());
+        let offload = run(Mode::offload_default());
+        assert!(offload < base, "offload {offload} !< baseline {base}");
+        assert!(offload < mallacc, "offload {offload} !< mallacc {mallacc}");
+    }
+
+    #[test]
+    fn offload_stats_conserve_requests() {
+        let mut sim = MallocSim::new(Mode::offload_default());
+        for i in 0..100u64 {
+            let r = sim.malloc(32 + (i % 4) * 32);
+            sim.free(r.ptr, true);
+        }
+        let s = sim.offload_stats().expect("offload mode");
+        assert_eq!(s.enqueued, 200);
+        assert!(s.retired <= s.enqueued);
+        assert!(s.busy_cycles > 0);
+        assert!(sim.offload_stats().is_some());
+        assert!(MallocSim::new(Mode::Baseline).offload_stats().is_none());
     }
 
     #[test]

@@ -68,3 +68,6 @@ pub use malloc_cache::{
 pub use mallacc_ooo::{
     Component, OpKind, OpMeta, StallBreakdown, StallReason, TraceSink, UopEvent, UopTiming,
 };
+// Re-exported so downstream layers can name offload configurations and
+// read queue conservation counters without a direct dependency.
+pub use mallacc_offload::{offload_area_um2, OffloadConfig, OffloadStats, DEFAULT_QUEUE_DEPTH};

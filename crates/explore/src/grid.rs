@@ -1,6 +1,7 @@
 //! The declarative parameter grid and its expansion into config points.
 
-use crate::point::{ConfigPoint, RunScale, Substrate};
+use crate::point::{AccelKind, ConfigPoint, RunScale, Substrate};
+use mallacc::DEFAULT_QUEUE_DEPTH;
 use mallacc_workloads::{AnyWorkload, Microbenchmark};
 
 /// A declarative sweep specification: one value list per axis. The grid's
@@ -18,6 +19,11 @@ pub struct ParamGrid {
     pub index_opt: Vec<bool>,
     /// Sampling counter on/off.
     pub sampling: Vec<bool>,
+    /// Accelerator kinds to pit against baseline.
+    pub accel: Vec<AccelKind>,
+    /// Offload request-queue depths (queue-using kinds only; collapsed
+    /// to the default for `none`/`mallacc` points).
+    pub queue_depth: Vec<usize>,
     /// Allocator substrates.
     pub substrates: Vec<Substrate>,
     /// Workload names (micro or macro).
@@ -40,6 +46,8 @@ impl Default for ParamGrid {
             prefetch: vec![true],
             index_opt: vec![true],
             sampling: vec![true],
+            accel: vec![AccelKind::Mallacc],
+            queue_depth: vec![DEFAULT_QUEUE_DEPTH],
             substrates: vec![Substrate::TcMalloc],
             workloads: vec!["tp_small".to_string()],
             cores: vec![1],
@@ -85,9 +93,10 @@ impl ParamGrid {
     /// Parses a `--grid` spec: semicolon-separated `axis=v1,v2,…`
     /// overrides applied to the default single-point grid. Axes:
     /// `entries`, `xlat`, `prefetch`, `index`, `sampling` (`on`/`off`),
-    /// `substrate` (`tcmalloc`/`jemalloc`), `workload` (names, the
-    /// families `micro`/`macro`/`all`, the `fleet` family, or individual
-    /// `fleet:NAME` scenarios), `cores`.
+    /// `accel` (`none`/`mallacc`/`offload`/`both`), `qdepth` (offload
+    /// queue depths), `substrate` (`tcmalloc`/`jemalloc`), `workload`
+    /// (names, the families `micro`/`macro`/`all`, the `fleet` family,
+    /// or individual `fleet:NAME` scenarios), `cores`.
     pub fn parse(spec: &str) -> Result<ParamGrid, String> {
         let mut grid = ParamGrid::default();
         for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
@@ -133,6 +142,22 @@ impl ParamGrid {
                 "prefetch" => grid.prefetch = parse_bools()?,
                 "index" => grid.index_opt = parse_bools()?,
                 "sampling" => grid.sampling = parse_bools()?,
+                "accel" => {
+                    grid.accel = values
+                        .iter()
+                        .map(|v| {
+                            AccelKind::by_name(v).ok_or_else(|| {
+                                format!("bad accel {v:?}: use none/mallacc/offload/both")
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "qdepth" => {
+                    grid.queue_depth = parse_usizes()?;
+                    if grid.queue_depth.iter().any(|&d| d == 0 || d > 64) {
+                        return Err("qdepth must be in 1..=64".to_string());
+                    }
+                }
                 "substrate" => {
                     grid.substrates = values
                         .iter()
@@ -167,8 +192,8 @@ impl ParamGrid {
                 }
                 "cores" => {
                     grid.cores = parse_usizes()?;
-                    if grid.cores.iter().any(|&c| c == 0 || c > 16) {
-                        return Err("cores must be in 1..=16".to_string());
+                    if grid.cores.iter().any(|&c| c == 0 || c > 64) {
+                        return Err("cores must be in 1..=64".to_string());
                     }
                 }
                 other => return Err(format!("unknown grid axis {other:?}")),
@@ -191,15 +216,18 @@ impl ParamGrid {
     }
 
     /// Expands the grid into configuration points, in a deterministic
-    /// order (workload-major, then substrate, cores, entries, latency,
-    /// index, prefetch, sampling).
+    /// order (workload-major, then substrate, cores, accel, queue depth,
+    /// entries, latency, index, prefetch, sampling).
     ///
     /// Combinations the simulator stack cannot express are skipped:
     /// multi-core points exist only on the TCMalloc substrate and only
     /// for macro workloads or fleet scenarios (microbenchmarks have no
-    /// multi-threaded trace generator), and fleet scenarios — which run
-    /// on the shared multi-core TCMalloc — have no jemalloc variant at
-    /// any core count.
+    /// multi-threaded trace generator), fleet scenarios — which run on
+    /// the shared multi-core TCMalloc — have no jemalloc variant at any
+    /// core count, and the offload-based accelerator kinds model
+    /// TCMalloc's service paths only. The queue-depth axis is collapsed
+    /// to the default for kinds that have no queue, so a `qdepth` sweep
+    /// does not duplicate `none`/`mallacc` points.
     pub fn expand(&self) -> Vec<ConfigPoint> {
         let mut points = Vec::new();
         for workload in &self.workloads {
@@ -213,23 +241,38 @@ impl ParamGrid {
                     if cores > 1 && !is_fleet && (substrate == Substrate::JeMalloc || is_micro) {
                         continue;
                     }
-                    for &entries in &self.entries {
-                        for &extra_latency in &self.extra_latency {
-                            for &index_opt in &self.index_opt {
-                                for &prefetch in &self.prefetch {
-                                    for &sampling in &self.sampling {
-                                        points.push(ConfigPoint {
-                                            entries,
-                                            extra_latency,
-                                            prefetch,
-                                            index_opt,
-                                            sampling,
-                                            substrate,
-                                            workload: workload.clone(),
-                                            cores,
-                                            seed: self.seed,
-                                            scale: self.scale,
-                                        });
+                    for &accel in &self.accel {
+                        if accel.uses_queue() && substrate == Substrate::JeMalloc {
+                            continue;
+                        }
+                        let default_depth = [DEFAULT_QUEUE_DEPTH];
+                        let depths: &[usize] = if accel.uses_queue() {
+                            &self.queue_depth
+                        } else {
+                            &default_depth
+                        };
+                        for &queue_depth in depths {
+                            for &entries in &self.entries {
+                                for &extra_latency in &self.extra_latency {
+                                    for &index_opt in &self.index_opt {
+                                        for &prefetch in &self.prefetch {
+                                            for &sampling in &self.sampling {
+                                                points.push(ConfigPoint {
+                                                    entries,
+                                                    extra_latency,
+                                                    prefetch,
+                                                    index_opt,
+                                                    sampling,
+                                                    accel,
+                                                    queue_depth,
+                                                    substrate,
+                                                    workload: workload.clone(),
+                                                    cores,
+                                                    seed: self.seed,
+                                                    scale: self.scale,
+                                                });
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -285,10 +328,48 @@ mod tests {
             "prefetch=maybe",
             "substrate=dlmalloc",
             "cores=0",
+            "cores=65",
+            "accel=warp",
+            "qdepth=0",
+            "qdepth=128",
             "entries",
         ] {
             assert!(ParamGrid::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_accepts_the_lifted_core_cap() {
+        let g = ParamGrid::parse("cores=1,32,64").unwrap();
+        assert_eq!(g.cores, vec![1, 32, 64]);
+    }
+
+    #[test]
+    fn accel_axis_parses_and_qdepth_collapses_for_cacheless_kinds() {
+        let g = ParamGrid::parse("accel=none,mallacc,offload,both;qdepth=4,16").unwrap();
+        assert_eq!(g.accel.len(), 4);
+        let pts = g.expand();
+        // none and mallacc take one point each (qdepth pinned to the
+        // default); offload and both sweep both depths.
+        assert_eq!(pts.len(), 1 + 1 + 2 + 2);
+        for p in &pts {
+            if p.accel.uses_queue() {
+                assert!(p.queue_depth == 4 || p.queue_depth == 16);
+            } else {
+                assert_eq!(p.queue_depth, mallacc::DEFAULT_QUEUE_DEPTH);
+            }
+        }
+    }
+
+    #[test]
+    fn offload_kinds_skip_the_jemalloc_substrate() {
+        let g = ParamGrid::parse("accel=mallacc,offload;substrate=tcmalloc,jemalloc").unwrap();
+        let pts = g.expand();
+        // mallacc×{tcmalloc,jemalloc} + offload×{tcmalloc}.
+        assert_eq!(pts.len(), 3);
+        assert!(pts
+            .iter()
+            .all(|p| !(p.accel.uses_queue() && p.substrate == Substrate::JeMalloc)));
     }
 
     #[test]

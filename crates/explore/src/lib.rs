@@ -8,10 +8,11 @@
 //! sweeps into a subsystem:
 //!
 //! * [`ParamGrid`] declares value lists per axis — cache entries, lookup
-//!   latency, prefetch / index / sampling toggles, allocator substrate
-//!   (tcmalloc or jemalloc), workload, and core count — and expands their
-//!   cross product into [`ConfigPoint`]s, skipping combinations the
-//!   simulator stack cannot express.
+//!   latency, prefetch / index / sampling toggles, accelerator kind
+//!   (none, mallacc, allocation offload, or both) with offload queue
+//!   depth, allocator substrate (tcmalloc or jemalloc), workload, and
+//!   core count — and expands their cross product into [`ConfigPoint`]s,
+//!   skipping combinations the simulator stack cannot express.
 //! * [`run_sweep`] executes the points on scoped host threads. Results
 //!   are **bit-identical across `--jobs` values**: every point is a
 //!   self-contained simulation seeded from its own configuration, and
@@ -50,5 +51,5 @@ mod report;
 pub use engine::{effective_jobs, run_sweep, SweepOptions};
 pub use grid::ParamGrid;
 pub use memo::MemoStore;
-pub use point::{fnv1a64, ConfigPoint, PointResult, RunScale, Substrate};
+pub use point::{fnv1a64, AccelKind, ConfigPoint, PointResult, RunScale, Substrate};
 pub use report::{AxisSensitivity, SweepReport};

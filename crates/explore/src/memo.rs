@@ -136,7 +136,7 @@ impl MemoStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::point::{RunScale, Substrate};
+    use crate::point::{AccelKind, RunScale, Substrate};
 
     fn point(entries: usize) -> ConfigPoint {
         ConfigPoint {
@@ -145,6 +145,8 @@ mod tests {
             prefetch: true,
             index_opt: true,
             sampling: true,
+            accel: AccelKind::Mallacc,
+            queue_depth: 8,
             substrate: Substrate::TcMalloc,
             workload: "tp_small".to_string(),
             cores: 1,

@@ -1,7 +1,10 @@
 //! A single design point: its configuration axes, its content-hash
 //! memoisation key, and its execution on the right simulator stack.
 
-use mallacc::{AccelConfig, AreaEstimate, MallocSim, Mode, RangeKeying, CODE_MODEL_VERSION};
+use mallacc::{
+    offload_area_um2, AccelConfig, AreaEstimate, MallocSim, Mode, OffloadConfig, RangeKeying,
+    CODE_MODEL_VERSION,
+};
 use mallacc_jemalloc::JeSim;
 use mallacc_multicore::MulticoreSim;
 use mallacc_stats::Json;
@@ -33,6 +36,50 @@ impl Substrate {
             "jemalloc" => Some(Substrate::JeMalloc),
             _ => None,
         }
+    }
+}
+
+/// Which acceleration hardware the point compares against baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccelKind {
+    /// No accelerator — a zero-improvement, zero-area control point.
+    None,
+    /// The Mallacc in-core malloc cache.
+    Mallacc,
+    /// The SpeedMalloc-style allocation-offload helper core.
+    Offload,
+    /// The offload helper equipped with its own malloc cache.
+    Both,
+}
+
+impl AccelKind {
+    /// Every kind, in canonical sweep order.
+    pub const ALL: [AccelKind; 4] = [
+        AccelKind::None,
+        AccelKind::Mallacc,
+        AccelKind::Offload,
+        AccelKind::Both,
+    ];
+
+    /// The kind's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccelKind::None => "none",
+            AccelKind::Mallacc => "mallacc",
+            AccelKind::Offload => "offload",
+            AccelKind::Both => "both",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn by_name(name: &str) -> Option<AccelKind> {
+        AccelKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// True when the kind's timing goes through the offload queue, making
+    /// the `qdepth` axis meaningful.
+    pub fn uses_queue(self) -> bool {
+        matches!(self, AccelKind::Offload | AccelKind::Both)
     }
 }
 
@@ -79,6 +126,11 @@ pub struct ConfigPoint {
     pub index_opt: bool,
     /// Dedicated sampling counter.
     pub sampling: bool,
+    /// Which accelerator this point pits against baseline.
+    pub accel: AccelKind,
+    /// Offload request-queue depth (meaningful for the queue-using
+    /// kinds; grids normalise it to the default elsewhere).
+    pub queue_depth: usize,
     /// Allocator substrate.
     pub substrate: Substrate,
     /// Workload name (micro or macro; see `AnyWorkload`).
@@ -106,14 +158,38 @@ impl ConfigPoint {
         cfg
     }
 
+    /// The offload configuration this point describes. The `Both` kind
+    /// equips the helper with a malloc cache; every queue-using kind
+    /// takes its queue depth from the point.
+    pub fn offload_config(&self) -> OffloadConfig {
+        let mut cfg = if self.accel == AccelKind::Both {
+            OffloadConfig::both_default()
+        } else {
+            OffloadConfig::speedmalloc_default()
+        };
+        cfg.queue_depth = self.queue_depth;
+        cfg
+    }
+
+    /// The accelerated machine [`Mode`] this point compares to baseline.
+    pub fn accel_mode(&self) -> Mode {
+        match self.accel {
+            AccelKind::None => Mode::Baseline,
+            AccelKind::Mallacc => Mode::Mallacc(self.accel_config()),
+            AccelKind::Offload | AccelKind::Both => Mode::Offload(self.offload_config()),
+        }
+    }
+
     /// Canonical textual form of the whole point — the accelerator
     /// config's canonical string plus every run axis and the code-model
     /// version. Two points collide iff they describe the same run of the
     /// same simulation code.
     pub fn canonical_string(&self) -> String {
         format!(
-            "v{};{};substrate={};workload={};cores={};seed={};calls={};warmup={}",
+            "v{};accel={};qdepth={};{};substrate={};workload={};cores={};seed={};calls={};warmup={}",
             CODE_MODEL_VERSION,
+            self.accel.name(),
+            self.queue_depth,
             self.accel_config().canonical_string(),
             self.substrate.name(),
             self.workload,
@@ -134,9 +210,20 @@ impl ConfigPoint {
         format!("{:016x}", self.key())
     }
 
-    /// Total silicon cost of this point: one malloc cache per core.
+    /// Total silicon cost of this point: the per-core accelerator
+    /// hardware (malloc cache, helper core + queue, or both — nothing
+    /// for the `none` control) times the core count.
     pub fn area_um2(&self) -> f64 {
-        AreaEstimate::for_entries(self.entries).total_um2() * self.cores as f64
+        let per_core = match self.accel {
+            AccelKind::None => 0.0,
+            AccelKind::Mallacc => AreaEstimate::for_entries(self.entries).total_um2(),
+            AccelKind::Offload => offload_area_um2(self.queue_depth),
+            AccelKind::Both => {
+                offload_area_um2(self.queue_depth)
+                    + AreaEstimate::for_entries(self.entries).total_um2()
+            }
+        };
+        per_core * self.cores as f64
     }
 
     /// Requests a `fleet:` point streams, derived from the scale so quick
@@ -156,7 +243,7 @@ impl ConfigPoint {
     /// (multi-core jemalloc, multi-core microbenchmarks, jemalloc fleet
     /// scenarios). The engine validates grids before running.
     pub fn run(&self) -> PointResult {
-        let accel = Mode::Mallacc(self.accel_config());
+        let accel = self.accel_mode();
         if let Some(name) = self.workload.strip_prefix("fleet:") {
             let scenario = mallacc_fleet::Scenario::by_name(name)
                 .unwrap_or_else(|| panic!("unknown fleet scenario {name}"));
@@ -285,6 +372,8 @@ mod tests {
             prefetch: true,
             index_opt: true,
             sampling: true,
+            accel: AccelKind::Mallacc,
+            queue_depth: 8,
             substrate: Substrate::TcMalloc,
             workload: "tp_small".to_string(),
             cores: 1,
@@ -320,6 +409,14 @@ mod tests {
             },
             ConfigPoint {
                 substrate: Substrate::JeMalloc,
+                ..point()
+            },
+            ConfigPoint {
+                accel: AccelKind::Offload,
+                ..point()
+            },
+            ConfigPoint {
+                queue_depth: 4,
                 ..point()
             },
             ConfigPoint {
@@ -402,6 +499,84 @@ mod tests {
             ..point()
         };
         assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn accel_kind_names_round_trip() {
+        for k in AccelKind::ALL {
+            assert_eq!(AccelKind::by_name(k.name()), Some(k));
+        }
+        assert_eq!(AccelKind::by_name("warp"), None);
+        assert!(AccelKind::Offload.uses_queue() && AccelKind::Both.uses_queue());
+        assert!(!AccelKind::Mallacc.uses_queue() && !AccelKind::None.uses_queue());
+    }
+
+    #[test]
+    fn area_reflects_the_accel_kind() {
+        let mallacc = point().area_um2();
+        let none = ConfigPoint {
+            accel: AccelKind::None,
+            ..point()
+        }
+        .area_um2();
+        let offload = ConfigPoint {
+            accel: AccelKind::Offload,
+            ..point()
+        }
+        .area_um2();
+        let both = ConfigPoint {
+            accel: AccelKind::Both,
+            ..point()
+        }
+        .area_um2();
+        assert_eq!(none, 0.0);
+        assert!(offload > 50.0 * mallacc, "helper core dwarfs the cache");
+        assert!(
+            (both - offload - mallacc).abs() < 1e-6,
+            "both = sum of parts"
+        );
+    }
+
+    #[test]
+    fn none_kind_is_a_zero_improvement_control() {
+        let r = ConfigPoint {
+            accel: AccelKind::None,
+            scale: RunScale {
+                calls: 200,
+                warmup: 50,
+            },
+            ..point()
+        }
+        .run();
+        assert!(r.base_cycles > 0.0);
+        assert_eq!(r.improvement_pct, 0.0);
+        assert_eq!(r.area_um2, 0.0);
+    }
+
+    #[test]
+    fn offload_point_runs_on_micro_and_fleet_workloads() {
+        let micro = ConfigPoint {
+            accel: AccelKind::Offload,
+            scale: RunScale {
+                calls: 300,
+                warmup: 50,
+            },
+            ..point()
+        }
+        .run();
+        assert!(micro.base_cycles > 0.0 && micro.accel_cycles > 0.0);
+        let fleet = ConfigPoint {
+            accel: AccelKind::Offload,
+            workload: "fleet:rpc-fanout".to_string(),
+            cores: 2,
+            scale: RunScale {
+                calls: 200,
+                warmup: 0,
+            },
+            ..point()
+        }
+        .run();
+        assert!(fleet.base_cycles > 0.0 && fleet.accel_cycles > 0.0);
     }
 
     #[test]

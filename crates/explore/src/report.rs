@@ -50,6 +50,8 @@ pub struct SweepReport {
 type AxisAccessor = (&'static str, fn(&ConfigPoint) -> String);
 
 const AXES: &[AxisAccessor] = &[
+    ("accel", |p| p.accel.name().to_string()),
+    ("qdepth", |p| p.queue_depth.to_string()),
     ("entries", |p| p.entries.to_string()),
     ("xlat", |p| p.extra_latency.to_string()),
     ("prefetch", |p| on_off(p.prefetch)),
@@ -154,8 +156,8 @@ impl SweepReport {
     /// Renders the human-readable sweep report.
     pub fn render(&self) -> String {
         let mut t = Table::new(&[
-            "workload", "sub", "cores", "entries", "xlat", "idx", "pf", "smp", "impr", "area um2",
-            "",
+            "workload", "sub", "cores", "accel", "qd", "entries", "xlat", "idx", "pf", "smp",
+            "impr", "area um2", "",
         ]);
         for (i, (p, r)) in self.points.iter().zip(&self.results).enumerate() {
             let mark = if self.knee == Some(i) {
@@ -169,6 +171,8 @@ impl SweepReport {
                 p.workload.clone(),
                 p.substrate.name().to_string(),
                 p.cores.to_string(),
+                p.accel.name().to_string(),
+                p.queue_depth.to_string(),
                 p.entries.to_string(),
                 p.extra_latency.to_string(),
                 on_off(p.index_opt),
@@ -240,6 +244,8 @@ impl SweepReport {
                     ("workload", p.workload.as_str().into()),
                     ("substrate", p.substrate.name().into()),
                     ("cores", p.cores.into()),
+                    ("accel", p.accel.name().into()),
+                    ("qdepth", p.queue_depth.into()),
                     ("entries", p.entries.into()),
                     ("xlat", u64::from(p.extra_latency).into()),
                     ("index", p.index_opt.into()),
@@ -311,7 +317,7 @@ impl SweepReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::point::{RunScale, Substrate};
+    use crate::point::{AccelKind, RunScale, Substrate};
 
     fn synthetic(entries_and_gains: &[(usize, f64)]) -> SweepReport {
         let points: Vec<ConfigPoint> = entries_and_gains
@@ -322,6 +328,8 @@ mod tests {
                 prefetch: true,
                 index_opt: true,
                 sampling: true,
+                accel: AccelKind::Mallacc,
+                queue_depth: 8,
                 substrate: Substrate::TcMalloc,
                 workload: "tp_small".to_string(),
                 cores: 1,

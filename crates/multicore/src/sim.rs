@@ -411,6 +411,23 @@ mod tests {
     }
 
     #[test]
+    fn offload_mode_runs_multicore_and_is_deterministic() {
+        let t = MtTrace::producer_consumer(2, 200, 7);
+        let a = MulticoreSim::new(Mode::offload_default(), 2).run(&t);
+        let b = MulticoreSim::new(Mode::offload_default(), 2).run(&t);
+        assert_eq!(a.epochs, b.epochs);
+        for (x, y) in a.per_core.iter().zip(&b.per_core) {
+            assert_eq!(x.totals, y.totals);
+        }
+        // The functional phase is mode-independent: call counts match the
+        // baseline run exactly.
+        let base = MulticoreSim::new(Mode::Baseline, 2).run(&t);
+        let (oa, ba) = (a.aggregate(), base.aggregate());
+        assert_eq!(oa.malloc_calls, ba.malloc_calls);
+        assert_eq!(oa.free_calls, ba.free_calls);
+    }
+
+    #[test]
     fn sinks_observe_without_perturbing_timing() {
         use mallacc::{OpMeta, TraceSink, UopEvent};
 

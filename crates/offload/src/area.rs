@@ -1,0 +1,96 @@
+//! Silicon cost of the offload design.
+//!
+//! This is the expensive side of the Mallacc-vs-offload Pareto question:
+//! Mallacc buys its speedup with ~1500 µm² of CAM/SRAM, while an offload
+//! helper is a whole (tiny) core plus queue storage — three orders of
+//! magnitude more area, which only pays off if the speedup is much larger
+//! or the helper is shared. Densities use the same 28 nm calibration as
+//! the malloc-cache area model.
+
+/// Area of the in-order helper core (µm² at 28 nm): a minimal single-issue
+/// scalar core with a small I/D cache, Cortex-M-class. ~0.45% of a 26.5 mm²
+/// Haswell core.
+pub const HELPER_CORE_UM2: f64 = 120_000.0;
+
+/// Queue-entry descriptor bits: opcode + size/pointer operand + response
+/// slot (64-bit pointer) + valid/sequence bookkeeping.
+pub const QUEUE_ENTRY_BITS: u64 = 128;
+
+/// SRAM density (µm² per byte) — same calibration as the malloc-cache
+/// model's CACTI-derived constant (346 µm² / 234 B).
+const SRAM_UM2_PER_BYTE: f64 = 346.0 / 234.0;
+
+/// Doorbell/arbitration logic around the queue, µm².
+const QUEUE_LOGIC_UM2: f64 = 180.0;
+
+/// Area breakdown of one main-core/helper pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffloadArea {
+    /// The helper core itself.
+    pub helper_core_um2: f64,
+    /// Request/response queue SRAM.
+    pub queue_sram_um2: f64,
+    /// Doorbell and arbitration logic.
+    pub queue_logic_um2: f64,
+}
+
+impl OffloadArea {
+    /// Area of a helper pair with a `queue_depth`-entry queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    pub fn for_depth(queue_depth: usize) -> Self {
+        assert!(queue_depth > 0, "queue must have at least one entry");
+        let bytes = (QUEUE_ENTRY_BITS * queue_depth as u64) as f64 / 8.0;
+        Self {
+            helper_core_um2: HELPER_CORE_UM2,
+            queue_sram_um2: bytes * SRAM_UM2_PER_BYTE,
+            queue_logic_um2: QUEUE_LOGIC_UM2,
+        }
+    }
+
+    /// Total area in µm².
+    pub fn total_um2(&self) -> f64 {
+        self.helper_core_um2 + self.queue_sram_um2 + self.queue_logic_um2
+    }
+}
+
+/// Total offload area (helper core + queue) for one main core, µm².
+///
+/// # Panics
+///
+/// Panics if `queue_depth` is zero.
+pub fn offload_area_um2(queue_depth: usize) -> f64 {
+    OffloadArea::for_depth(queue_depth).total_um2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helper_dwarfs_the_malloc_cache() {
+        // The paper's 16-entry malloc cache is ~1484 µm²; the helper core
+        // is orders of magnitude bigger — that asymmetry IS the trade.
+        let a = offload_area_um2(8);
+        assert!(a > 50.0 * 1484.0, "offload area {a} suspiciously small");
+        assert!(a < 0.01 * 26.5e6, "still under 1% of a Haswell core");
+    }
+
+    #[test]
+    fn area_grows_with_queue_depth() {
+        assert!(offload_area_um2(64) > offload_area_um2(2));
+        let d = offload_area_um2(64) - offload_area_um2(2);
+        assert!(
+            d < 2000.0,
+            "queue storage is a small additive term, got {d}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_depth_rejected() {
+        OffloadArea::for_depth(0);
+    }
+}

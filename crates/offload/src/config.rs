@@ -1,0 +1,133 @@
+//! Offload-engine configuration.
+
+/// Default bounded request-queue depth (entries shared by outstanding
+/// requests and undelivered responses).
+pub const DEFAULT_QUEUE_DEPTH: usize = 8;
+
+/// Configuration of one main-core/helper-core offload pair.
+///
+/// All latencies are in main-core cycles. The struct is `Copy + Eq` so it
+/// can ride inside the simulator's `Mode` and inside memoisation keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OffloadConfig {
+    /// Bounded queue depth; an enqueue into a full queue stalls the main
+    /// core until the oldest response drains.
+    pub queue_depth: usize,
+    /// Helper-core IPC in thousandths (1000 = 1.0). The helper is a tiny
+    /// in-order core, so it runs well below the main core's IPC.
+    pub helper_ipc_milli: u32,
+    /// Main-core cycles to marshal a request and ring the doorbell.
+    pub enqueue_latency: u32,
+    /// Helper-side cycles from doorbell to the request being decoded.
+    pub dequeue_latency: u32,
+    /// Cycles for the helper's response to travel back to the main core.
+    pub response_latency: u32,
+    /// How many cycles past an enqueue the main core can speculate before
+    /// it truly needs the returned pointer (out-of-order window slack).
+    /// A malloc only stalls for the part of the response latency this
+    /// window does not hide; frees are fire-and-forget.
+    pub speculative_window: u32,
+    /// The helper core carries its own malloc cache (the `both` mode):
+    /// Mallacc's structure accelerates the *helper's* fast path, shrinking
+    /// service time at extra area cost.
+    pub helper_mallacc: bool,
+}
+
+impl OffloadConfig {
+    /// The SpeedMalloc-style reference design: plain in-order helper at
+    /// 0.8 IPC behind an 8-entry queue.
+    pub fn speedmalloc_default() -> Self {
+        Self {
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            helper_ipc_milli: 800,
+            enqueue_latency: 4,
+            dequeue_latency: 6,
+            response_latency: 8,
+            speculative_window: 64,
+            helper_mallacc: false,
+        }
+    }
+
+    /// The combined design: the same helper core, but equipped with a
+    /// malloc cache of its own.
+    pub fn both_default() -> Self {
+        Self {
+            helper_mallacc: true,
+            ..Self::speedmalloc_default()
+        }
+    }
+
+    /// The default design with a different queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_depth(depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be at least 1");
+        Self {
+            queue_depth: depth,
+            ..Self::speedmalloc_default()
+        }
+    }
+
+    /// Canonical, injective textual form — one axis per `key=value` pair,
+    /// suitable as a memoisation-key component.
+    pub fn canonical_string(&self) -> String {
+        format!(
+            "qdepth={};hipc={};enq={};deq={};resp={};spec={};hmc={}",
+            self.queue_depth,
+            self.helper_ipc_milli,
+            self.enqueue_latency,
+            self.dequeue_latency,
+            self.response_latency,
+            self.speculative_window,
+            u8::from(self.helper_mallacc)
+        )
+    }
+}
+
+impl Default for OffloadConfig {
+    fn default() -> Self {
+        Self::speedmalloc_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = OffloadConfig::speedmalloc_default();
+        assert_eq!(c.queue_depth, DEFAULT_QUEUE_DEPTH);
+        assert!(
+            c.helper_ipc_milli < 1000,
+            "helper must be slower than 1.0 IPC"
+        );
+        assert!(!c.helper_mallacc);
+        assert!(OffloadConfig::both_default().helper_mallacc);
+    }
+
+    #[test]
+    fn with_depth_overrides_only_depth() {
+        let c = OffloadConfig::with_depth(2);
+        assert_eq!(c.queue_depth, 2);
+        assert_eq!(c.helper_ipc_milli, 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_depth_rejected() {
+        OffloadConfig::with_depth(0);
+    }
+
+    #[test]
+    fn canonical_string_separates_the_variants() {
+        let a = OffloadConfig::speedmalloc_default().canonical_string();
+        let b = OffloadConfig::both_default().canonical_string();
+        let c = OffloadConfig::with_depth(16).canonical_string();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert!(a.contains("qdepth=8"), "{a}");
+    }
+}

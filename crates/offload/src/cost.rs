@@ -1,0 +1,305 @@
+//! Helper-side service costs per allocator request.
+//!
+//! The helper core runs the same software allocator paths the main core
+//! would, minus call/return boundaries and argument spills (it sits in a
+//! dedicated service loop), at in-order IPC. µop counts mirror the
+//! baseline path emitters of the main simulator's program library:
+//! size-class chain, sampler, free-list pop/push, list metadata, and the
+//! central/span/OS/large slow paths. With `helper_mallacc` set the helper
+//! carries its own malloc cache, which collapses the size-class chain and
+//! the list pop/push to single accelerator ops — the `both` design.
+
+use crate::config::OffloadConfig;
+
+/// Request-decode µops in the helper's service loop (read descriptor,
+/// dispatch on opcode, write the response slot).
+const DISPATCH_UOPS: u64 = 3;
+/// Size-class computation: index arithmetic + two dependent table loads.
+const SIZE_CLASS_SW_UOPS: u64 = 5;
+/// Sampler upkeep on the helper (counter decrement + branch).
+const SAMPLING_UOPS: u64 = 2;
+/// Sample-recording burst when the sampler fires.
+const SAMPLE_BURST_UOPS: u64 = 40;
+/// Free-list addressing from the class id.
+const LIST_ADDR_UOPS: u64 = 4;
+/// Software pop: load head, load next, store head, branch.
+const POP_SW_UOPS: u64 = 4;
+/// Software push: store next into block, store new head, one ALU.
+const PUSH_SW_UOPS: u64 = 3;
+/// Per-list length/metadata bookkeeping.
+const METADATA_UOPS: u64 = 6;
+/// Pagemap radix walk of an unsized delete: three dependent loads.
+const PAGEMAP_UOPS: u64 = 3;
+
+/// In-order pointer-chase load penalty on the helper, cycles. The helper's
+/// small cache keeps allocator metadata warm (it touches nothing else),
+/// so chases price at an L2-ish latency rather than DRAM.
+const CHASE_LOAD_CYCLES: u64 = 12;
+/// Central free-list lock acquire/release on the helper, cycles.
+const LOCK_CYCLES: u64 = 30;
+/// OS grant latency (page-heap growth), cycles — matches the main
+/// simulator's syscall model.
+const OS_GROW_CYCLES: u64 = 8000;
+
+/// The allocator path a request takes on the helper, as classified by the
+/// functional allocator. Shape parameters scale the slow-path costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServicePath {
+    /// Thread-cache hit.
+    MallocFast,
+    /// Central free-list refill of `batch` objects.
+    MallocCentral {
+        /// Objects fetched into the thread cache.
+        batch: u64,
+    },
+    /// Refill that carved a fresh span into `objects` objects.
+    MallocSpan {
+        /// Objects fetched into the thread cache.
+        batch: u64,
+        /// Objects carved from the span.
+        objects: u64,
+        /// Span length in pages.
+        pages: u64,
+    },
+    /// Span carve that also grew the heap with an OS grant.
+    MallocOs {
+        /// Objects fetched into the thread cache.
+        batch: u64,
+        /// Objects carved from the span.
+        objects: u64,
+        /// Span length in pages.
+        pages: u64,
+    },
+    /// Large (> 256 KiB) allocation through the page heap.
+    MallocLarge {
+        /// Pages allocated.
+        pages: u64,
+        /// Whether an OS grant was needed.
+        grew_heap: bool,
+    },
+    /// Thread-cache push.
+    FreeFast {
+        /// Unsized delete: the request pays the pagemap radix walk.
+        unsized_walk: bool,
+    },
+    /// Push that released `moved` objects to the central list.
+    FreeRelease {
+        /// Objects released.
+        moved: u64,
+        /// Unsized delete: the request pays the pagemap radix walk.
+        unsized_walk: bool,
+    },
+    /// Large free through the page heap.
+    FreeLarge {
+        /// Pages returned.
+        pages: u64,
+    },
+}
+
+/// µops the helper executes for one request. `sampled` adds the
+/// sample-recording burst (mallocs only); `helper_mallacc` collapses the
+/// accelerated components to single ops.
+pub fn service_uops(path: ServicePath, sampled: bool, helper_mallacc: bool) -> u64 {
+    let size_class = if helper_mallacc {
+        1
+    } else {
+        SIZE_CLASS_SW_UOPS
+    };
+    let pop = if helper_mallacc { 1 } else { POP_SW_UOPS };
+    let push = if helper_mallacc { 1 } else { PUSH_SW_UOPS };
+    let malloc_fast =
+        DISPATCH_UOPS + size_class + SAMPLING_UOPS + LIST_ADDR_UOPS + pop + METADATA_UOPS;
+    let free_fast = |unsized_walk: bool| {
+        let cls = if unsized_walk {
+            PAGEMAP_UOPS
+        } else {
+            size_class
+        };
+        DISPATCH_UOPS + cls + LIST_ADDR_UOPS + push + METADATA_UOPS
+    };
+    let uops = match path {
+        ServicePath::MallocFast => malloc_fast,
+        ServicePath::MallocCentral { batch } => malloc_fast + 5 + 2 * batch,
+        ServicePath::MallocSpan {
+            batch,
+            objects,
+            pages,
+        } => malloc_fast + 5 + 2 * batch + 2 + pages + objects,
+        ServicePath::MallocOs {
+            batch,
+            objects,
+            pages,
+        } => malloc_fast + 5 + 2 * batch + 2 + pages + objects,
+        ServicePath::MallocLarge { pages, .. } => DISPATCH_UOPS + 7 + pages / 16,
+        ServicePath::FreeFast { unsized_walk } => free_fast(unsized_walk),
+        ServicePath::FreeRelease {
+            moved,
+            unsized_walk,
+        } => free_fast(unsized_walk) + 4 + moved,
+        ServicePath::FreeLarge { pages } => DISPATCH_UOPS + 7 + pages / 16,
+    };
+    uops + if sampled && is_malloc(path) {
+        SAMPLE_BURST_UOPS
+    } else {
+        0
+    }
+}
+
+fn is_malloc(path: ServicePath) -> bool {
+    matches!(
+        path,
+        ServicePath::MallocFast
+            | ServicePath::MallocCentral { .. }
+            | ServicePath::MallocSpan { .. }
+            | ServicePath::MallocOs { .. }
+            | ServicePath::MallocLarge { .. }
+    )
+}
+
+/// Fixed memory/lock/syscall cycles a path pays on top of its µop stream.
+fn fixed_cycles(path: ServicePath, helper_mallacc: bool) -> u64 {
+    let pop_chase = if helper_mallacc {
+        0
+    } else {
+        // The fast-path pop's dependent head/next loads chase pointers.
+        CHASE_LOAD_CYCLES
+    };
+    match path {
+        ServicePath::MallocFast => pop_chase,
+        ServicePath::MallocCentral { .. } => pop_chase + LOCK_CYCLES,
+        ServicePath::MallocSpan { .. } => pop_chase + LOCK_CYCLES + 2 * CHASE_LOAD_CYCLES,
+        ServicePath::MallocOs { .. } => {
+            pop_chase + LOCK_CYCLES + 2 * CHASE_LOAD_CYCLES + OS_GROW_CYCLES
+        }
+        ServicePath::MallocLarge { grew_heap, .. } => {
+            6 * CHASE_LOAD_CYCLES + if grew_heap { OS_GROW_CYCLES } else { 0 }
+        }
+        ServicePath::FreeFast { unsized_walk } => walk_cycles(unsized_walk),
+        ServicePath::FreeRelease { unsized_walk, .. } => walk_cycles(unsized_walk) + LOCK_CYCLES,
+        ServicePath::FreeLarge { .. } => 3 * CHASE_LOAD_CYCLES,
+    }
+}
+
+fn walk_cycles(unsized_walk: bool) -> u64 {
+    if unsized_walk {
+        PAGEMAP_UOPS * CHASE_LOAD_CYCLES
+    } else {
+        0
+    }
+}
+
+/// Helper-side service cost of one request, in cycles: the µop stream at
+/// the helper's in-order IPC plus the path's fixed memory/lock/OS cycles.
+///
+/// # Panics
+///
+/// Panics if the configured helper IPC is zero.
+pub fn service_cycles(path: ServicePath, sampled: bool, cfg: &OffloadConfig) -> u64 {
+    assert!(cfg.helper_ipc_milli > 0, "helper IPC must be positive");
+    let uops = service_uops(path, sampled, cfg.helper_mallacc);
+    let exec = (uops * 1000).div_ceil(u64::from(cfg.helper_ipc_milli));
+    exec + fixed_cycles(path, cfg.helper_mallacc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> OffloadConfig {
+        OffloadConfig::speedmalloc_default()
+    }
+
+    #[test]
+    fn fast_paths_are_tens_of_cycles() {
+        let m = service_cycles(ServicePath::MallocFast, false, &cfg());
+        let f = service_cycles(
+            ServicePath::FreeFast {
+                unsized_walk: false,
+            },
+            false,
+            &cfg(),
+        );
+        assert!((20..=60).contains(&m), "fast malloc service = {m}");
+        assert!((15..=50).contains(&f), "fast free service = {f}");
+    }
+
+    #[test]
+    fn helper_malloc_cache_shrinks_fast_paths() {
+        let both = OffloadConfig::both_default();
+        for path in [
+            ServicePath::MallocFast,
+            ServicePath::FreeFast {
+                unsized_walk: false,
+            },
+        ] {
+            let sw = service_cycles(path, false, &cfg());
+            let hw = service_cycles(path, false, &both);
+            assert!(hw < sw, "{path:?}: {hw} !< {sw}");
+        }
+    }
+
+    #[test]
+    fn slow_paths_order_by_depth() {
+        let c = cfg();
+        let fast = service_cycles(ServicePath::MallocFast, false, &c);
+        let central = service_cycles(ServicePath::MallocCentral { batch: 32 }, false, &c);
+        let span = service_cycles(
+            ServicePath::MallocSpan {
+                batch: 32,
+                objects: 64,
+                pages: 2,
+            },
+            false,
+            &c,
+        );
+        let os = service_cycles(
+            ServicePath::MallocOs {
+                batch: 32,
+                objects: 64,
+                pages: 2,
+            },
+            false,
+            &c,
+        );
+        assert!(fast < central && central < span && span < os);
+        assert!(os > OS_GROW_CYCLES, "OS grant dominates");
+    }
+
+    #[test]
+    fn unsized_walk_and_sampling_cost_extra() {
+        let c = cfg();
+        let sized = service_cycles(
+            ServicePath::FreeFast {
+                unsized_walk: false,
+            },
+            false,
+            &c,
+        );
+        let walked = service_cycles(ServicePath::FreeFast { unsized_walk: true }, false, &c);
+        assert!(walked > sized);
+        let plain = service_cycles(ServicePath::MallocFast, false, &c);
+        let sampled = service_cycles(ServicePath::MallocFast, true, &c);
+        assert!(sampled > plain + 20);
+        // Sampling burst applies to mallocs only.
+        let f = ServicePath::FreeFast {
+            unsized_walk: false,
+        };
+        assert_eq!(service_cycles(f, true, &c), service_cycles(f, false, &c));
+    }
+
+    #[test]
+    fn lower_ipc_costs_more() {
+        let fast = OffloadConfig {
+            helper_ipc_milli: 1000,
+            ..cfg()
+        };
+        let slow = OffloadConfig {
+            helper_ipc_milli: 500,
+            ..cfg()
+        };
+        assert!(
+            service_cycles(ServicePath::MallocFast, false, &slow)
+                > service_cycles(ServicePath::MallocFast, false, &fast)
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Allocation-offload helper core: the SpeedMalloc-style alternative to
+//! Mallacc's in-core malloc cache.
+//!
+//! Where Mallacc shaves cycles off the malloc fast path *inside* the
+//! out-of-order core, the offload design removes the allocator from the
+//! main core entirely: each OoO core gets a tiny in-order **helper core**
+//! attached over a bounded request/response queue. `malloc`/`free`/sized
+//! delete become a request enqueue; the helper services requests in order
+//! at its own (lower) IPC while the main core speculates past the
+//! allocation result and only stalls if it consumes the pointer before the
+//! response arrives — or if the queue is full.
+//!
+//! This crate is the pure timing model of that design, deliberately
+//! independent of the allocator and core simulators so both the `mallacc`
+//! driver and the validation harness can consume it:
+//!
+//! * [`OffloadConfig`] — queue depth, enqueue/dequeue/response latencies,
+//!   helper IPC, the main core's speculation window, and whether the
+//!   helper itself carries a malloc cache (the `both` mode);
+//! * [`OffloadQueue`] — the deterministic integer queue/helper timing
+//!   model, with [`OffloadStats`] conservation counters;
+//! * [`RefOffloadQueue`] — a naive log-replaying reference interpreter of
+//!   the same contract, for differential fuzzing;
+//! * [`ServicePath`] and [`service_cycles`] — per-request helper-side
+//!   service costs derived from the software fast/slow path µop counts;
+//! * [`OffloadArea`] — silicon cost (helper core + queue SRAM), the
+//!   expensive side of the Mallacc-vs-offload Pareto trade.
+//!
+//! The model is *performance-only*: functional allocation is still
+//! performed by the (shared) allocator model, so an offload-mode heap is
+//! bit-identical to a baseline heap by construction — a property the
+//! differential proptests pin down.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod config;
+mod cost;
+mod queue;
+
+pub use area::{offload_area_um2, OffloadArea, HELPER_CORE_UM2, QUEUE_ENTRY_BITS};
+pub use config::{OffloadConfig, DEFAULT_QUEUE_DEPTH};
+pub use cost::{service_cycles, service_uops, ServicePath};
+pub use queue::{EnqueueOutcome, OffloadQueue, OffloadStats, RefOffloadQueue};

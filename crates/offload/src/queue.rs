@@ -1,0 +1,291 @@
+//! The bounded request/response queue and in-order helper timing model.
+//!
+//! The model is a deterministic integer state machine: given the cycle an
+//! enqueue is submitted and the helper-side service cost, it computes when
+//! (and whether) the main core stalls on a full queue and when the
+//! response becomes consumable. The incremental [`OffloadQueue`] is what
+//! the simulator drives; [`RefOffloadQueue`] recomputes every answer from
+//! a flat request log and exists purely so differential fuzzing can pit
+//! the two against each other.
+
+use std::collections::VecDeque;
+
+use crate::config::OffloadConfig;
+
+/// Timing outcome of one enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnqueueOutcome {
+    /// Main-core cycles spent blocked on a full queue before the request
+    /// could be submitted (0 when a slot was free).
+    pub stall_cycles: u64,
+    /// Cycle the request landed in the queue (submission time + stall).
+    pub submitted_at: u64,
+    /// Cycle the response is consumable by the main core.
+    pub response_ready: u64,
+}
+
+/// Conservation counters for the queue: every request enqueued is either
+/// still occupying a slot or has retired, and stalls are fully accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OffloadStats {
+    /// Requests enqueued.
+    pub enqueued: u64,
+    /// Requests whose response has drained out of the queue.
+    pub retired: u64,
+    /// Enqueues that found the queue full.
+    pub queue_full_stalls: u64,
+    /// Total main-core cycles lost to queue-full backpressure.
+    pub stall_cycles: u64,
+    /// Total helper-core busy cycles (sum of service costs).
+    pub busy_cycles: u64,
+    /// High-water mark of queue occupancy.
+    pub max_occupancy: usize,
+}
+
+/// The incremental queue/helper timing model: one per main core.
+#[derive(Debug, Clone)]
+pub struct OffloadQueue {
+    cfg: OffloadConfig,
+    /// Response-ready times of requests still occupying a queue slot,
+    /// oldest first (the helper is in-order, so this is non-decreasing).
+    pending: VecDeque<u64>,
+    /// Cycle the helper finishes its current request.
+    helper_free_at: u64,
+    stats: OffloadStats,
+}
+
+impl OffloadQueue {
+    /// A fresh, empty queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured queue depth is zero.
+    pub fn new(cfg: OffloadConfig) -> Self {
+        assert!(cfg.queue_depth > 0, "queue depth must be at least 1");
+        Self {
+            cfg,
+            pending: VecDeque::new(),
+            helper_free_at: 0,
+            stats: OffloadStats::default(),
+        }
+    }
+
+    /// The configuration the queue was built with.
+    pub fn config(&self) -> OffloadConfig {
+        self.cfg
+    }
+
+    /// Requests currently occupying a slot at the last drained cycle.
+    pub fn occupancy(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Conservation counters.
+    pub fn stats(&self) -> OffloadStats {
+        self.stats
+    }
+
+    /// Retires every request whose response is consumable by `now`.
+    pub fn drain(&mut self, now: u64) {
+        while self.pending.front().is_some_and(|&r| r <= now) {
+            self.pending.pop_front();
+            self.stats.retired += 1;
+        }
+    }
+
+    /// Submits a request at cycle `now` with helper-side cost
+    /// `service_cycles`; returns the stall and response timing.
+    ///
+    /// The submission time is the cycle the main core's doorbell lands —
+    /// the driver charges the marshalling (`enqueue_latency`) µops itself.
+    /// The request becomes visible to the helper `dequeue_latency` cycles
+    /// after submission; the in-order helper starts it no earlier than its
+    /// previous request finished; the response is consumable
+    /// `response_latency` cycles after service completes.
+    pub fn enqueue(&mut self, now: u64, service_cycles: u64) -> EnqueueOutcome {
+        self.drain(now);
+        let stall_cycles = if self.pending.len() >= self.cfg.queue_depth {
+            // Oldest outstanding response frees the slot; its ready time
+            // is strictly after `now`, else drain would have retired it.
+            let freed_at = *self.pending.front().expect("depth >= 1");
+            self.pending.pop_front();
+            self.stats.retired += 1;
+            freed_at - now
+        } else {
+            0
+        };
+        let submitted_at = now + stall_cycles;
+        let visible = submitted_at + u64::from(self.cfg.dequeue_latency);
+        let start = self.helper_free_at.max(visible);
+        let done = start + service_cycles;
+        let response_ready = done + u64::from(self.cfg.response_latency);
+        self.helper_free_at = done;
+        self.pending.push_back(response_ready);
+
+        self.stats.enqueued += 1;
+        self.stats.busy_cycles += service_cycles;
+        if stall_cycles > 0 {
+            self.stats.queue_full_stalls += 1;
+            self.stats.stall_cycles += stall_cycles;
+        }
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.pending.len());
+        EnqueueOutcome {
+            stall_cycles,
+            submitted_at,
+            response_ready,
+        }
+    }
+}
+
+/// A naive reference interpreter of the queue contract.
+///
+/// Instead of incremental state it keeps the raw input log and, on every
+/// enqueue, replays the *entire* request history through a from-scratch
+/// `Vec`-based simulation, returning the final outcome. Differential
+/// fuzzing runs identical request streams through both implementations
+/// and demands identical outcomes on every step.
+#[derive(Debug, Clone)]
+pub struct RefOffloadQueue {
+    cfg: OffloadConfig,
+    /// `(submission cycle, service cycles)` per request, in order.
+    inputs: Vec<(u64, u64)>,
+}
+
+impl RefOffloadQueue {
+    /// A fresh reference queue.
+    pub fn new(cfg: OffloadConfig) -> Self {
+        assert!(cfg.queue_depth > 0, "queue depth must be at least 1");
+        Self {
+            cfg,
+            inputs: Vec::new(),
+        }
+    }
+
+    /// Reference enqueue: same contract as [`OffloadQueue::enqueue`].
+    pub fn enqueue(&mut self, now: u64, service_cycles: u64) -> EnqueueOutcome {
+        self.inputs.push((now, service_cycles));
+        let depth = self.cfg.queue_depth;
+        let mut slots: Vec<u64> = Vec::new();
+        let mut helper_free_at = 0u64;
+        let mut last = None;
+        for &(t, service) in &self.inputs {
+            // Ready times are non-decreasing (the helper is in-order), so
+            // retaining `ready > t` equals the oldest-first front drain.
+            slots.retain(|&ready| ready > t);
+            let stall_cycles = if slots.len() >= depth {
+                let freed_at = slots.remove(0);
+                freed_at - t
+            } else {
+                0
+            };
+            let submitted_at = t + stall_cycles;
+            let start = helper_free_at.max(submitted_at + u64::from(self.cfg.dequeue_latency));
+            let done = start + service;
+            helper_free_at = done;
+            let response_ready = done + u64::from(self.cfg.response_latency);
+            slots.push(response_ready);
+            last = Some(EnqueueOutcome {
+                stall_cycles,
+                submitted_at,
+                response_ready,
+            });
+        }
+        last.expect("inputs is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> OffloadConfig {
+        OffloadConfig::speedmalloc_default()
+    }
+
+    #[test]
+    fn empty_queue_never_stalls() {
+        let mut q = OffloadQueue::new(cfg());
+        let o = q.enqueue(100, 30);
+        assert_eq!(o.stall_cycles, 0);
+        assert_eq!(o.submitted_at, 100);
+        // dequeue 6 + service 30 + response 8.
+        assert_eq!(o.response_ready, 100 + 6 + 30 + 8);
+    }
+
+    #[test]
+    fn helper_serialises_back_to_back_requests() {
+        let mut q = OffloadQueue::new(cfg());
+        let a = q.enqueue(0, 30);
+        let b = q.enqueue(1, 30);
+        // b starts when a's service finished, not at its own visibility.
+        assert_eq!(b.response_ready, a.response_ready + 30);
+    }
+
+    #[test]
+    fn full_queue_stalls_until_the_oldest_response_drains() {
+        let mut q = OffloadQueue::new(OffloadConfig::with_depth(2));
+        let a = q.enqueue(0, 50);
+        let _b = q.enqueue(0, 50);
+        let c = q.enqueue(1, 50);
+        assert_eq!(c.stall_cycles, a.response_ready - 1);
+        assert_eq!(c.submitted_at, a.response_ready);
+        let s = q.stats();
+        assert_eq!(s.queue_full_stalls, 1);
+        assert_eq!(s.stall_cycles, c.stall_cycles);
+    }
+
+    #[test]
+    fn drained_requests_free_slots() {
+        let mut q = OffloadQueue::new(OffloadConfig::with_depth(1));
+        let a = q.enqueue(0, 10);
+        let b = q.enqueue(a.response_ready + 1, 10);
+        assert_eq!(b.stall_cycles, 0, "slot freed by the drained response");
+    }
+
+    #[test]
+    fn conservation_enqueued_equals_retired_plus_occupancy() {
+        let mut q = OffloadQueue::new(cfg());
+        let mut now = 0;
+        for i in 0..200u64 {
+            now += (i * 7) % 40;
+            q.enqueue(now, 10 + (i % 5) * 13);
+        }
+        let s = q.stats();
+        assert_eq!(s.enqueued, 200);
+        assert_eq!(s.enqueued, s.retired + q.occupancy() as u64);
+        assert!(s.max_occupancy <= cfg().queue_depth);
+    }
+
+    #[test]
+    fn response_ready_is_monotone() {
+        let mut q = OffloadQueue::new(cfg());
+        let mut last = 0;
+        let mut now = 0;
+        for i in 0..100u64 {
+            now += (i * 3) % 25;
+            let o = q.enqueue(now, 5 + (i % 7) * 11);
+            assert!(
+                o.response_ready >= last,
+                "in-order helper, ordered responses"
+            );
+            last = o.response_ready;
+        }
+    }
+
+    #[test]
+    fn reference_queue_agrees_on_a_mixed_stream() {
+        for depth in [1, 2, 4, 8] {
+            let c = OffloadConfig::with_depth(depth);
+            let mut q = OffloadQueue::new(c);
+            let mut r = RefOffloadQueue::new(c);
+            let mut now = 0u64;
+            for i in 0..500u64 {
+                now += (i * 13) % 37;
+                let service = 5 + (i * 17) % 90;
+                let a = q.enqueue(now, service);
+                let b = r.enqueue(now, service);
+                assert_eq!(a, b, "divergence at op {i}, depth {depth}");
+            }
+        }
+    }
+}

@@ -186,11 +186,14 @@ pub enum Component {
     Metadata,
     /// Slow paths: central refill, span carve, OS growth, large objects.
     SlowPath,
+    /// Allocation-offload traffic: request marshalling, queue-full
+    /// backpressure, and waits on the helper core's response.
+    Offload,
 }
 
 impl Component {
     /// Number of distinct components.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every component, in canonical report order.
     pub const ALL: [Component; Component::COUNT] = [
@@ -202,6 +205,7 @@ impl Component {
         Component::ListOp,
         Component::Metadata,
         Component::SlowPath,
+        Component::Offload,
     ];
 
     /// Stable snake_case label, used by reports and trace exports.
@@ -215,6 +219,7 @@ impl Component {
             Component::ListOp => "list_op",
             Component::Metadata => "metadata",
             Component::SlowPath => "slow_path",
+            Component::Offload => "offload",
         }
     }
 
@@ -229,6 +234,7 @@ impl Component {
             Component::ListOp => 5,
             Component::Metadata => 6,
             Component::SlowPath => 7,
+            Component::Offload => 8,
         }
     }
 }

@@ -17,7 +17,7 @@
 
 use proptest::prelude::*;
 
-use mallacc_explore::{ConfigPoint, RunScale, Substrate};
+use mallacc_explore::{AccelKind, ConfigPoint, RunScale, Substrate};
 
 /// One step of an allocator differential stream (replayed through both
 /// functional allocator models in lockstep).
@@ -81,24 +81,34 @@ pub fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
 /// consumers hash and compare these, they never run them).
 pub fn arb_config_point() -> impl Strategy<Value = ConfigPoint> {
     (
+        (
+            1usize..=64,
+            0u32..4,
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            0usize..14,
+            1usize..=8,
+            any::<u64>(),
+        ),
+        0usize..4,
         1usize..=64,
-        0u32..4,
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        0usize..14,
-        1usize..=8,
-        any::<u64>(),
     )
         .prop_map(
-            |(entries, extra_latency, prefetch, index_opt, sampling, je, workload, cores, seed)| {
+            |(
+                (entries, extra_latency, prefetch, index_opt, sampling, je, workload, cores, seed),
+                accel,
+                queue_depth,
+            )| {
                 ConfigPoint {
                     entries,
                     extra_latency,
                     prefetch,
                     index_opt,
                     sampling,
+                    accel: AccelKind::ALL[accel],
+                    queue_depth,
                     substrate: if je {
                         Substrate::JeMalloc
                     } else {
@@ -129,17 +139,20 @@ pub struct FleetParams {
 }
 
 /// Strategy: parameters for one fleet scenario run — any catalogue
-/// scenario, 1..=8 cores, a request volume small enough that a property
+/// scenario, mostly 1..=8 cores with occasional 16/32-core draws (the
+/// lifted multicore cap), a request volume small enough that a property
 /// case simulates in milliseconds, and an arbitrary seed.
 pub fn arb_fleet_params() -> impl Strategy<Value = FleetParams> {
     let n = mallacc_fleet::Scenario::all().len();
-    (0..n, 1usize..=8, 4u64..48, any::<u64>()).prop_map(|(idx, cores, requests, seed)| {
-        FleetParams {
-            scenario: mallacc_fleet::Scenario::all()[idx].name,
-            cores,
-            requests,
-            seed,
-        }
+    let cores = prop_oneof![
+        4 => 1usize..=8,
+        1 => (0usize..2).prop_map(|wide| if wide == 0 { 16 } else { 32 }),
+    ];
+    (0..n, cores, 4u64..48, any::<u64>()).prop_map(|(idx, cores, requests, seed)| FleetParams {
+        scenario: mallacc_fleet::Scenario::all()[idx].name,
+        cores,
+        requests,
+        seed,
     })
 }
 
@@ -183,12 +196,15 @@ mod tests {
     #[test]
     fn fleet_params_resolve_and_stay_bounded() {
         let s = arb_fleet_params();
-        for seed in 0..40 {
+        let mut saw_wide = false;
+        for seed in 0..80 {
             let p = sample(&s, seed);
             assert!(mallacc_fleet::Scenario::by_name(p.scenario).is_some());
-            assert!((1..=8).contains(&p.cores));
+            assert!((1..=8).contains(&p.cores) || p.cores == 16 || p.cores == 32);
+            saw_wide |= p.cores >= 16;
             assert!((4..48).contains(&p.requests));
         }
+        assert!(saw_wide, "wide core counts must be drawn sometimes");
     }
 
     #[test]

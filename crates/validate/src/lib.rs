@@ -20,6 +20,11 @@
 //!   architectural semantics of Figures 9 and 11, differentially checked
 //!   against `mallacc::MallocCache` by [`program`]'s seeded,
 //!   coverage-guided random instruction programs;
+//! * [`offload`] — **offload-core conformance**: the helper-queue timing
+//!   model differentially fuzzed against its from-scratch reference
+//!   interpreter ([`mallacc_offload::RefOffloadQueue`]), with conservation
+//!   laws on the queue counters and a heap-identity obligation proving the
+//!   offload driver modes never change what the allocator returns;
 //! * [`laws`] — a **metamorphic law suite**: properties that must hold
 //!   across *pairs* of runs (more entries never hurts on canonical traces,
 //!   removing prefetches never helps the hit rate, independent ops
@@ -34,11 +39,13 @@
 #![warn(missing_docs)]
 
 pub mod laws;
+pub mod offload;
 pub mod oracle;
 pub mod program;
 pub mod refspec;
 
 pub use laws::{LawId, LawReport, LawViolation};
+pub use offload::{offload_fuzz_slot, OffloadDivergence, OffloadFuzzReport};
 pub use oracle::{Band, KernelId, KernelOutcome};
 pub use program::{Coverage, CoverageEvent, Divergence, FuzzReport, McOp, McProgram};
 pub use refspec::RefMallocCache;

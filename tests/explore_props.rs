@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
-use mallacc_explore::{run_sweep, ConfigPoint, ParamGrid, RunScale, Substrate, SweepOptions};
+use mallacc_explore::{
+    run_sweep, AccelKind, ConfigPoint, ParamGrid, RunScale, Substrate, SweepOptions,
+};
 use mallacc_stats::{dominates, knee_index, pareto_frontier};
 use mallacc_test_support::{arb_config_point, arb_points};
 
@@ -91,6 +93,11 @@ proptest! {
                 ..point.clone()
             },
             ConfigPoint { cores: point.cores + 1, ..point.clone() },
+            ConfigPoint {
+                accel: if point.accel == AccelKind::Mallacc { AccelKind::Offload } else { AccelKind::Mallacc },
+                ..point.clone()
+            },
+            ConfigPoint { queue_depth: point.queue_depth + 1, ..point.clone() },
             ConfigPoint { seed: point.seed.wrapping_add(1), ..point.clone() },
             ConfigPoint { scale: RunScale { calls: point.scale.calls + 1, ..point.scale }, ..point.clone() },
             ConfigPoint { scale: RunScale { warmup: point.scale.warmup + 1, ..point.scale }, ..point.clone() },

@@ -1,0 +1,192 @@
+//! Property suite over the allocation-offload subsystem: bulk differential
+//! conformance of the helper-queue model against its reference
+//! interpreter, heap bit-identity of the offload driver modes,
+//! queue-conservation laws on arbitrary request streams, and byte-identical
+//! `repro offload` reports for every `--jobs` value.
+
+use proptest::prelude::*;
+
+use mallacc::{MallocSim, Mode, OffloadConfig};
+use mallacc_bench::cli::run_indexed;
+use mallacc_bench::offload_cli::{offload_report, OffloadArgs};
+use mallacc_offload::{OffloadQueue, RefOffloadQueue};
+
+/// Bulk conformance at the scale the subsystem claims: ≥10k fuzzed
+/// programs (queue differentials + heap-identity allocation programs)
+/// through the shared `mallacc-validate` slot function, with zero
+/// divergences. Slots are merged in index order, so the parallel
+/// partitioning cannot change the aggregate.
+#[test]
+fn ten_thousand_fuzzed_programs_conform() {
+    use mallacc_validate::{offload_fuzz_slot, OffloadFuzzReport};
+    const SLOTS: u64 = 3_500; // 2 queue + 1 heap program per slot
+    let mut report = OffloadFuzzReport::default();
+    for slot in run_indexed(SLOTS, 4, |i| offload_fuzz_slot(42, i)) {
+        report.merge(slot);
+    }
+    let programs = report.queue_programs + report.heap_programs;
+    assert!(programs >= 10_000, "only {programs} programs");
+    assert!(
+        report.divergences.is_empty(),
+        "{} divergences; first: {:?}",
+        report.divergences.len(),
+        report.divergences.first()
+    );
+}
+
+/// Strategy for a queue configuration spanning depth, helper speed and
+/// interface latencies.
+fn arb_offload_config() -> impl Strategy<Value = OffloadConfig> {
+    (1usize..=32, 0usize..4, 1u32..12, 1u32..12).prop_map(|(depth, ipc, deq, resp)| {
+        let mut cfg = OffloadConfig::speedmalloc_default();
+        cfg.queue_depth = depth;
+        cfg.helper_ipc_milli = [250, 500, 800, 1000][ipc];
+        cfg.dequeue_latency = deq;
+        cfg.response_latency = resp;
+        cfg
+    })
+}
+
+/// Strategy for a request stream: per-request `(gap to previous, helper
+/// service cycles)`.
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (Just(0u64), 1u64..150),
+            2 => (0u64..40, 1u64..150),
+            1 => (100u64..600, 1u64..150),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Step-for-step agreement between the incremental queue and the
+    /// from-scratch reference interpreter on arbitrary streams.
+    #[test]
+    fn incremental_queue_matches_the_reference(
+        cfg in arb_offload_config(),
+        stream in arb_stream(),
+    ) {
+        let mut q = OffloadQueue::new(cfg);
+        let mut r = RefOffloadQueue::new(cfg);
+        let mut now = 0u64;
+        for (step, &(gap, service)) in stream.iter().enumerate() {
+            now += gap;
+            let a = q.enqueue(now, service);
+            let b = r.enqueue(now, service);
+            prop_assert_eq!(a, b, "divergence at step {}", step);
+        }
+    }
+
+    /// Queue-conservation laws: every enqueue is retired or still
+    /// occupying a slot, occupancy never exceeds the configured depth,
+    /// and the stall counters exactly account the per-step outcomes.
+    #[test]
+    fn queue_counters_conserve(
+        cfg in arb_offload_config(),
+        stream in arb_stream(),
+    ) {
+        let mut q = OffloadQueue::new(cfg);
+        let mut now = 0u64;
+        let (mut stall_sum, mut stall_events, mut busy) = (0u64, 0u64, 0u64);
+        let mut last_ready = 0u64;
+        for &(gap, service) in &stream {
+            now += gap;
+            let o = q.enqueue(now, service);
+            prop_assert!(o.submitted_at == now + o.stall_cycles);
+            prop_assert!(o.response_ready >= last_ready, "responses must stay in order");
+            last_ready = o.response_ready;
+            stall_sum += o.stall_cycles;
+            stall_events += u64::from(o.stall_cycles > 0);
+            busy += service;
+        }
+        let s = q.stats();
+        prop_assert_eq!(s.enqueued, stream.len() as u64);
+        prop_assert_eq!(s.enqueued, s.retired + q.occupancy() as u64);
+        prop_assert_eq!(s.stall_cycles, stall_sum);
+        prop_assert_eq!(s.queue_full_stalls, stall_events);
+        prop_assert_eq!(s.busy_cycles, busy);
+        prop_assert!(s.max_occupancy <= cfg.queue_depth);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Heap bit-identity on arbitrary allocation programs: the offload
+    /// modes must return exactly the pointers, sizes, classes and sampler
+    /// verdicts of the baseline — the helper core is timing-only.
+    #[test]
+    fn offload_modes_never_change_the_heap(
+        cfg in arb_offload_config(),
+        seed in any::<u64>(),
+    ) {
+        let mut sims = [
+            MallocSim::new(Mode::Baseline),
+            MallocSim::new(Mode::Offload(cfg)),
+            MallocSim::new(Mode::offload_both()),
+        ];
+        let mut rng = proptest::TestRng::seed_from_u64(seed);
+        let mut pool: Vec<u64> = Vec::new();
+        for step in 0..150u32 {
+            if pool.is_empty() || rng.below(10) < 6 {
+                let size = 1 + rng.below(64 * 1024);
+                let recs = sims.each_mut().map(|sim| sim.malloc(size));
+                for r in &recs[1..] {
+                    prop_assert_eq!(
+                        (r.ptr, r.size, r.cls, r.sampled),
+                        (recs[0].ptr, recs[0].size, recs[0].cls, recs[0].sampled),
+                        "functional fork at malloc step {}", step
+                    );
+                }
+                pool.push(recs[0].ptr);
+            } else {
+                let ptr = pool.swap_remove(rng.below(pool.len() as u64) as usize);
+                let sized = rng.below(2) == 0;
+                let recs = sims.each_mut().map(|sim| sim.free(ptr, sized));
+                for r in &recs[1..] {
+                    prop_assert_eq!(
+                        (r.ptr, r.size, r.cls),
+                        (recs[0].ptr, recs[0].size, recs[0].cls),
+                        "functional fork at free step {}", step
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case runs the full four-section report twice, so the volume
+    // stays low; the fixed-seed golden test pins the smoke configuration.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `--jobs` parallelism never changes a byte of the `repro offload`
+    /// report, for arbitrary seeds, depths and core counts.
+    #[test]
+    fn report_bytes_are_jobs_invariant(
+        seed in any::<u64>(),
+        depth in 1usize..=16,
+        wide in 0usize..2,
+    ) {
+        let args = |jobs: usize| OffloadArgs {
+            workloads: vec!["tp_small".to_string(), "xapian.pages".to_string()],
+            scenarios: vec!["rpc-fanout".to_string()],
+            depths: vec![depth],
+            cores: vec![1, if wide == 1 { 32 } else { 2 }],
+            calls: 120,
+            warmup: 30,
+            requests: 16,
+            seed,
+            jobs,
+            ..OffloadArgs::default()
+        };
+        let (c1, seq) = offload_report(&args(1));
+        let (c4, par) = offload_report(&args(4));
+        prop_assert_eq!((c1, c4), (0, 0));
+        prop_assert_eq!(seq, par, "--jobs changed the report bytes");
+    }
+}
