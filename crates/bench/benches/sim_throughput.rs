@@ -1,0 +1,26 @@
+//! Criterion benchmark of the per-PR simulator performance trajectory:
+//! simulated µops per wall-clock second at the *engine* level, full
+//! detailed execution vs SMARTS-style sampled execution.
+//!
+//! The fixture lives in [`mallacc_bench::sim_fixture`], shared with the
+//! `bench_check` regression gate so both time exactly the same work;
+//! `BENCH_sim.json` at the repo root holds the committed baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mallacc::SamplingPlan;
+use mallacc_bench::sim_fixture::{fixture_uops, run_engine};
+
+fn sim_throughput(c: &mut Criterion) {
+    let (uops, regs) = fixture_uops();
+    let mut g = c.benchmark_group("sim/engine_uops");
+    g.throughput(Throughput::Elements(uops.len() as u64));
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(|| run_engine(&uops, regs, None)));
+    g.bench_function("sampled", |b| {
+        b.iter(|| run_engine(&uops, regs, Some(SamplingPlan::default_plan())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,287 @@
+//! `bench_check`: the committed-benchmark gate CI runs on every push.
+//!
+//! ```text
+//! bench_check [--dir PATH] [--measure] [--trials N]
+//! ```
+//!
+//! Always validates the three committed baseline files at the repo root
+//! (`BENCH_fleet.json`, `BENCH_offload.json`, `BENCH_sim.json`):
+//! schema tag, fixture block, non-empty results with positive medians
+//! and rates, and — for the sim trajectory — that the recorded
+//! sampled-over-full speedup matches its own medians.
+//!
+//! With `--measure`, additionally re-times the pinned sim fixture
+//! in-process (best-of-N, see [`mallacc_bench::sim_fixture`]) and fails
+//! if the measured sampled-over-full speedup has regressed more than
+//! 10 % below the committed ratio. The gate compares *ratios*, never
+//! absolute wall-clock: absolutes drift across hosts, the ratio is a
+//! property of the engine's fast-forward path.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mallacc_bench::sim_fixture;
+use mallacc_stats::json::{self, Json};
+
+/// Fractional speedup-ratio loss tolerated before `--measure` fails.
+const RATIO_REGRESSION_TOL: f64 = 0.10;
+
+struct Args {
+    dir: PathBuf,
+    measure: bool,
+    trials: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        dir: PathBuf::from("."),
+        measure: false,
+        trials: 5,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                i += 1;
+                let v = args.get(i).ok_or("--dir needs a value")?;
+                parsed.dir = PathBuf::from(v);
+            }
+            "--measure" => parsed.measure = true,
+            "--trials" => {
+                i += 1;
+                let v = args.get(i).ok_or("--trials needs a value")?;
+                parsed.trials = v.parse().map_err(|_| format!("bad --trials {v:?}"))?;
+                if parsed.trials == 0 {
+                    return Err("--trials must be at least 1".to_string());
+                }
+            }
+            other => return Err(format!("unknown bench_check flag {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+fn need<'a>(doc: &'a Json, key: &str, file: &str) -> Result<&'a Json, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("{file}: missing key {key:?}"))
+}
+
+fn need_str<'a>(doc: &'a Json, key: &str, file: &str) -> Result<&'a str, String> {
+    need(doc, key, file)?
+        .as_str()
+        .ok_or_else(|| format!("{file}: {key:?} must be a string"))
+}
+
+fn need_pos(doc: &Json, key: &str, file: &str) -> Result<f64, String> {
+    let v = need(doc, key, file)?
+        .as_f64()
+        .ok_or_else(|| format!("{file}: {key:?} must be a number"))?;
+    if v > 0.0 {
+        Ok(v)
+    } else {
+        Err(format!("{file}: {key:?} must be positive, got {v}"))
+    }
+}
+
+/// Checks the layout every `BENCH_*.json` shares: schema tag, bench
+/// command, note, and a non-empty result list whose rows carry an id,
+/// exactly one positive `median_*` duration, and a positive rate.
+/// Returns the rows for file-specific checks.
+fn check_common<'a>(doc: &'a Json, file: &str, schema: &str) -> Result<&'a [Json], String> {
+    let tag = need_str(doc, "schema", file)?;
+    if tag != schema {
+        return Err(format!("{file}: schema is {tag:?}, expected {schema:?}"));
+    }
+    let bench = need_str(doc, "bench", file)?;
+    if !bench.starts_with("cargo bench") {
+        return Err(format!("{file}: bench command {bench:?} looks wrong"));
+    }
+    need_str(doc, "metric", file)?;
+    need_str(doc, "note", file)?;
+    let results = need(doc, "results", file)?
+        .as_arr()
+        .ok_or_else(|| format!("{file}: results must be an array"))?;
+    if results.is_empty() {
+        return Err(format!("{file}: results must not be empty"));
+    }
+    for row in results {
+        let id = need_str(row, "id", file)?;
+        let medians = ["median_ms", "median_us"]
+            .iter()
+            .filter(|k| row.get(k).is_some())
+            .count();
+        if medians != 1 {
+            return Err(format!(
+                "{file}: result {id:?} needs exactly one median_ms/median_us"
+            ));
+        }
+        for key in ["median_ms", "median_us", "uops_per_sec", "elements_per_sec"] {
+            if row.get(key).is_some() {
+                need_pos(row, key, file)?;
+            }
+        }
+        let rates = ["uops_per_sec", "elements_per_sec"]
+            .iter()
+            .filter(|k| row.get(k).is_some())
+            .count();
+        if rates != 1 {
+            return Err(format!(
+                "{file}: result {id:?} needs exactly one uops_per_sec/elements_per_sec"
+            ));
+        }
+    }
+    Ok(results)
+}
+
+fn load(dir: &Path, file: &str) -> Result<Json, String> {
+    let path = dir.join(file);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    json::parse(&text)
+        .map_err(|e| format!("{file}: invalid JSON at offset {}: {}", e.offset, e.message))
+}
+
+fn check_fleet(dir: &Path) -> Result<(), String> {
+    let doc = load(dir, "BENCH_fleet.json")?;
+    check_common(&doc, "BENCH_fleet.json", "mallacc-bench-fleet/1")?;
+    need(&doc, "fixture", "BENCH_fleet.json")?;
+    Ok(())
+}
+
+fn check_offload(dir: &Path) -> Result<(), String> {
+    let doc = load(dir, "BENCH_offload.json")?;
+    check_common(&doc, "BENCH_offload.json", "mallacc-bench-offload/1")?;
+    need(&doc, "fixtures", "BENCH_offload.json")?;
+    Ok(())
+}
+
+/// Validates `BENCH_sim.json` and returns its committed
+/// sampled-over-full speedup ratio for the regression gate.
+fn check_sim(dir: &Path) -> Result<f64, String> {
+    let file = "BENCH_sim.json";
+    let doc = load(dir, file)?;
+    let results = check_common(&doc, file, "mallacc-bench-sim/1")?;
+    let fixture = need(&doc, "fixture", file)?;
+    for key in ["workload", "plan"] {
+        need_str(fixture, key, file)?;
+    }
+    for key in ["mallocs", "seed"] {
+        need_pos(fixture, key, file)?;
+    }
+
+    let median_of = |id: &str| -> Result<f64, String> {
+        results
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+            .ok_or_else(|| format!("{file}: missing result {id:?}"))
+            .and_then(|r| need_pos(r, "median_ms", file))
+    };
+    let full = median_of("sim/engine_uops/full")?;
+    let sampled = median_of("sim/engine_uops/sampled")?;
+    let ratio = need_pos(&doc, "sampled_over_full_speedup", file)?;
+    let from_medians = full / sampled;
+    if (ratio - from_medians).abs() > 0.05 {
+        return Err(format!(
+            "{file}: sampled_over_full_speedup {ratio:.2} disagrees with its own \
+             medians ({full:.3} ms / {sampled:.3} ms = {from_medians:.2})"
+        ));
+    }
+    Ok(ratio)
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    check_fleet(&args.dir)?;
+    check_offload(&args.dir)?;
+    let committed = check_sim(&args.dir)?;
+    let mut out =
+        format!("bench_check: 3 baseline files ok (committed sim speedup {committed:.2}x)\n");
+    if args.measure {
+        let m = sim_fixture::quick_speedup(args.trials);
+        out.push_str(&format!(
+            "bench_check: measured full {:.3} ms, sampled {:.3} ms over {} uops \
+             (best of {}) -> speedup {:.2}x\n",
+            m.full_ms,
+            m.sampled_ms,
+            m.uops,
+            args.trials,
+            m.ratio()
+        ));
+        let floor = committed * (1.0 - RATIO_REGRESSION_TOL);
+        if m.ratio() < floor {
+            return Err(format!(
+                "sim speedup regression: measured {:.2}x is more than {:.0}% below \
+                 the committed {committed:.2}x (floor {floor:.2}x)",
+                m.ratio(),
+                100.0 * RATIO_REGRESSION_TOL
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_check: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    /// The committed baselines at the repo root must always validate —
+    /// this is the same check CI runs, wired as a test so a malformed
+    /// edit fails locally first.
+    #[test]
+    fn committed_baselines_validate() {
+        check_fleet(&repo_root()).unwrap();
+        check_offload(&repo_root()).unwrap();
+        let ratio = check_sim(&repo_root()).unwrap();
+        assert!(ratio > 1.0, "committed sim speedup should beat full detail");
+    }
+
+    #[test]
+    fn flags_parse_and_reject_garbage() {
+        let s = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        let a = parse_args(&s(&["--measure", "--trials", "3", "--dir", "x"])).unwrap();
+        assert!(a.measure);
+        assert_eq!(a.trials, 3);
+        assert_eq!(a.dir, PathBuf::from("x"));
+        assert!(parse_args(&s(&["--trials", "0"])).is_err());
+        assert!(parse_args(&s(&["--wat"])).is_err());
+    }
+
+    #[test]
+    fn schema_violations_are_caught() {
+        let dir = std::env::temp_dir().join("bench_check_schema_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_fleet.json"),
+            r#"{"schema": "mallacc-bench-fleet/2"}"#,
+        )
+        .unwrap();
+        let err = check_fleet(&dir).unwrap_err();
+        assert!(err.contains("schema"), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -25,6 +25,9 @@
 //! repro offload [--smoke] [--full] [--workload NAME]... [--scenario NAME]...
 //!       [--depths A,B,...] [--cores A,B,...] [--calls N] [--warmup N]
 //!       [--requests N] [--seed N] [--jobs N] [--json PATH]
+//!
+//! repro sample [--smoke] [--full] [--workload NAME]... [--mallocs N]
+//!       [--plan W:D:P[:S]] [--seed N] [--jobs N] [--json PATH]
 //! ```
 //!
 //! `--json PATH` additionally writes the machine-readable datasets of the
@@ -32,7 +35,8 @@
 //! numbers the text renders, not a re-run.
 
 use mallacc_bench::{
-    cli, explore_cli, figures, fleet_cli, mt, offload_cli, profile_cli, tables, validate_cli, Scale,
+    cli, explore_cli, figures, fleet_cli, mt, offload_cli, profile_cli, sample_cli, tables,
+    validate_cli, Scale,
 };
 use mallacc_stats::Json;
 
@@ -51,7 +55,9 @@ fn usage() -> ! {
          [--requests N] [--weak-requests N] [--seed N] [--jobs N] [--json PATH]\n\
          \x20      repro offload [--smoke] [--full] [--workload NAME]... [--scenario NAME]... \
          [--depths A,B,...] [--cores A,B,...] [--calls N] [--warmup N] [--requests N] \
-         [--seed N] [--jobs N] [--json PATH]"
+         [--seed N] [--jobs N] [--json PATH]\n\
+         \x20      repro sample [--smoke] [--full] [--workload NAME]... [--mallocs N] \
+         [--plan W:D:P[:S]] [--seed N] [--jobs N] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -74,6 +80,9 @@ fn main() {
     }
     if cmd == "offload" {
         std::process::exit(offload_cli::offload(&args[1..]));
+    }
+    if cmd == "sample" {
+        std::process::exit(sample_cli::sample(&args[1..]));
     }
 
     // The generic experiment path (mt, figures, tables) shares the

@@ -20,6 +20,7 @@
 use std::path::PathBuf;
 
 use crate::cli::{self, CommonFlags, CommonSpec, ScaleFlag};
+use mallacc::SimMode;
 use mallacc_fleet::{json_doc, render_report, run_fleet, FleetConfig, Scenario};
 
 /// Parsed `repro fleet` arguments.
@@ -39,6 +40,8 @@ pub struct FleetArgs {
     pub jobs: usize,
     /// Smoke scale (1/2/4 cores) instead of the full 1..16 sweep.
     pub smoke: bool,
+    /// Timing execution mode of every cell (`full` or `sampled[:plan]`).
+    pub sim: SimMode,
     /// Machine-readable report output file.
     pub json: Option<PathBuf>,
 }
@@ -54,6 +57,7 @@ impl Default for FleetArgs {
             seed: 42,
             jobs: 1,
             smoke: false,
+            sim: SimMode::Full,
             json: None,
         }
     }
@@ -99,6 +103,9 @@ impl FleetArgs {
                 "--scenario" => parsed
                     .scenarios
                     .push(cli::value(args, &mut i, "--scenario")?),
+                "--sim" => {
+                    parsed.sim = SimMode::parse(&cli::value(args, &mut i, "--sim")?)?;
+                }
                 "--requests" => {
                     strong = Some(cli::int(
                         cli::value(args, &mut i, "--requests")?,
@@ -179,6 +186,7 @@ impl FleetArgs {
             weak_requests_per_core: self.weak_requests_per_core,
             seed: self.seed,
             jobs: self.jobs,
+            sim: self.sim,
         })
     }
 }

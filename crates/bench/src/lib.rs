@@ -50,6 +50,8 @@ pub mod fleet_cli;
 pub mod mt;
 pub mod offload_cli;
 pub mod profile_cli;
+pub mod sample_cli;
+pub mod sim_fixture;
 pub mod tables;
 pub mod validate_cli;
 

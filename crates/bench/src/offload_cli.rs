@@ -5,7 +5,7 @@
 //! repro offload [--smoke] [--full] [--workload NAME]... [--scenario NAME]...
 //!               [--depths A,B,...] [--cores A,B,...] [--calls N]
 //!               [--warmup N] [--requests N] [--seed N] [--jobs N]
-//!               [--json PATH]
+//!               [--sim full|sampled[:W:D:P[:S]]] [--json PATH]
 //! ```
 //!
 //! Four sections, all computed from pure per-slot functions so the
@@ -29,7 +29,7 @@
 use std::path::PathBuf;
 
 use crate::cli::{self, run_indexed, CommonFlags, CommonSpec, ScaleFlag};
-use mallacc::{offload_area_um2, AreaEstimate, MallocSim, Mode, OffloadConfig};
+use mallacc::{offload_area_um2, AreaEstimate, MallocSim, Mode, OffloadConfig, SimMode};
 use mallacc_multicore::MulticoreSim;
 use mallacc_stats::table::Table;
 use mallacc_stats::{knee_index, pareto_frontier, Json};
@@ -56,6 +56,8 @@ pub struct OffloadArgs {
     pub seed: u64,
     /// Worker threads (0 or 1 = sequential). Output-invariant.
     pub jobs: usize,
+    /// Timing execution mode applied to every cell's simulators.
+    pub sim: SimMode,
     /// Machine-readable report output file.
     pub json: Option<PathBuf>,
 }
@@ -79,6 +81,7 @@ impl Default for OffloadArgs {
             requests: 96,
             seed: 42,
             jobs: 1,
+            sim: SimMode::Full,
             json: None,
         }
     }
@@ -116,6 +119,7 @@ impl OffloadArgs {
         let mut scenarios = Vec::new();
         let (mut depths, mut cores) = (None, None);
         let (mut calls, mut warmup, mut requests) = (None, None, None);
+        let mut sim = None;
         let mut i = 0;
         let list = |spec: String, flag: &str, max: usize| -> Result<Vec<usize>, String> {
             let mut out = Vec::new();
@@ -162,6 +166,9 @@ impl OffloadArgs {
                         "--requests",
                     )?);
                 }
+                "--sim" => {
+                    sim = Some(SimMode::parse(&cli::value(args, &mut i, "--sim")?)?);
+                }
                 other => return Err(format!("unknown offload flag {other:?}")),
             }
             i += 1;
@@ -196,6 +203,9 @@ impl OffloadArgs {
         }
         if let Some(jobs) = common.jobs {
             parsed.jobs = jobs;
+        }
+        if let Some(sim) = sim {
+            parsed.sim = sim;
         }
         parsed.json = common.json;
         if parsed.calls == 0 || parsed.requests == 0 {
@@ -240,6 +250,7 @@ fn single_core_cycles(workload: &AnyWorkload, mode: Mode, args: &OffloadArgs) ->
     let warm = workload.trace(args.warmup, args.seed);
     let measure = workload.trace(args.calls, args.seed.wrapping_add(1));
     let mut sim = MallocSim::new(mode);
+    sim.set_sampling(args.sim.plan());
     let run = |sim: &mut dyn SimBackend, trace: &mallacc_workloads::Trace| {
         let s = trace.replay_on(sim);
         s.allocator_cycles()
@@ -345,6 +356,7 @@ fn depth_sweep_section(args: &OffloadArgs) -> (String, Json) {
             let mut cfg = OffloadConfig::speedmalloc_default();
             cfg.queue_depth = depth;
             let mut sim = MallocSim::new(Mode::Offload(cfg));
+            sim.set_sampling(args.sim.plan());
             workload.trace(args.warmup, args.seed).replay_on(&mut sim);
             let s = workload
                 .trace(args.calls, args.seed.wrapping_add(1))
@@ -399,6 +411,7 @@ fn fleet_section(args: &OffloadArgs) -> (String, Json) {
             for (slot, (mode, _)) in per_call.iter_mut().zip(modes()) {
                 let mut stream = scenario.stream(cores, args.requests, args.seed);
                 let totals = MulticoreSim::new(mode, cores)
+                    .with_sim(args.sim)
                     .run_stream(&mut stream)
                     .aggregate();
                 let calls = (totals.malloc_calls + totals.free_calls).max(1);
@@ -618,6 +631,10 @@ mod tests {
         assert!(OffloadArgs::parse(&s(&["--depths", "65"])).is_err());
         assert!(OffloadArgs::parse(&s(&["--cores", "65"])).is_err());
         assert!(OffloadArgs::parse(&s(&["--calls", "0"])).is_err());
+
+        let sampled = OffloadArgs::parse(&s(&["--sim", "sampled"])).unwrap();
+        assert_eq!(sampled.sim, SimMode::sampled_default());
+        assert!(OffloadArgs::parse(&s(&["--sim", "fast"])).is_err());
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //!
 //! ```text
 //! repro validate [--smoke] [--full] [--kernel-n N] [--fuzz N] [--laws N]
-//!                [--offload-fuzz N] [--seed N] [--jobs N] [--json PATH]
+//!                [--offload-fuzz N] [--sample-fuzz N] [--seed N] [--jobs N]
+//!                [--json PATH]
 //! ```
 //!
-//! Four independent sections, any of which can fail the run (exit 1):
+//! Five independent sections, any of which can fail the run (exit 1):
 //!
 //! 1. **Analytic latency oracle** — every Table-1 kernel's simulated
 //!    latency must land inside the declared tolerance band around its
@@ -20,6 +21,11 @@
 //! 4. **Offload-core conformance** — the helper-queue timing model fuzzed
 //!    differentially against its reference interpreter, with queue
 //!    conservation laws and heap identity of the offload driver modes.
+//! 5. **Sampled-execution differential** — every oracle kernel re-run
+//!    under a sampling plan must land inside the Table-1 band around its
+//!    full run, and random µop programs replayed full-vs-sampled must
+//!    keep functional identity, degenerate-plan exactness, and
+//!    oracle-bounded timing error (fixed band or the run's own CI).
 //!
 //! Work is partitioned into slots whose results depend only on `(seed,
 //! slot index)`, so the report is byte-identical for every `--jobs` value.
@@ -27,12 +33,13 @@
 use std::path::PathBuf;
 
 use crate::cli::{self, run_indexed, CommonFlags, CommonSpec, ScaleFlag};
+use mallacc_ooo::SamplingPlan;
 use mallacc_stats::table::Table;
 use mallacc_stats::Json;
 use mallacc_validate::program::fuzz_slot;
 use mallacc_validate::{
-    laws, offload_fuzz_slot, oracle, Band, CoverageEvent, FuzzReport, KernelOutcome, LawReport,
-    OffloadFuzzReport,
+    laws, offload_fuzz_slot, oracle, sample, sample_fuzz_slot, Band, CoverageEvent, FuzzReport,
+    KernelOutcome, LawReport, OffloadFuzzReport, SampleFuzzReport,
 };
 
 /// Parsed `repro validate` arguments.
@@ -48,6 +55,9 @@ pub struct ValidateArgs {
     /// Offload-conformance slots (each runs two queue differentials and
     /// one heap-identity program).
     pub offload_slots: u64,
+    /// Sampled-differential slots (each runs one random µop program
+    /// full, under a random plan, and under a degenerate plan).
+    pub sample_slots: u64,
     /// Corpus seed.
     pub seed: u64,
     /// Worker threads (0 or 1 = sequential).
@@ -67,6 +77,7 @@ impl Default for ValidateArgs {
             fuzz_slots: 400,
             law_cases: 60,
             offload_slots: 200,
+            sample_slots: 120,
             seed: 42,
             jobs: 1,
             require_full_coverage: false,
@@ -85,6 +96,7 @@ impl ValidateArgs {
         let mut common = CommonFlags::default();
         let (mut kernel_n, mut fuzz_slots, mut law_cases, mut offload_slots) =
             (None, None, None, None);
+        let mut sample_slots = None;
         let mut i = 0;
         while i < args.len() {
             if cli::take_common(args, &mut i, &CommonSpec::ALL, &mut common)? {
@@ -110,6 +122,12 @@ impl ValidateArgs {
                         "--offload-fuzz",
                     )?);
                 }
+                "--sample-fuzz" => {
+                    sample_slots = Some(cli::int(
+                        cli::value(args, &mut i, "--sample-fuzz")?,
+                        "--sample-fuzz",
+                    )?);
+                }
                 other => return Err(format!("unknown validate flag {other:?}")),
             }
             i += 1;
@@ -120,6 +138,7 @@ impl ValidateArgs {
                 parsed.fuzz_slots = 400;
                 parsed.law_cases = 60;
                 parsed.offload_slots = 200;
+                parsed.sample_slots = 120;
                 parsed.require_full_coverage = false;
             }
             Some(ScaleFlag::Full) => {
@@ -127,6 +146,7 @@ impl ValidateArgs {
                 parsed.fuzz_slots = 10_000;
                 parsed.law_cases = 1_000;
                 parsed.offload_slots = 4_000;
+                parsed.sample_slots = 600;
                 parsed.require_full_coverage = true;
             }
             None => {}
@@ -143,6 +163,9 @@ impl ValidateArgs {
         if let Some(v) = offload_slots {
             parsed.offload_slots = v;
         }
+        if let Some(v) = sample_slots {
+            parsed.sample_slots = v;
+        }
         if let Some(seed) = common.seed {
             parsed.seed = seed;
         }
@@ -153,8 +176,8 @@ impl ValidateArgs {
         if parsed.kernel_n == 0 {
             return Err("--kernel-n must be at least 1".to_string());
         }
-        if parsed.fuzz_slots == 0 || parsed.offload_slots == 0 {
-            return Err("--fuzz and --offload-fuzz must be at least 1".to_string());
+        if parsed.fuzz_slots == 0 || parsed.offload_slots == 0 || parsed.sample_slots == 0 {
+            return Err("--fuzz, --offload-fuzz and --sample-fuzz must be at least 1".to_string());
         }
         Ok(parsed)
     }
@@ -385,17 +408,119 @@ fn offload_section(args: &ValidateArgs) -> (String, Json, bool, OffloadFuzzRepor
     (text, json, pass, report)
 }
 
+/// The cadence the sampled-differential section re-runs the oracle
+/// kernels under: aggressive enough (12.5 % detailed, short windows)
+/// that a sampling-induced distortion of steady-state timing cannot
+/// hide, while still closing plenty of windows at the smoke scale. The
+/// startup interval is shortened below the default one-period so the
+/// cadence engages even at `--kernel-n 2000`.
+fn sampled_kernel_plan() -> SamplingPlan {
+    SamplingPlan::new(64, 192, 2_048)
+        .expect("static plan is valid")
+        .with_startup(256)
+}
+
+fn sample_section(args: &ValidateArgs) -> (String, Json, bool, SampleFuzzReport) {
+    // Kernel half: full vs. sampled on every Table-1 kernel.
+    let plan = sampled_kernel_plan();
+    let outcomes = sample::sampled_kernel_outcomes(args.kernel_n, plan);
+    let band = Band::table1();
+    let mut t = Table::new(&["kernel", "full", "sampled", "error", "verdict"]);
+    let mut kernel_rows = Vec::new();
+    for o in &outcomes {
+        t.row_owned(vec![
+            o.id.name().to_string(),
+            o.full.to_string(),
+            o.sampled.to_string(),
+            format!("{:+.2}%", o.error_pct),
+            if o.pass { "ok" } else { "OUT OF BAND" }.to_string(),
+        ]);
+        kernel_rows.push(Json::obj([
+            ("kernel", Json::from(o.id.name())),
+            ("full", Json::from(o.full)),
+            ("sampled", Json::from(o.sampled)),
+            ("error_pct", Json::from(o.error_pct)),
+            ("pass", Json::from(o.pass)),
+        ]));
+    }
+    let kernels_pass = outcomes.iter().all(|o| o.pass);
+
+    // Fuzz half: random µop programs, full vs. sampled vs. degenerate.
+    let mut report = SampleFuzzReport::default();
+    for slot in run_indexed(args.sample_slots, args.jobs, |i| {
+        sample_fuzz_slot(args.seed, i)
+    }) {
+        report.merge(slot);
+    }
+    let fuzz_pass = report.divergences.is_empty();
+    let pass = kernels_pass && fuzz_pass;
+    let mut text = format!(
+        "== sampled-execution differential (plan {}, band: \u{b1}{:.1}% + {:.0} cyc, or own ci95) ==\n{}programs: {} ({} degenerate), \u{b5}ops: {}, mean |error|: {:.2}%, max: {:.2}%\nviolations: {}\n",
+        plan.canonical_string(),
+        100.0 * band.rel,
+        band.abs,
+        t.render(),
+        report.programs,
+        report.degenerate_programs,
+        report.uops,
+        report.mean_abs_error_pct(),
+        report.max_abs_error_pct,
+        report.divergences.len(),
+    );
+    for d in report.divergences.iter().take(5) {
+        text.push_str(&format!(
+            "  seed {:#x} ({}): {}\n",
+            d.seed, d.check, d.detail
+        ));
+    }
+    let json = Json::obj([
+        ("plan", Json::from(plan.canonical_string())),
+        ("kernels", Json::Arr(kernel_rows)),
+        ("programs", Json::from(report.programs)),
+        (
+            "degenerate_programs",
+            Json::from(report.degenerate_programs),
+        ),
+        ("uops", Json::from(report.uops)),
+        (
+            "mean_abs_error_pct",
+            Json::from(report.mean_abs_error_pct()),
+        ),
+        ("max_abs_error_pct", Json::from(report.max_abs_error_pct)),
+        (
+            "violations",
+            Json::Arr(
+                report
+                    .divergences
+                    .iter()
+                    .map(|d| {
+                        Json::obj([
+                            ("seed", Json::from(d.seed)),
+                            ("check", Json::from(d.check)),
+                            ("detail", Json::from(d.detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("pass", Json::from(pass)),
+    ]);
+    (text, json, pass, report)
+}
+
 /// Runs `repro validate` and returns `(exit code, report text)`. Split
 /// from [`validate`] so tests can capture the output.
 pub fn validate_report(args: &ValidateArgs) -> (i32, String) {
     let mut out = format!(
-        "repro validate: kernels n={}, fuzz slots={}, law cases={}/law, offload slots={}, seed {}\n\n",
-        args.kernel_n, args.fuzz_slots, args.law_cases, args.offload_slots, args.seed
+        "repro validate: kernels n={}, fuzz slots={}, law cases={}/law, offload slots={}, sample slots={}, seed {}\n\n",
+        args.kernel_n, args.fuzz_slots, args.law_cases, args.offload_slots, args.sample_slots,
+        args.seed
     );
     let (kernel_text, kernel_json, kernels_pass, _) = kernel_section(args);
     let (fuzz_text, fuzz_json, fuzz_pass, _) = fuzz_section(args);
     let (law_text, law_json, laws_pass, _) = law_section(args);
     let (offload_text, offload_json, offload_pass, _) = offload_section(args);
+    let (sample_text, sample_json, sample_pass, _) = sample_section(args);
     out.push_str(&kernel_text);
     out.push('\n');
     out.push_str(&fuzz_text);
@@ -403,7 +528,9 @@ pub fn validate_report(args: &ValidateArgs) -> (i32, String) {
     out.push_str(&law_text);
     out.push('\n');
     out.push_str(&offload_text);
-    let pass = kernels_pass && fuzz_pass && laws_pass && offload_pass;
+    out.push('\n');
+    out.push_str(&sample_text);
+    let pass = kernels_pass && fuzz_pass && laws_pass && offload_pass && sample_pass;
     out.push_str(&format!(
         "\nverdict: {}\n",
         if pass { "PASS" } else { "FAIL" }
@@ -419,6 +546,7 @@ pub fn validate_report(args: &ValidateArgs) -> (i32, String) {
                     ("fuzz_slots", Json::from(args.fuzz_slots)),
                     ("law_cases", Json::from(args.law_cases)),
                     ("offload_slots", Json::from(args.offload_slots)),
+                    ("sample_slots", Json::from(args.sample_slots)),
                     ("seed", Json::from(args.seed)),
                     (
                         "require_full_coverage",
@@ -430,6 +558,7 @@ pub fn validate_report(args: &ValidateArgs) -> (i32, String) {
             ("conformance", fuzz_json),
             ("laws", law_json),
             ("offload", offload_json),
+            ("sampled", sample_json),
             ("pass", Json::from(pass)),
         ]);
         if let Err(e) = std::fs::write(path, doc.render_pretty()) {
@@ -469,6 +598,7 @@ mod tests {
             fuzz_slots: 40,
             law_cases: 8,
             offload_slots: 16,
+            sample_slots: 12,
             ..ValidateArgs::default()
         }
     }
@@ -493,7 +623,10 @@ mod tests {
         assert!(ValidateArgs::parse(&s(&["--nope"])).is_err());
         assert!(ValidateArgs::parse(&s(&["--fuzz", "0"])).is_err());
         assert!(ValidateArgs::parse(&s(&["--offload-fuzz", "0"])).is_err());
+        assert!(ValidateArgs::parse(&s(&["--sample-fuzz", "0"])).is_err());
         assert!(ValidateArgs::parse(&s(&["--kernel-n"])).is_err());
+        let sf = ValidateArgs::parse(&s(&["--sample-fuzz", "33"])).unwrap();
+        assert_eq!(sf.sample_slots, 33);
     }
 
     #[test]
@@ -504,6 +637,7 @@ mod tests {
         assert!(text.contains("reference-spec conformance"), "{text}");
         assert!(text.contains("metamorphic laws"), "{text}");
         assert!(text.contains("offload-core conformance"), "{text}");
+        assert!(text.contains("sampled-execution differential"), "{text}");
         assert!(text.contains("verdict: PASS"), "{text}");
         assert!(text.contains("mean kernel error:"), "{text}");
     }

@@ -111,14 +111,13 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    valid: bool,
-    dirty: bool,
-    tag: u64,
-    /// Monotonic timestamp of last touch; smaller = older.
-    last_use: u64,
-}
+/// Packed per-line state: the tag in the low 62 bits (tags are block
+/// addresses shifted right by the set bits, so they never reach bit 62),
+/// validity and dirtiness in the top two. A whole-word compare against
+/// `tag | VALID` (masking `DIRTY` off) decides a hit in one instruction.
+const VALID: u64 = 1 << 63;
+const DIRTY: u64 = 1 << 62;
+const FLAGS: u64 = VALID | DIRTY;
 
 /// One set-associative, true-LRU cache level.
 ///
@@ -140,8 +139,21 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All ways of all sets in one flat allocation, `associativity`
+    /// entries per set, split structure-of-arrays style: `tags` holds the
+    /// packed tag+flag words the lookup scan reads, `last_use` the LRU
+    /// timestamps only hits and fills touch. `Hierarchy::access` runs on
+    /// every simulated memory µop (and every fast-forwarded one), and the
+    /// allocator workloads miss far more than they hit, so the scan is the
+    /// hot loop of the whole simulator: keeping it to one or two host
+    /// cache lines per set (8 bytes per way instead of a padded
+    /// four-field struct) is the difference between the hierarchy walk
+    /// being a few nanoseconds and dominating the engine.
+    tags: Vec<u64>,
+    /// Monotonic timestamp of last touch per way; smaller = older.
+    last_use: Vec<u64>,
     set_mask: u64,
+    set_bits: u32,
     line_shift: u32,
     clock: u64,
     stats: CacheStats,
@@ -164,12 +176,21 @@ impl SetAssocCache {
         let sets = config.validate()?;
         Ok(Self {
             config,
-            sets: vec![vec![Line::default(); config.associativity as usize]; sets as usize],
+            tags: vec![0; (sets * config.associativity as u64) as usize],
+            last_use: vec![0; (sets * config.associativity as u64) as usize],
             set_mask: sets - 1,
+            set_bits: (sets - 1).count_ones(),
             line_shift: config.line_bytes.trailing_zeros(),
             clock: 0,
             stats: CacheStats::default(),
         })
+    }
+
+    /// The ways of `addr`'s set, as a flat-slice range.
+    #[inline]
+    fn set_range(&self, set_idx: usize) -> std::ops::Range<usize> {
+        let assoc = self.config.associativity as usize;
+        set_idx * assoc..(set_idx + 1) * assoc
     }
 
     /// The geometry this cache was built with.
@@ -197,24 +218,26 @@ impl SetAssocCache {
         self.stats.invalidations += other.invalidations;
     }
 
+    #[inline]
     fn index_and_tag(&self, addr: Addr) -> (usize, u64) {
         let block = addr >> self.line_shift;
-        (
-            (block & self.set_mask) as usize,
-            block >> self.set_mask.count_ones(),
-        )
+        ((block & self.set_mask) as usize, block >> self.set_bits)
     }
 
     /// Looks up `addr`; on a hit, refreshes LRU state and returns `true`.
     /// Counts a hit or a miss.
+    #[inline]
     pub fn access(&mut self, addr: Addr, write: bool) -> bool {
         self.clock += 1;
         let (set_idx, tag) = self.index_and_tag(addr);
-        let clock = self.clock;
-        for line in &mut self.sets[set_idx] {
-            if line.valid && line.tag == tag {
-                line.last_use = clock;
-                line.dirty |= write;
+        let want = tag | VALID;
+        let range = self.set_range(set_idx);
+        for i in range {
+            if self.tags[i] & !DIRTY == want {
+                self.last_use[i] = self.clock;
+                if write {
+                    self.tags[i] |= DIRTY;
+                }
                 self.stats.hits += 1;
                 return true;
             }
@@ -226,7 +249,10 @@ impl SetAssocCache {
     /// Checks residency without perturbing LRU state or statistics.
     pub fn probe(&self, addr: Addr) -> bool {
         let (set_idx, tag) = self.index_and_tag(addr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        let want = tag | VALID;
+        self.tags[self.set_range(set_idx)]
+            .iter()
+            .any(|&t| t & !DIRTY == want)
     }
 
     /// Installs the line containing `addr`, evicting the LRU way if the set
@@ -234,29 +260,26 @@ impl SetAssocCache {
     pub fn fill(&mut self, addr: Addr, write: bool) -> Option<Addr> {
         self.clock += 1;
         let (set_idx, tag) = self.index_and_tag(addr);
-        let set_bits = self.set_mask.count_ones();
-        let line_shift = self.line_shift;
-        let clock = self.clock;
-        let set = &mut self.sets[set_idx];
+        let range = self.set_range(set_idx);
+        let set_tags = &self.tags[range.clone()];
         // Prefer an invalid way; otherwise evict LRU.
-        let victim = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
-            set.iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_use)
-                .map(|(i, _)| i)
-                .expect("associativity > 0")
-        });
-        let old = set[victim];
-        set[victim] = Line {
-            valid: true,
-            dirty: write,
-            tag,
-            last_use: clock,
-        };
-        if old.valid {
+        let victim = range.start
+            + set_tags
+                .iter()
+                .position(|&t| t & VALID == 0)
+                .unwrap_or_else(|| {
+                    let lru = &self.last_use[range.clone()];
+                    (0..lru.len())
+                        .min_by_key(|&i| lru[i])
+                        .expect("associativity > 0")
+                });
+        let old = self.tags[victim];
+        self.tags[victim] = tag | VALID | if write { DIRTY } else { 0 };
+        self.last_use[victim] = self.clock;
+        if old & VALID != 0 {
             self.stats.evictions += 1;
-            let old_block = (old.tag << set_bits) | set_idx as u64;
-            Some(old_block << line_shift)
+            let old_block = ((old & !FLAGS) << self.set_bits) | set_idx as u64;
+            Some(old_block << self.line_shift)
         } else {
             None
         }
@@ -265,9 +288,10 @@ impl SetAssocCache {
     /// Invalidates `addr`'s line if resident. Returns whether it was.
     pub fn invalidate(&mut self, addr: Addr) -> bool {
         let (set_idx, tag) = self.index_and_tag(addr);
-        for line in &mut self.sets[set_idx] {
-            if line.valid && line.tag == tag {
-                line.valid = false;
+        let want = tag | VALID;
+        for i in self.set_range(set_idx) {
+            if self.tags[i] & !DIRTY == want {
+                self.tags[i] = 0;
                 self.stats.invalidations += 1;
                 return true;
             }
@@ -296,15 +320,17 @@ impl SetAssocCache {
         // evicting the least-recently-used `fraction` of the *valid* lines
         // in each set (rounded down — a set holding a single hot line keeps
         // it, just as a just-touched line ranks in the kept half).
-        for set in &mut self.sets {
-            let mut order: Vec<usize> = (0..ways).filter(|&i| set[i].valid).collect();
+        for set_start in (0..self.tags.len()).step_by(ways) {
+            let mut order: Vec<usize> = (set_start..set_start + ways)
+                .filter(|&i| self.tags[i] & VALID != 0)
+                .collect();
             let n_evict = ((order.len() as f64) * fraction).floor() as usize;
             if n_evict == 0 {
                 continue;
             }
-            order.sort_by_key(|&i| set[i].last_use);
+            order.sort_by_key(|&i| self.last_use[i]);
             for &i in order.iter().take(n_evict) {
-                set[i].valid = false;
+                self.tags[i] = 0;
                 self.stats.invalidations += 1;
             }
         }
@@ -312,23 +338,17 @@ impl SetAssocCache {
 
     /// Invalidates everything (e.g. a context switch in the model).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                if line.valid {
-                    line.valid = false;
-                    self.stats.invalidations += 1;
-                }
+        for t in &mut self.tags {
+            if *t & VALID != 0 {
+                *t = 0;
+                self.stats.invalidations += 1;
             }
         }
     }
 
     /// Number of valid lines currently resident.
     pub fn resident_lines(&self) -> u64 {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|l| l.valid)
-            .count() as u64
+        self.tags.iter().filter(|&&t| t & VALID != 0).count() as u64
     }
 }
 

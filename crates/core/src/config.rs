@@ -2,6 +2,7 @@
 //! paper's limit studies.
 
 use mallacc_offload::OffloadConfig;
+use mallacc_ooo::SamplingPlan;
 
 use crate::malloc_cache::MallocCacheConfig;
 
@@ -144,6 +145,70 @@ impl Mode {
     }
 }
 
+/// How the timing engine executes the µop stream: every µop through the
+/// detailed pipeline model, or SMARTS-style sampled with detailed windows
+/// and extrapolated fast-forward regions.
+///
+/// Sampling is a pure timing-fidelity axis: functional state (heap,
+/// malloc-cache contents, branch history) is identical in both modes, so a
+/// sampled run allocates the exact same objects as a full run and only its
+/// cycle numbers carry sampling error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Detailed simulation of every µop.
+    #[default]
+    Full,
+    /// Sampled simulation under the given cadence.
+    Sampled(SamplingPlan),
+}
+
+impl SimMode {
+    /// Sampled mode with the default plan.
+    pub fn sampled_default() -> Self {
+        SimMode::Sampled(SamplingPlan::default_plan())
+    }
+
+    /// The sampling plan to install on an engine (`None` for full runs).
+    pub fn plan(&self) -> Option<SamplingPlan> {
+        match self {
+            SimMode::Full => None,
+            SimMode::Sampled(p) => Some(*p),
+        }
+    }
+
+    /// Parses `"full"`, `"sampled"` (default plan) or
+    /// `"sampled:<warmup>:<detailed>:<period>[:<startup>]"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed spec.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let s = spec.trim();
+        if s == "full" {
+            return Ok(SimMode::Full);
+        }
+        if s == "sampled" {
+            return Ok(SimMode::sampled_default());
+        }
+        if let Some(plan) = s.strip_prefix("sampled:") {
+            return Ok(SimMode::Sampled(SamplingPlan::parse(plan)?));
+        }
+        Err(format!(
+            "bad sim mode {spec:?}: use full, sampled, or sampled:<warmup>:<detailed>:<period>"
+        ))
+    }
+
+    /// Canonical, stable textual form (`full` / `sampled:W:D:P[:S]`);
+    /// [`SimMode::parse`] round-trips it. Injective, so it is a sound
+    /// memoisation key component.
+    pub fn canonical_string(&self) -> String {
+        match self {
+            SimMode::Full => "full".to_string(),
+            SimMode::Sampled(p) => format!("sampled:{}", p.canonical_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +242,31 @@ mod tests {
             };
             assert!(seen.insert(cfg.canonical_string()), "collision at {bits}");
         }
+    }
+
+    #[test]
+    fn sim_mode_parses_and_round_trips() {
+        assert_eq!(SimMode::parse("full").unwrap(), SimMode::Full);
+        assert_eq!(SimMode::default(), SimMode::Full);
+        assert_eq!(
+            SimMode::parse("sampled").unwrap(),
+            SimMode::sampled_default()
+        );
+        let m = SimMode::parse("sampled:64:256:4096").unwrap();
+        match m {
+            SimMode::Sampled(p) => {
+                assert_eq!((p.warmup_uops, p.detailed_uops, p.period), (64, 256, 4096));
+                assert_eq!(p.startup_uops, 4096);
+            }
+            SimMode::Full => panic!("expected sampled"),
+        }
+        for mode in [SimMode::Full, SimMode::sampled_default(), m] {
+            assert_eq!(SimMode::parse(&mode.canonical_string()).unwrap(), mode);
+        }
+        assert!(SimMode::parse("sampled:1:2").is_err());
+        assert!(SimMode::parse("fast").is_err());
+        assert_eq!(SimMode::Full.plan(), None);
+        assert!(m.plan().is_some());
     }
 
     #[test]

@@ -298,6 +298,20 @@ impl MallocSim {
         &self.mc
     }
 
+    /// Switches the core between full detailed simulation (`None`) and
+    /// SMARTS-style sampled simulation under `plan`. Sampling only changes
+    /// *timing*: every functional decision — heap layout, malloc-cache
+    /// content, branch history — is taken identically, which the
+    /// sampled-vs-full differential suites pin.
+    pub fn set_sampling(&mut self, plan: Option<mallacc_ooo::SamplingPlan>) {
+        self.cpu.set_sampling(plan);
+    }
+
+    /// The sampled run's measurement report (`None` in full mode).
+    pub fn sampling_report(&self) -> Option<mallacc_ooo::SamplingReport> {
+        self.cpu.sampling_report()
+    }
+
     /// Offload-queue conservation counters ([`Mode::Offload`] only).
     pub fn offload_stats(&self) -> Option<OffloadStats> {
         self.offload.as_ref().map(OffloadQueue::stats)

@@ -58,7 +58,7 @@ mod malloc_cache;
 pub mod programs;
 
 pub use area::{AreaBits, AreaEstimate, HASWELL_CORE_MM2};
-pub use config::{AccelConfig, LimitRemove, Mode, CODE_MODEL_VERSION};
+pub use config::{AccelConfig, LimitRemove, Mode, SimMode, CODE_MODEL_VERSION};
 pub use driver::{CallKind, CallRecord, MallocSim, PostList, SimTotals};
 pub use malloc_cache::{
     EntryView, MallocCache, MallocCacheConfig, MallocCacheStats, PopResult, RangeKeying, SizeLookup,
@@ -66,7 +66,8 @@ pub use malloc_cache::{
 // Re-exported so downstream layers (profiling, multicore) can speak the
 // observability types without depending on the engine crate directly.
 pub use mallacc_ooo::{
-    Component, OpKind, OpMeta, StallBreakdown, StallReason, TraceSink, UopEvent, UopTiming,
+    Component, OpKind, OpMeta, SamplingPlan, SamplingReport, StallBreakdown, StallReason,
+    TraceSink, UopEvent, UopTiming,
 };
 // Re-exported so downstream layers can name offload configurations and
 // read queue conservation counters without a direct dependency.

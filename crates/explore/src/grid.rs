@@ -1,7 +1,7 @@
 //! The declarative parameter grid and its expansion into config points.
 
 use crate::point::{AccelKind, ConfigPoint, RunScale, Substrate};
-use mallacc::DEFAULT_QUEUE_DEPTH;
+use mallacc::{SimMode, DEFAULT_QUEUE_DEPTH};
 use mallacc_workloads::{AnyWorkload, Microbenchmark};
 
 /// A declarative sweep specification: one value list per axis. The grid's
@@ -30,6 +30,8 @@ pub struct ParamGrid {
     pub workloads: Vec<String>,
     /// Simulated core counts.
     pub cores: Vec<usize>,
+    /// Timing execution modes (full detailed and/or sampled plans).
+    pub sim: Vec<SimMode>,
     /// Base trace seed for every point.
     pub seed: u64,
     /// Run sizing for every point.
@@ -51,6 +53,7 @@ impl Default for ParamGrid {
             substrates: vec![Substrate::TcMalloc],
             workloads: vec!["tp_small".to_string()],
             cores: vec![1],
+            sim: vec![SimMode::Full],
             seed: 0,
             scale: RunScale::full(),
         }
@@ -96,7 +99,8 @@ impl ParamGrid {
     /// `accel` (`none`/`mallacc`/`offload`/`both`), `qdepth` (offload
     /// queue depths), `substrate` (`tcmalloc`/`jemalloc`), `workload`
     /// (names, the families `micro`/`macro`/`all`, the `fleet` family,
-    /// or individual `fleet:NAME` scenarios), `cores`.
+    /// or individual `fleet:NAME` scenarios), `cores`, `sim` (`full`,
+    /// `sampled`, or `sampled:W:D:P[:S]` plans).
     pub fn parse(spec: &str) -> Result<ParamGrid, String> {
         let mut grid = ParamGrid::default();
         for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
@@ -196,6 +200,12 @@ impl ParamGrid {
                         return Err("cores must be in 1..=64".to_string());
                     }
                 }
+                "sim" => {
+                    grid.sim = values
+                        .iter()
+                        .map(|v| SimMode::parse(v))
+                        .collect::<Result<_, _>>()?;
+                }
                 other => return Err(format!("unknown grid axis {other:?}")),
             }
         }
@@ -217,7 +227,7 @@ impl ParamGrid {
 
     /// Expands the grid into configuration points, in a deterministic
     /// order (workload-major, then substrate, cores, accel, queue depth,
-    /// entries, latency, index, prefetch, sampling).
+    /// entries, latency, index, prefetch, sampling, sim mode).
     ///
     /// Combinations the simulator stack cannot express are skipped:
     /// multi-core points exist only on the TCMalloc substrate and only
@@ -257,20 +267,23 @@ impl ParamGrid {
                                     for &index_opt in &self.index_opt {
                                         for &prefetch in &self.prefetch {
                                             for &sampling in &self.sampling {
-                                                points.push(ConfigPoint {
-                                                    entries,
-                                                    extra_latency,
-                                                    prefetch,
-                                                    index_opt,
-                                                    sampling,
-                                                    accel,
-                                                    queue_depth,
-                                                    substrate,
-                                                    workload: workload.clone(),
-                                                    cores,
-                                                    seed: self.seed,
-                                                    scale: self.scale,
-                                                });
+                                                for &sim in &self.sim {
+                                                    points.push(ConfigPoint {
+                                                        entries,
+                                                        extra_latency,
+                                                        prefetch,
+                                                        index_opt,
+                                                        sampling,
+                                                        accel,
+                                                        queue_depth,
+                                                        substrate,
+                                                        workload: workload.clone(),
+                                                        cores,
+                                                        seed: self.seed,
+                                                        scale: self.scale,
+                                                        sim,
+                                                    });
+                                                }
                                             }
                                         }
                                     }
@@ -333,6 +346,8 @@ mod tests {
             "qdepth=0",
             "qdepth=128",
             "entries",
+            "sim=fast",
+            "sim=sampled:512:0:8192",
         ] {
             assert!(ParamGrid::parse(bad).is_err(), "accepted {bad:?}");
         }

@@ -152,6 +152,7 @@ mod tests {
             cores: 1,
             seed: 0,
             scale: RunScale::quick(),
+            sim: mallacc::SimMode::Full,
         }
     }
 

@@ -3,7 +3,7 @@
 
 use mallacc::{
     offload_area_um2, AccelConfig, AreaEstimate, MallocSim, Mode, OffloadConfig, RangeKeying,
-    CODE_MODEL_VERSION,
+    SimMode, CODE_MODEL_VERSION,
 };
 use mallacc_jemalloc::JeSim;
 use mallacc_multicore::MulticoreSim;
@@ -141,6 +141,10 @@ pub struct ConfigPoint {
     pub seed: u64,
     /// Run sizing.
     pub scale: RunScale,
+    /// Timing execution mode: full detailed, or sampled under a plan.
+    /// Part of the key — sampled results are estimates, never silently
+    /// interchangeable with full-run numbers.
+    pub sim: SimMode,
 }
 
 impl ConfigPoint {
@@ -186,7 +190,7 @@ impl ConfigPoint {
     /// same simulation code.
     pub fn canonical_string(&self) -> String {
         format!(
-            "v{};accel={};qdepth={};{};substrate={};workload={};cores={};seed={};calls={};warmup={}",
+            "v{};accel={};qdepth={};{};substrate={};workload={};cores={};seed={};calls={};warmup={};sim={}",
             CODE_MODEL_VERSION,
             self.accel.name(),
             self.queue_depth,
@@ -196,7 +200,8 @@ impl ConfigPoint {
             self.cores,
             self.seed,
             self.scale.calls,
-            self.scale.warmup
+            self.scale.warmup,
+            self.sim.canonical_string()
         )
     }
 
@@ -255,6 +260,7 @@ impl ConfigPoint {
             let run = |mode: Mode| {
                 let mut stream = scenario.stream(self.cores, requests, self.seed);
                 let totals = MulticoreSim::new(mode, self.cores)
+                    .with_sim(self.sim)
                     .run_stream(&mut stream)
                     .aggregate();
                 (totals.malloc_cycles + totals.free_cycles) as f64
@@ -275,7 +281,10 @@ impl ConfigPoint {
             let calls_per_core = (self.scale.calls / self.cores).max(40);
             let trace = MtTrace::scaled(w, self.cores, calls_per_core, self.seed);
             let run = |mode: Mode| {
-                let totals = MulticoreSim::new(mode, self.cores).run(&trace).aggregate();
+                let totals = MulticoreSim::new(mode, self.cores)
+                    .with_sim(self.sim)
+                    .run(&trace)
+                    .aggregate();
                 (totals.malloc_cycles + totals.free_cycles) as f64
             };
             (run(Mode::Baseline), run(accel))
@@ -287,15 +296,24 @@ impl ConfigPoint {
                 let s = measure.replay_on(sim);
                 s.allocator_cycles()
             };
+            let plan = self.sim.plan();
             match self.substrate {
-                Substrate::TcMalloc => (
-                    run(&mut MallocSim::new(Mode::Baseline)),
-                    run(&mut MallocSim::new(accel)),
-                ),
-                Substrate::JeMalloc => (
-                    run(&mut JeSim::new(Mode::Baseline)),
-                    run(&mut JeSim::new(accel)),
-                ),
+                Substrate::TcMalloc => {
+                    let run_tc = |mode: Mode| {
+                        let mut sim = MallocSim::new(mode);
+                        sim.set_sampling(plan);
+                        run(&mut sim)
+                    };
+                    (run_tc(Mode::Baseline), run_tc(accel))
+                }
+                Substrate::JeMalloc => {
+                    let run_je = |mode: Mode| {
+                        let mut sim = JeSim::new(mode);
+                        sim.set_sampling(plan);
+                        run(&mut sim)
+                    };
+                    (run_je(Mode::Baseline), run_je(accel))
+                }
             }
         };
         self.result_from(base_cycles, accel_cycles)
@@ -379,6 +397,7 @@ mod tests {
             cores: 1,
             seed: 0,
             scale: RunScale::quick(),
+            sim: SimMode::Full,
         }
     }
 
@@ -430,6 +449,10 @@ mod tests {
             ConfigPoint { seed: 1, ..point() },
             ConfigPoint {
                 scale: RunScale::full(),
+                ..point()
+            },
+            ConfigPoint {
+                sim: SimMode::sampled_default(),
                 ..point()
             },
         ];

@@ -57,6 +57,7 @@ const AXES: &[AxisAccessor] = &[
     ("prefetch", |p| on_off(p.prefetch)),
     ("index", |p| on_off(p.index_opt)),
     ("sampling", |p| on_off(p.sampling)),
+    ("sim", |p| p.sim.canonical_string()),
     ("substrate", |p| p.substrate.name().to_string()),
     ("workload", |p| p.workload.clone()),
     ("cores", |p| p.cores.to_string()),
@@ -64,6 +65,16 @@ const AXES: &[AxisAccessor] = &[
 
 fn on_off(b: bool) -> String {
     (if b { "on" } else { "off" }).to_string()
+}
+
+/// Compact sim-mode cell: "full", or "smpl" for sampled modes (the
+/// exact cadence is in the JSON export; the table just has to make
+/// sampled estimates visually distinct from full-run numbers).
+fn sim_label(p: &ConfigPoint) -> String {
+    match p.sim {
+        mallacc::SimMode::Full => "full".to_string(),
+        mallacc::SimMode::Sampled(_) => "smpl".to_string(),
+    }
 }
 
 impl SweepReport {
@@ -157,7 +168,7 @@ impl SweepReport {
     pub fn render(&self) -> String {
         let mut t = Table::new(&[
             "workload", "sub", "cores", "accel", "qd", "entries", "xlat", "idx", "pf", "smp",
-            "impr", "area um2", "",
+            "sim", "impr", "area um2", "",
         ]);
         for (i, (p, r)) in self.points.iter().zip(&self.results).enumerate() {
             let mark = if self.knee == Some(i) {
@@ -178,6 +189,7 @@ impl SweepReport {
                 on_off(p.index_opt),
                 on_off(p.prefetch),
                 on_off(p.sampling),
+                sim_label(p),
                 format!("{:.1}%", r.improvement_pct),
                 format!("{:.0}", r.area_um2),
                 mark.to_string(),
@@ -251,6 +263,7 @@ impl SweepReport {
                     ("index", p.index_opt.into()),
                     ("prefetch", p.prefetch.into()),
                     ("sampling", p.sampling.into()),
+                    ("sim", p.sim.canonical_string().into()),
                     ("seed", p.seed.into()),
                     ("result", r.to_json()),
                 ])
@@ -335,6 +348,7 @@ mod tests {
                 cores: 1,
                 seed: 0,
                 scale: RunScale::quick(),
+                sim: mallacc::SimMode::Full,
             })
             .collect();
         let results: Vec<PointResult> = points

@@ -10,7 +10,7 @@
 //! any number of worker threads and reassemble the result in enumeration
 //! order: reports are byte-identical for every `--jobs` value.
 
-use mallacc::Mode;
+use mallacc::{Mode, SimMode};
 use mallacc_multicore::{latency_sinks, take_latencies, MulticoreSim};
 use mallacc_stats::Cdf;
 
@@ -59,6 +59,11 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Worker threads for the cell sweep (≥ 1). Output-invariant.
     pub jobs: usize,
+    /// Timing execution mode of every cell's cores: full detailed, or
+    /// sampled under a plan. A sweep axis like the rest — sampled cells
+    /// report extrapolated cycle totals, everything functional is
+    /// unchanged.
+    pub sim: SimMode,
 }
 
 impl FleetConfig {
@@ -71,6 +76,7 @@ impl FleetConfig {
             weak_requests_per_core: 24,
             seed,
             jobs,
+            sim: SimMode::Full,
         }
     }
 
@@ -83,6 +89,7 @@ impl FleetConfig {
             weak_requests_per_core: 96,
             seed,
             jobs,
+            sim: SimMode::Full,
         }
     }
 
@@ -192,9 +199,16 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Runs one mode of a cell and distils the measurements.
-fn measure(mode: Mode, scenario: &Scenario, cores: usize, requests: u64, seed: u64) -> RunMeasure {
+fn measure(
+    mode: Mode,
+    sim_mode: SimMode,
+    scenario: &Scenario,
+    cores: usize,
+    requests: u64,
+    seed: u64,
+) -> RunMeasure {
     let mut stream = scenario.stream(cores, requests, seed);
-    let sim = MulticoreSim::new(mode, cores);
+    let sim = MulticoreSim::new(mode, cores).with_sim(sim_mode);
     let (res, sinks) = sim.run_stream_with_sinks(&mut stream, latency_sinks(cores));
     assert_eq!(
         stream.requests_issued(),
@@ -248,8 +262,15 @@ fn run_cell(
         cores,
         scaling,
         requests,
-        base: measure(Mode::Baseline, scenario, cores, requests, seed),
-        accel: measure(Mode::mallacc_default(), scenario, cores, requests, seed),
+        base: measure(Mode::Baseline, config.sim, scenario, cores, requests, seed),
+        accel: measure(
+            Mode::mallacc_default(),
+            config.sim,
+            scenario,
+            cores,
+            requests,
+            seed,
+        ),
     }
 }
 
@@ -323,6 +344,7 @@ mod tests {
             weak_requests_per_core: 8,
             seed: 42,
             jobs: 1,
+            sim: mallacc::SimMode::Full,
         }
     }
 

@@ -43,6 +43,7 @@
 //!     weak_requests_per_core: 8,
 //!     seed: 42,
 //!     jobs: 2,
+//!     sim: mallacc::SimMode::Full,
 //! };
 //! let r = run_fleet(&cfg);
 //! assert_eq!(r.cells.len(), 4);

@@ -185,6 +185,7 @@ mod tests {
             weak_requests_per_core: 8,
             seed: 7,
             jobs: 2,
+            sim: mallacc::SimMode::Full,
         })
     }
 

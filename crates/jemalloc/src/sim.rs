@@ -122,6 +122,14 @@ impl JeSim {
         }
     }
 
+    /// Switches the timing engine between full detailed execution
+    /// (`None`) and sampled execution under `plan` — the same axis the
+    /// tcmalloc-substrate simulator exposes. Purely a timing-fidelity
+    /// knob: the functional allocator and malloc cache are unaffected.
+    pub fn set_sampling(&mut self, plan: Option<mallacc_ooo::SamplingPlan>) {
+        self.cpu.set_sampling(plan);
+    }
+
     /// The functional allocator.
     pub fn allocator(&self) -> &JeMalloc {
         &self.alloc

@@ -17,7 +17,7 @@
 //! across host thread schedules: nothing a core computes during an epoch
 //! depends on any other core's progress through it.
 
-use mallacc::{CallRecord, MallocCacheStats, MallocSim, Mode, SimTotals, TraceSink};
+use mallacc::{CallRecord, MallocCacheStats, MallocSim, Mode, SimMode, SimTotals, TraceSink};
 use mallacc_cache::{Addr, CacheStats, SharedL3};
 use mallacc_tcmalloc::TcMallocConfig;
 use mallacc_workloads::{MtOp, MtTrace};
@@ -54,6 +54,7 @@ pub struct MulticoreSim {
     cores: usize,
     epoch_events: usize,
     alloc_config: TcMallocConfig,
+    sim: SimMode,
 }
 
 /// One core's share of a run.
@@ -189,6 +190,7 @@ impl MulticoreSim {
             cores,
             epoch_events: DEFAULT_EPOCH_EVENTS,
             alloc_config: TcMallocConfig::default(),
+            sim: SimMode::Full,
         }
     }
 
@@ -206,6 +208,16 @@ impl MulticoreSim {
     /// Overrides the functional allocator's configuration.
     pub fn with_alloc_config(mut self, config: TcMallocConfig) -> Self {
         self.alloc_config = config;
+        self
+    }
+
+    /// Selects full detailed or sampled execution for every core's
+    /// timing replay. Sampling is a pure timing-fidelity axis: the
+    /// functional allocator, epoch interleaving and L3 sharing are
+    /// unchanged, each core merely extrapolates its cycle totals from
+    /// the plan's measured windows.
+    pub fn with_sim(mut self, sim: SimMode) -> Self {
+        self.sim = sim;
         self
     }
 
@@ -292,6 +304,7 @@ impl MulticoreSim {
             .enumerate()
             .map(|(core, stream)| {
                 let mut sim = MallocSim::new(self.mode);
+                sim.set_sampling(self.sim.plan());
                 sim.memory_mut().set_l3_logging(true);
                 if let Some(sink) = sink_slots[core].take() {
                     sim.attach_tracer(sink);

@@ -1,9 +1,10 @@
 //! The out-of-order dataflow scheduling engine.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use mallacc_cache::{AccessKind, AccessResult, Hierarchy};
 
+use crate::sample::{Phase, Sampler, SamplingPlan, SamplingReport, FF_SCALE};
 use crate::trace::{Component, OpMeta, StallBreakdown, StallReason, TraceSink, UopEvent};
 use crate::uop::{OpKind, Reg, Uop};
 
@@ -13,35 +14,141 @@ pub const LOAD_PORTS: usize = 2;
 /// Store-data ports per cycle (Haswell: port 4).
 pub const STORE_PORTS: usize = 1;
 
+/// Slots in a [`PortTracker`] ring. Must exceed the scan window: issue
+/// scans start at most 1000 cycles behind the watermark and never travel
+/// past it by more than one cycle (a slot beyond the watermark has never
+/// been filled), so live occupancy spans under 1002 distinct cycles.
+const PORT_RING: usize = 2_048;
+
 /// Tracks a per-cycle issue-port budget (Haswell: [`LOAD_PORTS`] load
 /// ports, [`STORE_PORTS`] store port). Finds the earliest cycle at or
 /// after `ready` with spare capacity.
-#[derive(Debug, Default)]
+///
+/// Cycle-tagged ring buffer: slot `cycle % PORT_RING` holds the count for
+/// `cycle` iff its tag matches; a mismatched tag reads as zero. Writes at
+/// cycle `c` make any later touch of `c - PORT_RING` impossible (scans
+/// start at `watermark - 1000` and the watermark is monotone), so stale
+/// tags are never misread — this is exactly the dense-window semantics of
+/// a map pruned far behind the frontier, without per-access hashing.
+#[derive(Debug)]
 struct PortTracker {
-    used: HashMap<u64, u8>,
+    tags: Vec<u64>,
+    counts: Vec<u8>,
     watermark: u64,
+}
+
+impl Default for PortTracker {
+    fn default() -> Self {
+        Self {
+            tags: vec![0; PORT_RING],
+            counts: vec![0; PORT_RING],
+            watermark: 0,
+        }
+    }
 }
 
 impl PortTracker {
     fn issue_at(&mut self, ready: u64, cap: u8) -> u64 {
         let mut cycle = ready.max(self.watermark.saturating_sub(1_000));
         loop {
-            let c = self.used.entry(cycle).or_insert(0);
-            if *c < cap {
-                *c += 1;
+            let slot = (cycle % PORT_RING as u64) as usize;
+            if self.tags[slot] != cycle {
+                self.tags[slot] = cycle;
+                self.counts[slot] = 1;
+                break;
+            }
+            if self.counts[slot] < cap {
+                self.counts[slot] += 1;
                 break;
             }
             cycle += 1;
         }
-        // Keep the map bounded: drop entries far behind the frontier.
         if cycle > self.watermark {
             self.watermark = cycle;
-            if self.used.len() > 4_096 {
-                let cutoff = self.watermark.saturating_sub(2_000);
-                self.used.retain(|&k, _| k >= cutoff);
-            }
         }
         cycle
+    }
+}
+
+/// Key marking an empty [`LineMap`] slot. Unreachable as a real key:
+/// keys are cache-line numbers (`addr >> DEP_LINE_SHIFT`), which cannot
+/// exceed `u64::MAX >> 6`.
+const LINE_EMPTY: u64 = u64::MAX;
+
+/// Open-addressed cache-line → completion-cycle map for store→load
+/// forwarding. Exactly a hash map specialised to `u64` keys: the std map's
+/// DoS-resistant hashing was the simulator's dispatch hot spot, and store
+/// forwarding needs neither resistance nor removal.
+#[derive(Debug)]
+struct LineMap {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    len: usize,
+}
+
+impl Default for LineMap {
+    fn default() -> Self {
+        Self {
+            keys: vec![LINE_EMPTY; 1_024],
+            vals: vec![0; 1_024],
+            len: 0,
+        }
+    }
+}
+
+impl LineMap {
+    /// Fibonacci-hash start slot; the table size is a power of two.
+    fn slot(&self, key: u64) -> usize {
+        let shift = 64 - self.keys.len().trailing_zeros();
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        let mask = self.keys.len() - 1;
+        let mut i = self.slot(key);
+        loop {
+            match self.keys[i] {
+                k if k == key => return Some(self.vals[i]),
+                LINE_EMPTY => return None,
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, val: u64) {
+        debug_assert_ne!(key, LINE_EMPTY);
+        let mask = self.keys.len() - 1;
+        let mut i = self.slot(key);
+        loop {
+            match self.keys[i] {
+                k if k == key => {
+                    self.vals[i] = val;
+                    return;
+                }
+                LINE_EMPTY => break,
+                _ => i = (i + 1) & mask,
+            }
+        }
+        self.keys[i] = key;
+        self.vals[i] = val;
+        self.len += 1;
+        if self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![LINE_EMPTY; 0]);
+        let old_vals = std::mem::take(&mut self.vals);
+        let cap = old_keys.len() * 2;
+        self.keys = vec![LINE_EMPTY; cap];
+        self.vals = vec![0; cap];
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != LINE_EMPTY {
+                self.insert(k, v);
+            }
+        }
     }
 }
 
@@ -191,17 +298,22 @@ pub struct Engine {
     last_commit: u64,
     /// Completion time of the most recent store to each cache line, for
     /// store→load memory dependencies (forwarding).
-    store_complete: HashMap<u64, u64>,
+    store_complete: LineMap,
     load_ports: PortTracker,
     store_ports: PortTracker,
     stats: CoreStats,
     cpi: CpiStack,
+    /// Cycles explicitly skipped via [`Engine::skip_to_cycle`] (never
+    /// attributed to the CPI stack).
+    skipped: u64,
     /// Ambient component tag stamped on every event (set by the driver).
     component: Component,
     /// Retirement sequence counter for trace events.
     retired: u64,
     /// Optional observability sink; `None` costs nothing per µop.
     sink: Option<Box<dyn TraceSink>>,
+    /// Sampled-execution controller; `None` runs everything detailed.
+    sampling: Option<Sampler>,
 }
 
 /// Cache-line granularity used for memory dependence tracking.
@@ -222,14 +334,16 @@ impl Engine {
             commit_cycle: 0,
             committed_this_cycle: 0,
             last_commit: 0,
-            store_complete: HashMap::new(),
+            store_complete: LineMap::default(),
             load_ports: PortTracker::default(),
             store_ports: PortTracker::default(),
             stats: CoreStats::default(),
             cpi: CpiStack::default(),
+            skipped: 0,
             component: Component::App,
             retired: 0,
             sink: None,
+            sampling: None,
         }
     }
 
@@ -275,18 +389,47 @@ impl Engine {
         self.stats
     }
 
-    /// The retirement-side CPI stack accumulated so far.
+    /// The retirement-side CPI stack accumulated so far. In sampled mode
+    /// the fast-forwarded slices are included (extrapolated at the last
+    /// measured window's rates), so `total() + skipped_cycles() == now()`
+    /// holds in every mode.
     pub fn cpi_stack(&self) -> CpiStack {
         self.cpi
     }
 
+    /// Cycles explicitly skipped via [`Engine::skip_to_cycle`].
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Switches between full detailed execution (`None`) and sampled
+    /// execution under `plan`. Resets any previous sampling state; the
+    /// timing/CPI state accumulated so far is kept.
+    pub fn set_sampling(&mut self, plan: Option<SamplingPlan>) {
+        self.flush_ff();
+        self.sampling = plan.map(Sampler::new);
+    }
+
+    /// The sampling plan in force, if any.
+    pub fn sampling_plan(&self) -> Option<SamplingPlan> {
+        self.sampling.as_ref().map(|s| s.plan)
+    }
+
+    /// The sampled run's measurement report: closed windows, warmup and
+    /// fast-forward totals. `None` unless sampling is enabled.
+    pub fn sampling_report(&self) -> Option<SamplingReport> {
+        self.sampling.as_ref().map(|s| s.report())
+    }
+
     /// Installs an observability sink. Replaces any existing sink.
     pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.flush_ff();
         self.sink = Some(sink);
     }
 
     /// Removes and returns the installed sink, if any.
     pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.flush_ff();
         self.sink.take()
     }
 
@@ -308,6 +451,7 @@ impl Engine {
     /// Notifies the sink that an operation window opens at the current
     /// retirement cycle. No-op without a sink.
     pub fn trace_op_begin(&mut self) {
+        self.flush_ff();
         let now = self.last_commit;
         if let Some(sink) = &mut self.sink {
             sink.on_op_begin(now);
@@ -317,8 +461,34 @@ impl Engine {
     /// Notifies the sink that an operation window closed. No-op without a
     /// sink.
     pub fn trace_op_end(&mut self, op: &OpMeta<'_>) {
+        self.flush_ff();
         if let Some(sink) = &mut self.sink {
             sink.on_op_end(op);
+        }
+    }
+
+    /// Closes a pending fast-forward region: re-syncs the pipeline
+    /// bookkeeping to the fast-forwarded time (exactly as an explicit time
+    /// skip would) and delivers the batched sink notification.
+    fn flush_ff(&mut self) {
+        let Some(s) = self.sampling.as_mut() else {
+            return;
+        };
+        let Some((uops, from)) = s.pending_ff.take() else {
+            return;
+        };
+        let to = self.last_commit;
+        if to > self.fetch_cycle {
+            self.fetch_cycle = to;
+            self.fetched_this_cycle = 0;
+        }
+        self.fetch_barrier = self.fetch_barrier.max(to);
+        if to > self.commit_cycle {
+            self.commit_cycle = to;
+            self.committed_this_cycle = 0;
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.on_fast_forward(uops, from, to);
         }
     }
 
@@ -354,10 +524,120 @@ impl Engine {
 
     /// Pushes the next µop in program order and returns its timing.
     ///
+    /// Without sampling (or under a degenerate plan) every µop runs
+    /// through the detailed pipeline model. Under a non-degenerate
+    /// [`SamplingPlan`] the µop is dispatched by phase: detailed for
+    /// warmup and measured windows, functional fast-forward otherwise.
+    ///
     /// # Panics
     ///
     /// Panics if the µop names a register that was never allocated.
     pub fn push(&mut self, uop: Uop) -> UopTiming {
+        let Some(s) = self.sampling.as_mut() else {
+            return self.push_detailed(uop);
+        };
+        if s.plan.is_degenerate() {
+            return self.push_detailed(uop);
+        }
+        match s.next_phase() {
+            Phase::Warmup => {
+                self.flush_ff();
+                self.push_detailed(uop)
+            }
+            Phase::Measured { closes } => {
+                self.flush_ff();
+                let cpi = self.cpi;
+                let s = self.sampling.as_mut().expect("sampler in force");
+                if !s.window_open {
+                    s.open_window(cpi);
+                }
+                let t = self.push_detailed(uop);
+                if closes {
+                    let cpi = self.cpi;
+                    self.sampling
+                        .as_mut()
+                        .expect("sampler in force")
+                        .close_window(cpi);
+                }
+                t
+            }
+            Phase::FastForward => self.push_ff(uop),
+        }
+    }
+
+    /// The functional fast-forward path: performs every memory access (so
+    /// cache, TLB and store-forwarding state stay bit-identical to a full
+    /// run) and updates execution statistics and dataflow bookkeeping, but
+    /// skips all ROB/port/fetch/stall modelling. Simulated time advances
+    /// at the last measured window's per-slice CPI rates.
+    fn push_ff(&mut self, uop: Uop) -> UopTiming {
+        self.stats.uops += 1;
+        let mut mem = None;
+        match uop.kind {
+            OpKind::Alu { .. } => {}
+            OpKind::Load { addr } => {
+                self.stats.loads += 1;
+                mem = Some(self.mem.access(addr, AccessKind::Read));
+            }
+            OpKind::Store { addr } => {
+                self.stats.stores += 1;
+                mem = Some(self.mem.access(addr, AccessKind::Write));
+                // No store_complete insert: a fast-forwarded store completes
+                // at the commit clock, and flush_ff raises the next detailed
+                // µop's fetch cycle past that clock before any load can look
+                // the line up — the entry could never raise a ready time, so
+                // probing the (large, host-cache-hostile) table here is pure
+                // overhead.
+            }
+            OpKind::Prefetch { addr } => {
+                self.stats.prefetches += 1;
+                mem = Some(self.mem.access(addr, AccessKind::Prefetch));
+            }
+            OpKind::Branch { mispredicted, .. } => {
+                self.stats.branches += 1;
+                if mispredicted {
+                    self.stats.mispredicts += 1;
+                }
+            }
+        }
+        let prev = self.last_commit;
+        let s = self.sampling.as_mut().expect("ff requires a sampler");
+        let mut adv = [0u64; 4];
+        for ((accum, rate), out) in s.ff_accum.iter_mut().zip(s.ff_rate).zip(adv.iter_mut()) {
+            *accum += rate;
+            *out = *accum / FF_SCALE;
+            *accum %= FF_SCALE;
+        }
+        let advance: u64 = adv.iter().sum();
+        s.ff_uops += 1;
+        s.ff_cycles += advance;
+        match &mut s.pending_ff {
+            Some((n, _)) => *n += 1,
+            p @ None => *p = Some((1, prev)),
+        }
+        // Charge the emitted whole cycles slice by slice, so the CPI stack
+        // keeps summing exactly to attributed time in sampled mode too.
+        self.cpi.base += adv[0];
+        self.cpi.memory += adv[1];
+        self.cpi.execute += adv[2];
+        self.cpi.frontend += adv[3];
+        let now = prev + advance;
+        self.last_commit = now;
+        if let Some(dst) = uop.dst {
+            self.reg_complete[dst.0 as usize] = now;
+        }
+        self.retired += 1;
+        UopTiming {
+            fetch: now,
+            ready: now,
+            complete: now,
+            commit: now,
+            mem,
+        }
+    }
+
+    /// The full detailed pipeline model behind [`Engine::push`].
+    fn push_detailed(&mut self, uop: Uop) -> UopTiming {
         self.stats.uops += 1;
 
         // ROB gating: the window holds at most rob_size µops; fetching a new
@@ -390,7 +670,7 @@ impl Engine {
                 self.stats.loads += 1;
                 // Memory dependence: a load cannot see data before the last
                 // store to its line has produced it (forwarding).
-                if let Some(&s) = self.store_complete.get(&(addr >> DEP_LINE_SHIFT)) {
+                if let Some(s) = self.store_complete.get(addr >> DEP_LINE_SHIFT) {
                     ready = ready.max(s);
                 }
                 let issue = self.load_ports.issue_at(ready, LOAD_PORTS as u8);
@@ -528,6 +808,7 @@ impl Engine {
     /// Advances fetch to at least `cycle` (models time passing between
     /// allocator calls while the application runs).
     pub fn skip_to_cycle(&mut self, cycle: u64) {
+        self.flush_ff();
         let from = self.last_commit;
         if cycle > self.fetch_cycle {
             self.fetch_cycle = cycle;
@@ -541,6 +822,7 @@ impl Engine {
         }
         let to = self.last_commit;
         if to > from {
+            self.skipped += to - from;
             if let Some(sink) = &mut self.sink {
                 sink.on_skip(from, to);
             }
@@ -877,6 +1159,129 @@ mod tests {
         );
         assert!(b.get(StallReason::MemDram) > 0, "cold miss charges DRAM");
         assert_eq!(b.total(), cpu.now());
+    }
+
+    /// A long, statistically stationary µop stream: dependent ALU work,
+    /// strided loads over a bounded working set, stores, branches and the
+    /// occasional mispredict — the shape of allocator fast-path code.
+    fn long_stream(cpu: &mut Engine, n: u64) {
+        let mut prev: Option<Reg> = None;
+        for i in 0..n {
+            let d = cpu.alloc_reg();
+            match i % 13 {
+                0 => {
+                    cpu.push(Uop::load((i % 512) * 64, d, &[]));
+                }
+                1 => {
+                    let srcs: Vec<Reg> = prev.into_iter().collect();
+                    cpu.push(Uop::load((i % 256) * 64 + 0x10_0000, d, &srcs));
+                }
+                2 => {
+                    cpu.push(Uop::store((i % 128) * 64, &[]));
+                }
+                3 => {
+                    cpu.push(Uop::branch(i % 91 == 3, &[]));
+                }
+                _ => {
+                    let srcs: Vec<Reg> = prev.into_iter().collect();
+                    cpu.push(Uop::alu(1 + (i % 3) as u32, Some(d), &srcs));
+                }
+            }
+            if i % 37 == 0 {
+                let now = cpu.now();
+                cpu.skip_to_cycle(now + 25);
+            }
+            prev = Some(d);
+        }
+    }
+
+    #[test]
+    fn degenerate_plan_reproduces_full_run_exactly() {
+        let mut full = engine();
+        long_stream(&mut full, 3_000);
+        let mut sampled = engine();
+        // period <= warmup + detailed: every µop stays detailed.
+        sampled.set_sampling(Some(crate::SamplingPlan::new(64, 64, 128).unwrap()));
+        long_stream(&mut sampled, 3_000);
+        assert_eq!(full.now(), sampled.now());
+        assert_eq!(full.cpi_stack(), sampled.cpi_stack());
+        assert_eq!(full.stats(), sampled.stats());
+        let report = sampled.sampling_report().unwrap();
+        assert_eq!(report.ff_uops, 0, "degenerate plans never fast-forward");
+    }
+
+    #[test]
+    fn sampled_cpi_stack_conserves_elapsed_cycles() {
+        let mut cpu = engine();
+        cpu.set_sampling(Some(crate::SamplingPlan::new(32, 128, 1_024).unwrap()));
+        long_stream(&mut cpu, 20_000);
+        assert_eq!(
+            cpu.cpi_stack().total() + cpu.skipped_cycles(),
+            cpu.now(),
+            "attributed + skipped must cover elapsed time in sampled mode"
+        );
+        let r = cpu.sampling_report().unwrap();
+        assert!(r.ff_uops > 10_000, "most µops must fast-forward: {r:?}");
+        assert!(r.windows.len() >= 15, "every period closes a window");
+        assert_eq!(
+            r.ff_uops + r.warmup_uops + r.measured_uops(),
+            cpu.stats().uops
+        );
+    }
+
+    #[test]
+    fn sampled_execution_statistics_match_full_run() {
+        let mut full = engine();
+        long_stream(&mut full, 20_000);
+        let mut sampled = engine();
+        sampled.set_sampling(Some(crate::SamplingPlan::new(32, 128, 1_024).unwrap()));
+        long_stream(&mut sampled, 20_000);
+        assert_eq!(full.stats(), sampled.stats());
+    }
+
+    #[test]
+    fn sampled_cpi_tracks_full_cpi() {
+        let mut full = engine();
+        long_stream(&mut full, 40_000);
+        let mut sampled = engine();
+        sampled.set_sampling(Some(crate::SamplingPlan::default_plan()));
+        long_stream(&mut sampled, 40_000);
+        let f = full.cpi_stack().total() as f64;
+        let s = sampled.cpi_stack().total() as f64;
+        let err = (s - f).abs() / f;
+        assert!(
+            err < 0.02,
+            "sampled attributed cycles {s} vs full {f}: {:.2}% off",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn sampled_sink_accounting_still_covers_elapsed_time() {
+        let mut cpu = engine();
+        cpu.set_sampling(Some(crate::SamplingPlan::new(16, 64, 512).unwrap()));
+        cpu.set_sink(Box::new(CollectSink::default()));
+        long_stream(&mut cpu, 10_000);
+        let sink = cpu.take_sink().expect("sink installed");
+        let sink = sink.into_any().downcast::<CollectSink>().unwrap();
+        // Fast-forward regions fold into on_skip by default, so the
+        // skip-aware invariant holds under sampling too.
+        assert_eq!(sink.attributed + sink.idle, cpu.now());
+        assert!(sink.events < 10_000, "ff µops must not emit retire events");
+    }
+
+    #[test]
+    fn set_sampling_none_resumes_detailed_execution() {
+        let mut cpu = engine();
+        cpu.set_sampling(Some(crate::SamplingPlan::new(0, 16, 256).unwrap()));
+        long_stream(&mut cpu, 2_000);
+        cpu.set_sampling(None);
+        assert!(cpu.sampling_plan().is_none());
+        let before = cpu.stats().uops;
+        let d = cpu.alloc_reg();
+        let t = cpu.push(Uop::load(0x42_0000, d, &[]));
+        assert!(t.mem.is_some(), "detailed µops carry memory results");
+        assert_eq!(cpu.stats().uops, before + 1);
     }
 
     #[test]

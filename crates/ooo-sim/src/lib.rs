@@ -40,9 +40,11 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod sample;
 pub mod trace;
 mod uop;
 
 pub use engine::{CoreConfig, CoreStats, CpiStack, Engine, UopTiming, LOAD_PORTS, STORE_PORTS};
+pub use sample::{SamplingPlan, SamplingReport, WindowSample};
 pub use trace::{Component, OpMeta, StallBreakdown, StallReason, TraceSink, UopEvent};
 pub use uop::{OpKind, Reg, Uop};

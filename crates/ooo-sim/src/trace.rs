@@ -289,6 +289,16 @@ pub trait TraceSink: Debug + Send {
         let _ = (from, to);
     }
 
+    /// Called once per fast-forward region in a sampled run: `uops` µops
+    /// executed functionally while `to - from` extrapolated cycles
+    /// passed, with no per-µop retirement events. The default treats the
+    /// region as a time skip, which keeps skip-aware sinks' cycle
+    /// accounting (`attributed + idle == now`) intact under sampling.
+    fn on_fast_forward(&mut self, uops: u64, from: u64, to: u64) {
+        let _ = uops;
+        self.on_skip(from, to);
+    }
+
     /// Called when the driver opens an operation window at `cycle`.
     fn on_op_begin(&mut self, cycle: u64) {
         let _ = cycle;

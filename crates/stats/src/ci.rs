@@ -1,0 +1,128 @@
+//! Confidence intervals on sample means.
+//!
+//! The sampled-simulation mode measures CPI over many detailed windows and
+//! extrapolates to the whole run; the SMARTS methodology reports that
+//! extrapolation with a Student-t confidence interval over the window
+//! samples. [`mean_ci95`] is that exact computation, built on the same
+//! [`student_t_cdf`] the paper's Table 2 significance test uses.
+
+use crate::special::student_t_cdf;
+use crate::summary::Summary;
+
+/// A sample mean with its 95 % confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95 % confidence interval (`mean ± half_width`).
+    /// Zero when fewer than two samples or the variance is zero.
+    pub half_width: f64,
+}
+
+impl MeanCi {
+    /// Half-width as a fraction of the mean (0 when the mean is 0).
+    pub fn relative(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Two-sided Student-t quantile: the `x` with `P(T_df <= x) = p`, found by
+/// bisection on [`student_t_cdf`] (monotone, so bisection is exact to the
+/// tolerance).
+///
+/// # Panics
+///
+/// Panics unless `df > 0` and `p` is strictly inside `(0, 1)`.
+pub fn t_quantile(df: f64, p: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "p must be in (0, 1)");
+    let (mut lo, mut hi) = (-1e6, 1e6);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Mean of `samples` with a 95 % Student-t confidence half-width.
+///
+/// With fewer than two samples (or zero variance) the half-width is 0 —
+/// the caller still gets the point estimate.
+pub fn mean_ci95(samples: &[f64]) -> MeanCi {
+    let s = Summary::from_iter(samples.iter().copied());
+    let n = samples.len();
+    if n < 2 {
+        return MeanCi {
+            n,
+            mean: s.mean(),
+            half_width: 0.0,
+        };
+    }
+    let var = s.sample_variance();
+    if var <= 0.0 {
+        return MeanCi {
+            n,
+            mean: s.mean(),
+            half_width: 0.0,
+        };
+    }
+    let se = (var / n as f64).sqrt();
+    let t = t_quantile((n - 1) as f64, 0.975);
+    MeanCi {
+        n,
+        mean: s.mean(),
+        half_width: t * se,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_matches_known_t_values() {
+        // t_{0.975} for a few df values (standard tables).
+        for (df, expect) in [(1.0, 12.706), (4.0, 2.776), (30.0, 2.042)] {
+            let q = t_quantile(df, 0.975);
+            assert!(
+                (q - expect).abs() < 0.01,
+                "t_0.975(df={df}) = {q}, expected {expect}"
+            );
+        }
+        // Symmetry.
+        assert!((t_quantile(7.0, 0.25) + t_quantile(7.0, 0.75)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ci_covers_known_example() {
+        // n=5, mean=10, sd=1 → half-width = 2.776 * 1/sqrt(5) ≈ 1.2417.
+        let samples = [9.0, 9.5, 10.0, 10.5, 11.0];
+        let ci = mean_ci95(&samples);
+        assert_eq!(ci.n, 5);
+        assert!((ci.mean - 10.0).abs() < 1e-12);
+        let sd = 0.7905694150420949; // sample sd of the five points
+        let expect = t_quantile(4.0, 0.975) * sd / 5f64.sqrt();
+        assert!((ci.half_width - expect).abs() < 1e-9, "{ci:?}");
+        assert!(ci.relative() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_zero_width() {
+        assert_eq!(mean_ci95(&[]).half_width, 0.0);
+        assert_eq!(mean_ci95(&[3.0]).mean, 3.0);
+        assert_eq!(mean_ci95(&[3.0]).half_width, 0.0);
+        let flat = mean_ci95(&[2.0, 2.0, 2.0]);
+        assert_eq!(flat.half_width, 0.0);
+        assert_eq!(flat.mean, 2.0);
+    }
+}

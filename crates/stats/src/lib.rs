@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod cdf;
+mod ci;
 mod hist;
 pub mod json;
 pub mod pareto;
@@ -51,6 +52,7 @@ pub mod tol;
 pub mod ttest;
 
 pub use cdf::Cdf;
+pub use ci::{mean_ci95, t_quantile, MeanCi};
 pub use hist::{Bin, LinearHistogram, LogHistogram};
 pub use json::Json;
 pub use pareto::{dominates, knee_index, pareto_frontier};

@@ -17,7 +17,9 @@
 
 use proptest::prelude::*;
 
+use mallacc::SimMode;
 use mallacc_explore::{AccelKind, ConfigPoint, RunScale, Substrate};
+use mallacc_ooo::SamplingPlan;
 
 /// One step of an allocator differential stream (replayed through both
 /// functional allocator models in lockstep).
@@ -77,6 +79,27 @@ pub fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
     prop::collection::vec((0.0f64..10_000.0, -100.0f64..100.0), 0..max_len)
 }
 
+/// Strategy: an arbitrary sampled-execution cadence. Draws warmup,
+/// window, and period from ranges that keep the detailed fraction
+/// meaningful (the window always fits in the period because the period
+/// is drawn as a multiple of `warmup + detailed`), plus an occasional
+/// zero-length startup interval — the degenerate corner the sampling
+/// properties care about most.
+pub fn arb_sampling_plan() -> impl Strategy<Value = SamplingPlan> {
+    (
+        0u64..=512,  // warmup µops (0 is legal: measure cold)
+        1u64..=1024, // detailed window µops
+        1u64..=8,    // period as a multiple of warmup + detailed
+        0u64..=2,    // startup interval, in periods
+    )
+        .prop_map(|(warmup, detailed, factor, startup_periods)| {
+            let period = (warmup + detailed).max(1) * factor;
+            let plan = SamplingPlan::new(warmup, detailed, period)
+                .expect("window and period are non-zero by construction");
+            plan.with_startup(period * startup_periods)
+        })
+}
+
 /// Strategy: an arbitrary sweep configuration point (cheap axes only —
 /// consumers hash and compare these, they never run them).
 pub fn arb_config_point() -> impl Strategy<Value = ConfigPoint> {
@@ -94,12 +117,18 @@ pub fn arb_config_point() -> impl Strategy<Value = ConfigPoint> {
         ),
         0usize..4,
         1usize..=64,
+        prop_oneof![
+            2 => Just(SimMode::Full),
+            1 => Just(SimMode::sampled_default()),
+            1 => arb_sampling_plan().prop_map(SimMode::Sampled),
+        ],
     )
         .prop_map(
             |(
                 (entries, extra_latency, prefetch, index_opt, sampling, je, workload, cores, seed),
                 accel,
                 queue_depth,
+                sim,
             )| {
                 ConfigPoint {
                     entries,
@@ -118,6 +147,7 @@ pub fn arb_config_point() -> impl Strategy<Value = ConfigPoint> {
                     cores,
                     seed,
                     scale: RunScale::quick(),
+                    sim,
                 }
             },
         )
@@ -210,10 +240,30 @@ mod tests {
     #[test]
     fn config_points_are_valid_and_hashable() {
         let s = arb_config_point();
+        let mut saw_sampled = false;
         for seed in 0..40 {
             let p = sample(&s, seed);
             assert!(p.entries >= 1);
             assert_eq!(p.key(), p.clone().key());
+            saw_sampled |= p.sim != SimMode::Full;
         }
+        assert!(saw_sampled, "sampled sim modes must be drawn sometimes");
+    }
+
+    #[test]
+    fn sampling_plans_are_well_formed_and_round_trip() {
+        let s = arb_sampling_plan();
+        let mut saw_degenerate = false;
+        for seed in 0..80 {
+            let p = sample(&s, seed);
+            assert!(p.detailed_uops >= 1);
+            assert!(p.period >= 1);
+            assert_eq!(SamplingPlan::parse(&p.canonical_string()), Ok(p));
+            saw_degenerate |= p.warmup_uops + p.detailed_uops >= p.period;
+        }
+        assert!(
+            saw_degenerate,
+            "degenerate (everything-detailed) plans must be drawn sometimes"
+        );
     }
 }

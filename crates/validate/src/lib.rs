@@ -43,9 +43,14 @@ pub mod offload;
 pub mod oracle;
 pub mod program;
 pub mod refspec;
+pub mod sample;
 
 pub use laws::{LawId, LawReport, LawViolation};
 pub use offload::{offload_fuzz_slot, OffloadDivergence, OffloadFuzzReport};
 pub use oracle::{Band, KernelId, KernelOutcome};
 pub use program::{Coverage, CoverageEvent, Divergence, FuzzReport, McOp, McProgram};
 pub use refspec::RefMallocCache;
+pub use sample::{
+    sample_fuzz_slot, sampled_kernel_outcomes, SampleDivergence, SampleFuzzReport,
+    SampledKernelOutcome,
+};

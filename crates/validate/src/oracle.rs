@@ -20,7 +20,7 @@
 //! regenerated around it.
 
 use mallacc_cache::{Hierarchy, HierarchyConfig};
-use mallacc_ooo::{CoreConfig, Engine, Reg, Uop, LOAD_PORTS, STORE_PORTS};
+use mallacc_ooo::{CoreConfig, Engine, Reg, SamplingPlan, Uop, LOAD_PORTS, STORE_PORTS};
 use mallacc_stats::tol;
 
 /// ALU latency used by the dependent-chain kernel (an IMUL-class op).
@@ -172,10 +172,19 @@ impl KernelId {
     /// Runs `n` iterations of the kernel on a fresh engine and returns the
     /// commit cycle of the last µop.
     pub fn simulate(self, n: u64) -> u64 {
+        self.simulate_with(n, None)
+    }
+
+    /// Runs `n` iterations under an optional sampling plan. With a plan,
+    /// the returned commit cycle is the sampled run's *extrapolated*
+    /// clock — the quantity the sampled-vs-full differential
+    /// ([`crate::sample`]) gates against the full run.
+    pub fn simulate_with(self, n: u64, plan: Option<SamplingPlan>) -> u64 {
         let mut cpu = Engine::new(
             self.core_config(),
             Hierarchy::new(HierarchyConfig::haswell()),
         );
+        cpu.set_sampling(plan);
         match self {
             KernelId::AluStream | KernelId::CommitWidthBound => {
                 let mut last = 0;

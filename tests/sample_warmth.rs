@@ -1,0 +1,157 @@
+//! State-warmth checks for sampled execution: after fast-forwarding
+//! through most of a workload trace, the *functional* machine state —
+//! the tcmalloc heap, the malloc-cache contents, and the branch
+//! counters — must be bit-identical to what full detailed execution
+//! leaves behind. Fast-forwarding only skips timing, never effects.
+//!
+//! The cache hierarchy is the one deliberate exception: fast-forwarded
+//! µops still probe and fill the caches (that is what keeps the next
+//! measured window honest), but timing-side accesses such as store
+//! completion are elided, so its state is required to be *warm* — hit
+//! rates within a few points of the full run — not bit-identical.
+
+use mallacc::{MallocSim, Mode, SamplingPlan};
+use mallacc_tcmalloc::TcMalloc;
+use mallacc_workloads::AnyWorkload;
+
+/// An aggressive cadence: 128-µop warmup, 256-µop window, 4096-µop
+/// period — roughly 90 % of steady-state µops fast-forwarded, so any
+/// state the fast-forward path failed to maintain would be glaring.
+fn aggressive_plan() -> SamplingPlan {
+    SamplingPlan::new(128, 256, 4_096)
+        .expect("static plan is valid")
+        .with_startup(512)
+}
+
+/// Replays `workload` through a fresh simulator, full or sampled.
+fn replay(workload: &str, mode: Mode, plan: Option<SamplingPlan>) -> MallocSim {
+    let trace = AnyWorkload::by_name(workload)
+        .expect("test workloads exist")
+        .trace(2_000, 7);
+    let mut sim = MallocSim::new(mode);
+    sim.set_sampling(plan);
+    trace.replay(&mut sim);
+    sim
+}
+
+/// Every piece of functional heap state the allocator exposes, pulled
+/// into one comparable value: global stats, live/free block counts, the
+/// thread-cache byte total, and the exact contents of every per-class
+/// free list (head identity and order matter — the malloc-cache list
+/// heads mirror them).
+fn heap_fingerprint(alloc: &TcMalloc) -> (mallacc_tcmalloc::AllocStats, usize, u64, Vec<String>) {
+    let lists = alloc
+        .size_classes()
+        .iter()
+        .map(|(cls, _)| {
+            format!(
+                "{cls}: tc={:?} transfer={} central={} carved={} live={} free={}",
+                alloc.free_list_blocks_on(0, cls),
+                alloc.transfer_len(cls),
+                alloc.central_len(cls),
+                alloc.carved_objects(cls),
+                alloc.live_blocks_of(cls),
+                alloc.free_blocks_of(cls),
+            )
+        })
+        .collect();
+    (
+        alloc.stats(),
+        alloc.live_blocks(),
+        alloc.thread_cache_bytes(),
+        lists,
+    )
+}
+
+#[test]
+fn heap_state_after_fast_forward_is_bit_identical() {
+    for workload in ["400.perlbench", "masstree.wcol1", "xapian.pages"] {
+        let full = replay(workload, Mode::Baseline, None);
+        let sampled = replay(workload, Mode::Baseline, Some(aggressive_plan()));
+
+        let report = sampled.sampling_report().expect("sampling installed");
+        assert!(
+            report.ff_uops > sampled.engine().stats().uops / 2,
+            "{workload}: plan too tame — most µops must be fast-forwarded \
+             for this check to mean anything"
+        );
+        assert_eq!(
+            heap_fingerprint(full.allocator()),
+            heap_fingerprint(sampled.allocator()),
+            "{workload}: heap state diverged across fast-forward"
+        );
+    }
+}
+
+#[test]
+fn malloc_cache_state_after_fast_forward_is_bit_identical() {
+    for workload in ["465.tonto", "masstree.same"] {
+        let full = replay(workload, Mode::mallacc_default(), None);
+        let sampled = replay(workload, Mode::mallacc_default(), Some(aggressive_plan()));
+
+        // `blocked_cycles` is a timing statistic (stall cycles charged
+        // while a popped next pointer was still in flight), so it is
+        // allowed to differ between the two clocks; every functional
+        // counter — hits, misses, inserts, prefetches — must not.
+        let functional = |sim: &MallocSim| {
+            let mut s = sim.malloc_cache().stats();
+            s.blocked_cycles = 0;
+            s
+        };
+        assert_eq!(
+            functional(&full),
+            functional(&sampled),
+            "{workload}: malloc-cache hit/miss history diverged across fast-forward"
+        );
+        assert_eq!(
+            full.malloc_cache().occupancy(),
+            sampled.malloc_cache().occupancy(),
+            "{workload}: malloc-cache occupancy diverged across fast-forward"
+        );
+    }
+}
+
+#[test]
+fn branch_history_after_fast_forward_is_bit_identical() {
+    for workload in ["471.omnetpp", "xapian.abstracts"] {
+        let full = replay(workload, Mode::Baseline, None);
+        let sampled = replay(workload, Mode::Baseline, Some(aggressive_plan()));
+        let (f, s) = (full.engine().stats(), sampled.engine().stats());
+        assert!(f.branches > 0, "{workload}: trace must exercise branches");
+        assert_eq!(
+            (f.branches, f.mispredicts),
+            (s.branches, s.mispredicts),
+            "{workload}: branch history diverged across fast-forward"
+        );
+    }
+}
+
+#[test]
+fn caches_stay_warm_across_fast_forward() {
+    for workload in ["483.xalancbmk", "masstree.wcol1"] {
+        let full = replay(workload, Mode::Baseline, None);
+        let sampled = replay(workload, Mode::Baseline, Some(aggressive_plan()));
+
+        let (fl1, fl2, fl3) = full.memory().stats();
+        let (sl1, sl2, sl3) = sampled.memory().stats();
+        for (level, f, s) in [("L1", fl1, sl1), ("L2", fl2, sl2), ("L3", fl3, sl3)] {
+            assert!(
+                s.hits + s.misses > 0,
+                "{workload}: {level} never touched under sampling — fast-forward \
+                 stopped warming the hierarchy"
+            );
+            // Warm, not bit-identical: the fast-forward path elides
+            // timing-side accesses (store completion), so rates may
+            // drift a few points — never collapse.
+            let drift = (f.hit_rate() - s.hit_rate()).abs();
+            assert!(
+                drift < 0.05,
+                "{workload}: {level} hit rate drifted {:.1} points across \
+                 fast-forward (full {:.3}, sampled {:.3})",
+                100.0 * drift,
+                f.hit_rate(),
+                s.hit_rate()
+            );
+        }
+    }
+}
