@@ -1,0 +1,44 @@
+//! Criterion benchmark of the allocator substrates: end-to-end simulated
+//! call throughput of every `SubstrateKind` through [`AnySim`], baseline
+//! and Mallacc-accelerated, on a pinned single-core workload.
+//!
+//! The fixture is pinned — workload, call count and seed never change —
+//! so numbers are comparable across commits; `BENCH_substrate.json` at
+//! the repo root holds the committed baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mallacc::Mode;
+use mallacc_substrate::{AnySim, SubstrateKind};
+use mallacc_workloads::AnyWorkload;
+
+/// The pinned fixture: the thread-cache ping-pong microbenchmark, small
+/// enough to stay hot and large enough to exercise every fast path.
+const WORKLOAD: &str = "tp_small";
+const CALLS: usize = 2_000;
+const SEED: u64 = 42;
+
+/// Simulated allocator calls per second on every substrate, with and
+/// without the malloc cache.
+fn substrate_throughput(c: &mut Criterion) {
+    let workload = AnyWorkload::by_name(WORKLOAD).expect("pinned workload exists");
+    let trace = workload.trace(CALLS, SEED);
+    let mut g = c.benchmark_group("substrate/simulated_calls");
+    g.throughput(Throughput::Elements(CALLS as u64));
+    for kind in SubstrateKind::ALL {
+        for (mode_name, mode) in [
+            ("baseline", Mode::Baseline),
+            ("mallacc", Mode::mallacc_default()),
+        ] {
+            g.bench_function(&format!("{}/{mode_name}", kind.name()), |b| {
+                b.iter(|| {
+                    let mut sim = AnySim::new(kind, mode);
+                    trace.replay_on(&mut sim)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, substrate_throughput);
+criterion_main!(benches);

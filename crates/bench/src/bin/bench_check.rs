@@ -4,11 +4,14 @@
 //! bench_check [--dir PATH] [--measure] [--trials N]
 //! ```
 //!
-//! Always validates the three committed baseline files at the repo root
-//! (`BENCH_fleet.json`, `BENCH_offload.json`, `BENCH_sim.json`):
-//! schema tag, fixture block, non-empty results with positive medians
-//! and rates, and — for the sim trajectory — that the recorded
-//! sampled-over-full speedup matches its own medians.
+//! Discovers every `BENCH_*.json` at the repo root by glob and validates
+//! each one: schema tag derived from the file name, fixture block,
+//! non-empty results with positive medians and rates. Known files get
+//! extra file-specific checks — `BENCH_sim.json`'s recorded
+//! sampled-over-full speedup must match its own medians — and the three
+//! original baselines (`fleet`, `offload`, `sim`) plus `substrate` must
+//! exist; a new `BENCH_foo.json` is picked up and schema-checked with no
+//! code change here.
 //!
 //! With `--measure`, additionally re-times the pinned sim fixture
 //! in-process (best-of-N, see [`mallacc_bench::sim_fixture`]) and fails
@@ -142,6 +145,41 @@ fn load(dir: &Path, file: &str) -> Result<Json, String> {
         .map_err(|e| format!("{file}: invalid JSON at offset {}: {}", e.offset, e.message))
 }
 
+/// Baselines that must exist at the root (discovery finding extras is
+/// fine; one of these missing is a broken checkout).
+const REQUIRED: [&str; 4] = [
+    "BENCH_fleet.json",
+    "BENCH_offload.json",
+    "BENCH_sim.json",
+    "BENCH_substrate.json",
+];
+
+/// Every `BENCH_*.json` directly under `dir`, sorted by name.
+fn discover(dir: &Path) -> Result<Vec<String>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    let mut files: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_file())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    files.sort();
+    for required in REQUIRED {
+        if !files.iter().any(|f| f == required) {
+            return Err(format!("required baseline {required} is missing"));
+        }
+    }
+    Ok(files)
+}
+
+/// The schema tag a baseline's file name pins: `BENCH_foo.json` must
+/// declare `mallacc-bench-foo/1`.
+fn expected_schema(file: &str) -> String {
+    let stem = file.trim_start_matches("BENCH_").trim_end_matches(".json");
+    format!("mallacc-bench-{stem}/1")
+}
+
 fn check_fleet(dir: &Path) -> Result<(), String> {
     let doc = load(dir, "BENCH_fleet.json")?;
     check_common(&doc, "BENCH_fleet.json", "mallacc-bench-fleet/1")?;
@@ -153,6 +191,35 @@ fn check_offload(dir: &Path) -> Result<(), String> {
     let doc = load(dir, "BENCH_offload.json")?;
     check_common(&doc, "BENCH_offload.json", "mallacc-bench-offload/1")?;
     need(&doc, "fixtures", "BENCH_offload.json")?;
+    Ok(())
+}
+
+/// Validates `BENCH_substrate.json`: common layout plus one result per
+/// substrate × {baseline, mallacc}.
+fn check_substrate(dir: &Path) -> Result<(), String> {
+    let file = "BENCH_substrate.json";
+    let doc = load(dir, file)?;
+    let results = check_common(&doc, file, "mallacc-bench-substrate/1")?;
+    need(&doc, "fixture", file)?;
+    for kind in ["tcmalloc", "jemalloc", "rpmalloc", "percpu"] {
+        for mode in ["baseline", "mallacc"] {
+            let id = format!("substrate/simulated_calls/{kind}/{mode}");
+            if !results
+                .iter()
+                .any(|r| r.get("id").and_then(Json::as_str) == Some(id.as_str()))
+            {
+                return Err(format!("{file}: missing result {id:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a discovered baseline with no file-specific checker: the
+/// common layout against the schema its name pins.
+fn check_generic(dir: &Path, file: &str) -> Result<(), String> {
+    let doc = load(dir, file)?;
+    check_common(&doc, file, &expected_schema(file))?;
     Ok(())
 }
 
@@ -191,11 +258,21 @@ fn check_sim(dir: &Path) -> Result<f64, String> {
 }
 
 fn run(args: &Args) -> Result<String, String> {
-    check_fleet(&args.dir)?;
-    check_offload(&args.dir)?;
-    let committed = check_sim(&args.dir)?;
-    let mut out =
-        format!("bench_check: 3 baseline files ok (committed sim speedup {committed:.2}x)\n");
+    let files = discover(&args.dir)?;
+    let mut committed = 0.0;
+    for file in &files {
+        match file.as_str() {
+            "BENCH_fleet.json" => check_fleet(&args.dir)?,
+            "BENCH_offload.json" => check_offload(&args.dir)?,
+            "BENCH_sim.json" => committed = check_sim(&args.dir)?,
+            "BENCH_substrate.json" => check_substrate(&args.dir)?,
+            other => check_generic(&args.dir, other)?,
+        }
+    }
+    let mut out = format!(
+        "bench_check: {} baseline files ok (committed sim speedup {committed:.2}x)\n",
+        files.len()
+    );
     if args.measure {
         let m = sim_fixture::quick_speedup(args.trials);
         out.push_str(&format!(
@@ -254,10 +331,35 @@ mod tests {
     /// edit fails locally first.
     #[test]
     fn committed_baselines_validate() {
+        let files = discover(&repo_root()).unwrap();
+        assert!(files.len() >= REQUIRED.len(), "found: {files:?}");
         check_fleet(&repo_root()).unwrap();
         check_offload(&repo_root()).unwrap();
+        check_substrate(&repo_root()).unwrap();
         let ratio = check_sim(&repo_root()).unwrap();
         assert!(ratio > 1.0, "committed sim speedup should beat full detail");
+    }
+
+    #[test]
+    fn discovery_enforces_required_files_and_schema_naming() {
+        let dir = std::env::temp_dir().join("bench_check_discover_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Missing required files must fail discovery outright.
+        let err = discover(&dir).unwrap_err();
+        assert!(err.contains("missing"), "unexpected error: {err}");
+        // A novel baseline is schema-checked against its file name.
+        assert_eq!(
+            expected_schema("BENCH_widget.json"),
+            "mallacc-bench-widget/1"
+        );
+        std::fs::write(
+            dir.join("BENCH_widget.json"),
+            r#"{"schema": "mallacc-bench-gadget/1"}"#,
+        )
+        .unwrap();
+        let err = check_generic(&dir, "BENCH_widget.json").unwrap_err();
+        assert!(err.contains("schema"), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

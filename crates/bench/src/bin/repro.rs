@@ -28,6 +28,10 @@
 //!
 //! repro sample [--smoke] [--full] [--workload NAME]... [--mallocs N]
 //!       [--plan W:D:P[:S]] [--seed N] [--jobs N] [--json PATH]
+//!
+//! repro substrate [--smoke] [--full] [--substrate NAME]...
+//!       [--workload NAME]... [--calls N] [--warmup N] [--seed N]
+//!       [--jobs N] [--json PATH]
 //! ```
 //!
 //! `--json PATH` additionally writes the machine-readable datasets of the
@@ -35,8 +39,8 @@
 //! numbers the text renders, not a re-run.
 
 use mallacc_bench::{
-    cli, explore_cli, figures, fleet_cli, mt, offload_cli, profile_cli, sample_cli, tables,
-    validate_cli, Scale,
+    cli, explore_cli, figures, fleet_cli, mt, offload_cli, profile_cli, sample_cli, substrate_cli,
+    tables, validate_cli, Scale,
 };
 use mallacc_stats::Json;
 
@@ -57,7 +61,9 @@ fn usage() -> ! {
          [--depths A,B,...] [--cores A,B,...] [--calls N] [--warmup N] [--requests N] \
          [--seed N] [--jobs N] [--json PATH]\n\
          \x20      repro sample [--smoke] [--full] [--workload NAME]... [--mallocs N] \
-         [--plan W:D:P[:S]] [--seed N] [--jobs N] [--json PATH]"
+         [--plan W:D:P[:S]] [--seed N] [--jobs N] [--json PATH]\n\
+         \x20      repro substrate [--smoke] [--full] [--substrate NAME]... [--workload NAME]... \
+         [--calls N] [--warmup N] [--seed N] [--jobs N] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -83,6 +89,9 @@ fn main() {
     }
     if cmd == "sample" {
         std::process::exit(sample_cli::sample(&args[1..]));
+    }
+    if cmd == "substrate" {
+        std::process::exit(substrate_cli::substrate(&args[1..]));
     }
 
     // The generic experiment path (mt, figures, tables) shares the

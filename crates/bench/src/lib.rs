@@ -52,6 +52,7 @@ pub mod offload_cli;
 pub mod profile_cli;
 pub mod sample_cli;
 pub mod sim_fixture;
+pub mod substrate_cli;
 pub mod tables;
 pub mod validate_cli;
 

@@ -2,11 +2,15 @@
 //! offload helper core vs. Mallacc, head to head.
 //!
 //! ```text
-//! repro offload [--smoke] [--full] [--workload NAME]... [--scenario NAME]...
-//!               [--depths A,B,...] [--cores A,B,...] [--calls N]
-//!               [--warmup N] [--requests N] [--seed N] [--jobs N]
-//!               [--sim full|sampled[:W:D:P[:S]]] [--json PATH]
+//! repro offload [--smoke] [--full] [--substrate NAME] [--workload NAME]...
+//!               [--scenario NAME]... [--depths A,B,...] [--cores A,B,...]
+//!               [--calls N] [--warmup N] [--requests N] [--seed N]
+//!               [--jobs N] [--sim full|sampled[:W:D:P[:S]]] [--json PATH]
 //! ```
+//!
+//! `--substrate` picks the allocator every section runs on (tcmalloc,
+//! jemalloc, rpmalloc, or the per-CPU tcmalloc variant); the default is
+//! tcmalloc, the paper's target.
 //!
 //! Four sections, all computed from pure per-slot functions so the
 //! report is byte-identical for every `--jobs` value:
@@ -29,15 +33,18 @@
 use std::path::PathBuf;
 
 use crate::cli::{self, run_indexed, CommonFlags, CommonSpec, ScaleFlag};
-use mallacc::{offload_area_um2, AreaEstimate, MallocSim, Mode, OffloadConfig, SimMode};
+use mallacc::{offload_area_um2, AreaEstimate, Mode, OffloadConfig, SimMode};
 use mallacc_multicore::MulticoreSim;
 use mallacc_stats::table::Table;
 use mallacc_stats::{knee_index, pareto_frontier, Json};
+use mallacc_substrate::{AnySim, ShardedMt, SubstrateKind};
 use mallacc_workloads::{AnyWorkload, SimBackend};
 
 /// Parsed `repro offload` arguments.
 #[derive(Debug, Clone)]
 pub struct OffloadArgs {
+    /// Allocator substrate every section runs on.
+    pub substrate: SubstrateKind,
     /// Workloads of the single-core head-to-head (empty = scale default).
     pub workloads: Vec<String>,
     /// Fleet scenarios to stream (empty = scale default).
@@ -67,6 +74,7 @@ impl Default for OffloadArgs {
         // The defaults are the smoke scale: one queue-bound and one
         // compute-bound workload per family, CI-sized volumes.
         Self {
+            substrate: SubstrateKind::TcMalloc,
             workloads: vec![
                 "tp_small".to_string(),
                 "gauss_free".to_string(),
@@ -115,6 +123,7 @@ impl OffloadArgs {
     /// order.
     pub fn parse(args: &[String]) -> Result<OffloadArgs, String> {
         let mut common = CommonFlags::default();
+        let mut substrate = None;
         let mut workloads = Vec::new();
         let mut scenarios = Vec::new();
         let (mut depths, mut cores) = (None, None);
@@ -144,6 +153,14 @@ impl OffloadArgs {
                 continue;
             }
             match args[i].as_str() {
+                "--substrate" => {
+                    let name = cli::value(args, &mut i, "--substrate")?;
+                    substrate = Some(SubstrateKind::by_name(&name).ok_or_else(|| {
+                        format!(
+                            "unknown substrate {name:?} (use tcmalloc/jemalloc/rpmalloc/percpu)"
+                        )
+                    })?);
+                }
                 "--workload" => workloads.push(cli::value(args, &mut i, "--workload")?),
                 "--scenario" => scenarios.push(cli::value(args, &mut i, "--scenario")?),
                 "--depths" => {
@@ -177,6 +194,9 @@ impl OffloadArgs {
             Some(ScaleFlag::Full) => OffloadArgs::full(),
             _ => OffloadArgs::default(),
         };
+        if let Some(v) = substrate {
+            parsed.substrate = v;
+        }
         if !workloads.is_empty() {
             parsed.workloads = workloads;
         }
@@ -249,7 +269,7 @@ fn modes() -> [(Mode, &'static str); 4] {
 fn single_core_cycles(workload: &AnyWorkload, mode: Mode, args: &OffloadArgs) -> f64 {
     let warm = workload.trace(args.warmup, args.seed);
     let measure = workload.trace(args.calls, args.seed.wrapping_add(1));
-    let mut sim = MallocSim::new(mode);
+    let mut sim = AnySim::new(args.substrate, mode);
     sim.set_sampling(args.sim.plan());
     let run = |sim: &mut dyn SimBackend, trace: &mallacc_workloads::Trace| {
         let s = trace.replay_on(sim);
@@ -355,7 +375,7 @@ fn depth_sweep_section(args: &OffloadArgs) -> (String, Json) {
             let workload = AnyWorkload::by_name(probe).expect("validated at parse time");
             let mut cfg = OffloadConfig::speedmalloc_default();
             cfg.queue_depth = depth;
-            let mut sim = MallocSim::new(Mode::Offload(cfg));
+            let mut sim = AnySim::new(args.substrate, Mode::Offload(cfg));
             sim.set_sampling(args.sim.plan());
             workload.trace(args.warmup, args.seed).replay_on(&mut sim);
             let s = workload
@@ -410,12 +430,24 @@ fn fleet_section(args: &OffloadArgs) -> (String, Json) {
             let mut per_call = [0.0; 4];
             for (slot, (mode, _)) in per_call.iter_mut().zip(modes()) {
                 let mut stream = scenario.stream(cores, args.requests, args.seed);
-                let totals = MulticoreSim::new(mode, cores)
-                    .with_sim(args.sim)
-                    .run_stream(&mut stream)
-                    .aggregate();
-                let calls = (totals.malloc_calls + totals.free_calls).max(1);
-                *slot = (totals.malloc_cycles + totals.free_cycles) as f64 / calls as f64;
+                // TCMalloc streams through the shared-heap multi-core
+                // simulator; the other substrates run as per-core sharded
+                // heaps with cross-core frees routed to the owning shard.
+                *slot = if args.substrate == SubstrateKind::TcMalloc {
+                    let totals = MulticoreSim::new(mode, cores)
+                        .with_sim(args.sim)
+                        .run_stream(&mut stream)
+                        .aggregate();
+                    let calls = (totals.malloc_calls + totals.free_calls).max(1);
+                    (totals.malloc_cycles + totals.free_cycles) as f64 / calls as f64
+                } else {
+                    let mut sim = ShardedMt::new(args.substrate, mode, cores);
+                    sim.set_sampling(args.sim.plan());
+                    sim.run_stream(&mut stream);
+                    let totals = sim.totals();
+                    let calls = (totals.malloc_calls + totals.free_calls).max(1);
+                    totals.allocator_cycles() as f64 / calls as f64
+                };
             }
             (scenario_name.clone(), cores, per_call)
         },
@@ -521,7 +553,8 @@ fn pareto_section(rows: &[HeadToHead]) -> (String, Json) {
 /// output.
 pub fn offload_report(args: &OffloadArgs) -> (i32, String) {
     let mut out = format!(
-        "repro offload: {} workloads x 4 variants, calls {}, requests {}, seed {}\n\n",
+        "repro offload: substrate {}, {} workloads x 4 variants, calls {}, requests {}, seed {}\n\n",
+        args.substrate.name(),
         args.workloads.len(),
         args.calls,
         args.requests,
@@ -542,6 +575,7 @@ pub fn offload_report(args: &OffloadArgs) -> (i32, String) {
     if let Some(path) = &args.json {
         let doc = Json::obj([
             ("schema", Json::from("mallacc-offload/1")),
+            ("substrate", Json::from(args.substrate.name())),
             (
                 "scale",
                 Json::obj([
@@ -624,6 +658,10 @@ mod tests {
         assert_eq!(o.cores, vec![1, 64]);
         assert_eq!(o.seed, 7);
 
+        let sub = OffloadArgs::parse(&s(&["--substrate", "rpmalloc"])).unwrap();
+        assert_eq!(sub.substrate, SubstrateKind::Rpmalloc);
+        assert!(OffloadArgs::parse(&s(&["--substrate", "dlmalloc"])).is_err());
+
         assert!(OffloadArgs::parse(&s(&["--nope"])).is_err());
         assert!(OffloadArgs::parse(&s(&["--workload", "bogus"])).is_err());
         assert!(OffloadArgs::parse(&s(&["--scenario", "bogus"])).is_err());
@@ -670,6 +708,28 @@ mod tests {
         let (c2, par) = offload_report(&a);
         assert_eq!((c1, c2), (0, 0));
         assert_eq!(seq, par, "--jobs must not change a single byte");
+    }
+
+    #[test]
+    fn every_substrate_completes_the_full_report() {
+        // Every section — head-to-head, depth sweep, sharded fleet
+        // streams, Pareto — must run on every substrate, and the header
+        // must say which one it was.
+        for kind in SubstrateKind::ALL {
+            let a = OffloadArgs {
+                substrate: kind,
+                cores: vec![1, 2],
+                requests: 12,
+                ..tiny()
+            };
+            let (code, text) = offload_report(&a);
+            assert_eq!(code, 0, "{kind:?}:\n{text}");
+            assert!(
+                text.starts_with(&format!("repro offload: substrate {}", kind.name())),
+                "{kind:?} header:\n{text}"
+            );
+            assert!(text.contains("fleet scenario streams"), "{kind:?}:\n{text}");
+        }
     }
 
     #[test]

@@ -1,9 +1,15 @@
 //! The `repro sample` subcommand: sampled-vs-full simulation error report.
 //!
 //! ```text
-//! repro sample [--smoke] [--full] [--workload NAME]... [--mallocs N]
-//!              [--plan W:D:P[:S]] [--seed N] [--jobs N] [--json PATH]
+//! repro sample [--smoke] [--full] [--substrate NAME] [--workload NAME]...
+//!              [--mallocs N] [--plan W:D:P[:S]] [--seed N] [--jobs N]
+//!              [--json PATH]
 //! ```
+//!
+//! `--substrate` picks the allocator under test (tcmalloc, jemalloc,
+//! rpmalloc, or the per-CPU tcmalloc variant); the sampled-execution
+//! fidelity contract must hold on every substrate's µop stream, not just
+//! the paper's TCMalloc.
 //!
 //! Replays every selected workload trace twice per machine mode — once
 //! through full detailed simulation, once under the sampled execution
@@ -31,14 +37,17 @@
 use std::path::PathBuf;
 
 use crate::cli::{self, run_indexed, CommonFlags, CommonSpec, ScaleFlag};
-use mallacc::{MallocSim, Mode, SamplingPlan};
+use mallacc::{Mode, SamplingPlan};
 use mallacc_stats::table::Table;
 use mallacc_stats::{mean_ci95, tol, Json};
+use mallacc_substrate::{AnySim, SubstrateKind};
 use mallacc_workloads::AnyWorkload;
 
 /// Parsed `repro sample` arguments.
 #[derive(Debug, Clone)]
 pub struct SampleArgs {
+    /// Allocator substrate under test.
+    pub substrate: SubstrateKind,
     /// Workload names (defaults to the eight macro workloads).
     pub workloads: Vec<String>,
     /// Allocations per workload trace.
@@ -56,6 +65,7 @@ pub struct SampleArgs {
 impl Default for SampleArgs {
     fn default() -> Self {
         Self {
+            substrate: SubstrateKind::TcMalloc,
             workloads: Vec::new(),
             mallocs: 4_000,
             plan: SamplingPlan::default_plan(),
@@ -80,6 +90,14 @@ impl SampleArgs {
                 continue;
             }
             match args[i].as_str() {
+                "--substrate" => {
+                    let name = cli::value(args, &mut i, "--substrate")?;
+                    parsed.substrate = SubstrateKind::by_name(&name).ok_or_else(|| {
+                        format!(
+                            "unknown substrate {name:?} (use tcmalloc/jemalloc/rpmalloc/percpu)"
+                        )
+                    })?;
+                }
                 "--workload" => {
                     let name = cli::value(args, &mut i, "--workload")?;
                     if AnyWorkload::by_name(&name).is_none() {
@@ -164,21 +182,23 @@ fn run_row(args: &SampleArgs, workload: &str, mode_ix: usize) -> Row {
     let w = AnyWorkload::by_name(workload).expect("workload validated at parse time");
     let trace = w.trace(args.mallocs, args.seed);
 
-    let mut full = MallocSim::new(mode());
-    trace.replay(&mut full);
-    let full_cycles = full.cpi_stack().total();
+    let mut full = AnySim::new(args.substrate, mode());
+    trace.replay_on(&mut full);
+    let full_cycles = full.engine().cpi_stack().total();
 
-    let mut sampled = MallocSim::new(mode());
+    let mut sampled = AnySim::new(args.substrate, mode());
     sampled.set_sampling(Some(args.plan));
-    trace.replay(&mut sampled);
-    let sampled_cycles = sampled.cpi_stack().total();
-    let report = sampled.sampling_report().expect("sampling installed");
+    trace.replay_on(&mut sampled);
+    let sampled_cycles = sampled.engine().cpi_stack().total();
+    let report = sampled
+        .engine()
+        .sampling_report()
+        .expect("sampling installed");
 
     // Sampling must not perturb functional execution: same µop mix, same
     // call counts, only the cycle numbers may differ.
     let functional_ok = full.engine().stats() == sampled.engine().stats()
-        && full.totals().malloc_calls == sampled.totals().malloc_calls
-        && full.totals().free_calls == sampled.totals().free_calls;
+        && full.call_counts() == sampled.call_counts();
 
     let uops = sampled.engine().stats().uops;
     let ff_fraction = if uops == 0 {
@@ -228,7 +248,8 @@ pub fn sample_report(args: &SampleArgs) -> (i32, String) {
     });
 
     let mut out = format!(
-        "repro sample: plan {} ({:.1}% detailed steady-state), mallocs={}, seed {}\n\n",
+        "repro sample: substrate {}, plan {} ({:.1}% detailed steady-state), mallocs={}, seed {}\n\n",
+        args.substrate.name(),
         args.plan.canonical_string(),
         100.0 * args.plan.detailed_fraction(),
         args.mallocs,
@@ -294,6 +315,7 @@ pub fn sample_report(args: &SampleArgs) -> (i32, String) {
     if let Some(path) = &args.json {
         let doc = Json::obj([
             ("schema", Json::from("mallacc-sample/1")),
+            ("substrate", Json::from(args.substrate.name())),
             (
                 "scale",
                 Json::obj([
@@ -371,6 +393,9 @@ mod tests {
         assert_eq!(w.workload_names(), vec!["gauss".to_string()]);
         assert_eq!(w.mallocs, 500);
         assert_eq!(w.plan.period, 4_096);
+        let sub = SampleArgs::parse(&s(&["--substrate", "percpu"])).unwrap();
+        assert_eq!(sub.substrate, SubstrateKind::PerCpu);
+        assert!(SampleArgs::parse(&s(&["--substrate", "dlmalloc"])).is_err());
         assert!(SampleArgs::parse(&s(&["--workload", "nope"])).is_err());
         assert!(SampleArgs::parse(&s(&["--mallocs", "0"])).is_err());
         assert!(SampleArgs::parse(&s(&["--plan", "1:2"])).is_err());
@@ -419,6 +444,25 @@ mod tests {
             Some(4)
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sampling_fidelity_holds_on_every_substrate() {
+        // The oracle-bounded error gate and the functional-identity
+        // check must pass on every substrate's µop stream — sampling is
+        // a timing axis, never a functional one, regardless of which
+        // allocator generated the µops.
+        for kind in SubstrateKind::ALL {
+            let a = SampleArgs {
+                substrate: kind,
+                workloads: vec!["471.omnetpp".to_string()],
+                mallocs: 1_200,
+                ..SampleArgs::default()
+            };
+            let (code, text) = sample_report(&a);
+            assert_eq!(code, 0, "{kind:?}:\n{text}");
+            assert!(!text.contains("FUNCTIONAL DRIFT"), "{kind:?}:\n{text}");
+        }
     }
 
     #[test]

@@ -3,11 +3,11 @@
 //!
 //! ```text
 //! repro validate [--smoke] [--full] [--kernel-n N] [--fuzz N] [--laws N]
-//!                [--offload-fuzz N] [--sample-fuzz N] [--seed N] [--jobs N]
-//!                [--json PATH]
+//!                [--offload-fuzz N] [--sample-fuzz N] [--substrate-fuzz N]
+//!                [--seed N] [--jobs N] [--json PATH]
 //! ```
 //!
-//! Five independent sections, any of which can fail the run (exit 1):
+//! Six independent sections, any of which can fail the run (exit 1):
 //!
 //! 1. **Analytic latency oracle** — every Table-1 kernel's simulated
 //!    latency must land inside the declared tolerance band around its
@@ -26,6 +26,11 @@
 //!    full run, and random µop programs replayed full-vs-sampled must
 //!    keep functional identity, degenerate-plan exactness, and
 //!    oracle-bounded timing error (fixed band or the run's own CI).
+//! 6. **Substrate conformance** — executable allocator laws fuzzed over
+//!    the rpmalloc-style and per-CPU substrate models: span ownership,
+//!    per-CPU cache token conservation (`slabs + central + live ==
+//!    carved`), and deferred-free linearization of the cross-thread
+//!    free protocol.
 //!
 //! Work is partitioned into slots whose results depend only on `(seed,
 //! slot index)`, so the report is byte-identical for every `--jobs` value.
@@ -38,8 +43,9 @@ use mallacc_stats::table::Table;
 use mallacc_stats::Json;
 use mallacc_validate::program::fuzz_slot;
 use mallacc_validate::{
-    laws, offload_fuzz_slot, oracle, sample, sample_fuzz_slot, Band, CoverageEvent, FuzzReport,
-    KernelOutcome, LawReport, OffloadFuzzReport, SampleFuzzReport,
+    laws, offload_fuzz_slot, oracle, sample, sample_fuzz_slot, substrate_fuzz_slot, Band,
+    CoverageEvent, FuzzReport, KernelOutcome, LawReport, OffloadFuzzReport, SampleFuzzReport,
+    SubstrateFuzzReport,
 };
 
 /// Parsed `repro validate` arguments.
@@ -58,6 +64,9 @@ pub struct ValidateArgs {
     /// Sampled-differential slots (each runs one random µop program
     /// full, under a random plan, and under a degenerate plan).
     pub sample_slots: u64,
+    /// Substrate-conformance slots (each runs one program per law
+    /// family: span ownership, token conservation, linearization).
+    pub substrate_slots: u64,
     /// Corpus seed.
     pub seed: u64,
     /// Worker threads (0 or 1 = sequential).
@@ -78,6 +87,7 @@ impl Default for ValidateArgs {
             law_cases: 60,
             offload_slots: 200,
             sample_slots: 120,
+            substrate_slots: 300,
             seed: 42,
             jobs: 1,
             require_full_coverage: false,
@@ -96,7 +106,7 @@ impl ValidateArgs {
         let mut common = CommonFlags::default();
         let (mut kernel_n, mut fuzz_slots, mut law_cases, mut offload_slots) =
             (None, None, None, None);
-        let mut sample_slots = None;
+        let (mut sample_slots, mut substrate_slots) = (None, None);
         let mut i = 0;
         while i < args.len() {
             if cli::take_common(args, &mut i, &CommonSpec::ALL, &mut common)? {
@@ -128,6 +138,12 @@ impl ValidateArgs {
                         "--sample-fuzz",
                     )?);
                 }
+                "--substrate-fuzz" => {
+                    substrate_slots = Some(cli::int(
+                        cli::value(args, &mut i, "--substrate-fuzz")?,
+                        "--substrate-fuzz",
+                    )?);
+                }
                 other => return Err(format!("unknown validate flag {other:?}")),
             }
             i += 1;
@@ -139,6 +155,7 @@ impl ValidateArgs {
                 parsed.law_cases = 60;
                 parsed.offload_slots = 200;
                 parsed.sample_slots = 120;
+                parsed.substrate_slots = 300;
                 parsed.require_full_coverage = false;
             }
             Some(ScaleFlag::Full) => {
@@ -147,6 +164,7 @@ impl ValidateArgs {
                 parsed.law_cases = 1_000;
                 parsed.offload_slots = 4_000;
                 parsed.sample_slots = 600;
+                parsed.substrate_slots = 10_000;
                 parsed.require_full_coverage = true;
             }
             None => {}
@@ -166,6 +184,9 @@ impl ValidateArgs {
         if let Some(v) = sample_slots {
             parsed.sample_slots = v;
         }
+        if let Some(v) = substrate_slots {
+            parsed.substrate_slots = v;
+        }
         if let Some(seed) = common.seed {
             parsed.seed = seed;
         }
@@ -176,8 +197,15 @@ impl ValidateArgs {
         if parsed.kernel_n == 0 {
             return Err("--kernel-n must be at least 1".to_string());
         }
-        if parsed.fuzz_slots == 0 || parsed.offload_slots == 0 || parsed.sample_slots == 0 {
-            return Err("--fuzz, --offload-fuzz and --sample-fuzz must be at least 1".to_string());
+        if parsed.fuzz_slots == 0
+            || parsed.offload_slots == 0
+            || parsed.sample_slots == 0
+            || parsed.substrate_slots == 0
+        {
+            return Err(
+                "--fuzz, --offload-fuzz, --sample-fuzz and --substrate-fuzz must be at least 1"
+                    .to_string(),
+            );
         }
         Ok(parsed)
     }
@@ -508,19 +536,98 @@ fn sample_section(args: &ValidateArgs) -> (String, Json, bool, SampleFuzzReport)
     (text, json, pass, report)
 }
 
+fn substrate_section(args: &ValidateArgs) -> (String, Json, bool, SubstrateFuzzReport) {
+    let mut report = SubstrateFuzzReport::default();
+    for slot in run_indexed(args.substrate_slots, args.jobs, |i| {
+        substrate_fuzz_slot(args.seed, i)
+    }) {
+        report.merge(slot);
+    }
+    let pass = report.divergences.is_empty();
+    let rows = [
+        ("span-ownership", report.span_programs, report.span_checks),
+        (
+            "token-conservation",
+            report.token_programs,
+            report.token_checks,
+        ),
+        (
+            "deferred-linearization",
+            report.linearize_programs,
+            report.linearize_checks,
+        ),
+    ];
+    let mut t = Table::new(&["law", "programs", "checks", "violations", "verdict"]);
+    let mut json_rows = Vec::new();
+    for (law, programs, checks) in rows {
+        let violations = report.divergences.iter().filter(|d| d.check == law).count() as u64;
+        t.row_owned(vec![
+            law.to_string(),
+            programs.to_string(),
+            checks.to_string(),
+            violations.to_string(),
+            if violations == 0 { "ok" } else { "VIOLATED" }.to_string(),
+        ]);
+        json_rows.push(Json::obj([
+            ("law", Json::from(law)),
+            ("programs", Json::from(programs)),
+            ("checks", Json::from(checks)),
+            ("violations", Json::from(violations)),
+        ]));
+    }
+    let mut text = format!(
+        "== substrate conformance (allocator laws) ==\n{}programs: {}, checks: {}\nviolations: {}\n",
+        t.render(),
+        report.programs(),
+        report.checks(),
+        report.divergences.len(),
+    );
+    for d in report.divergences.iter().take(5) {
+        text.push_str(&format!(
+            "  seed {:#x} step {} ({}): {}\n",
+            d.seed, d.step, d.check, d.detail
+        ));
+    }
+    let json = Json::obj([
+        ("laws", Json::Arr(json_rows)),
+        ("programs", Json::from(report.programs())),
+        ("checks", Json::from(report.checks())),
+        (
+            "violations",
+            Json::Arr(
+                report
+                    .divergences
+                    .iter()
+                    .map(|d| {
+                        Json::obj([
+                            ("seed", Json::from(d.seed)),
+                            ("step", Json::from(d.step)),
+                            ("check", Json::from(d.check)),
+                            ("detail", Json::from(d.detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("pass", Json::from(pass)),
+    ]);
+    (text, json, pass, report)
+}
+
 /// Runs `repro validate` and returns `(exit code, report text)`. Split
 /// from [`validate`] so tests can capture the output.
 pub fn validate_report(args: &ValidateArgs) -> (i32, String) {
     let mut out = format!(
-        "repro validate: kernels n={}, fuzz slots={}, law cases={}/law, offload slots={}, sample slots={}, seed {}\n\n",
+        "repro validate: kernels n={}, fuzz slots={}, law cases={}/law, offload slots={}, sample slots={}, substrate slots={}, seed {}\n\n",
         args.kernel_n, args.fuzz_slots, args.law_cases, args.offload_slots, args.sample_slots,
-        args.seed
+        args.substrate_slots, args.seed
     );
     let (kernel_text, kernel_json, kernels_pass, _) = kernel_section(args);
     let (fuzz_text, fuzz_json, fuzz_pass, _) = fuzz_section(args);
     let (law_text, law_json, laws_pass, _) = law_section(args);
     let (offload_text, offload_json, offload_pass, _) = offload_section(args);
     let (sample_text, sample_json, sample_pass, _) = sample_section(args);
+    let (substrate_text, substrate_json, substrate_pass, _) = substrate_section(args);
     out.push_str(&kernel_text);
     out.push('\n');
     out.push_str(&fuzz_text);
@@ -530,7 +637,10 @@ pub fn validate_report(args: &ValidateArgs) -> (i32, String) {
     out.push_str(&offload_text);
     out.push('\n');
     out.push_str(&sample_text);
-    let pass = kernels_pass && fuzz_pass && laws_pass && offload_pass && sample_pass;
+    out.push('\n');
+    out.push_str(&substrate_text);
+    let pass =
+        kernels_pass && fuzz_pass && laws_pass && offload_pass && sample_pass && substrate_pass;
     out.push_str(&format!(
         "\nverdict: {}\n",
         if pass { "PASS" } else { "FAIL" }
@@ -547,6 +657,7 @@ pub fn validate_report(args: &ValidateArgs) -> (i32, String) {
                     ("law_cases", Json::from(args.law_cases)),
                     ("offload_slots", Json::from(args.offload_slots)),
                     ("sample_slots", Json::from(args.sample_slots)),
+                    ("substrate_slots", Json::from(args.substrate_slots)),
                     ("seed", Json::from(args.seed)),
                     (
                         "require_full_coverage",
@@ -559,6 +670,7 @@ pub fn validate_report(args: &ValidateArgs) -> (i32, String) {
             ("laws", law_json),
             ("offload", offload_json),
             ("sampled", sample_json),
+            ("substrate", substrate_json),
             ("pass", Json::from(pass)),
         ]);
         if let Err(e) = std::fs::write(path, doc.render_pretty()) {
@@ -599,6 +711,7 @@ mod tests {
             law_cases: 8,
             offload_slots: 16,
             sample_slots: 12,
+            substrate_slots: 16,
             ..ValidateArgs::default()
         }
     }
@@ -607,14 +720,14 @@ mod tests {
     fn parse_scales_and_rejections() {
         let a = ValidateArgs::parse(&s(&["--smoke"])).unwrap();
         assert_eq!((a.kernel_n, a.fuzz_slots, a.law_cases), (2_000, 400, 60));
-        assert_eq!(a.offload_slots, 200);
+        assert_eq!((a.offload_slots, a.substrate_slots), (200, 300));
         assert!(!a.require_full_coverage);
         let f = ValidateArgs::parse(&s(&["--full", "--jobs", "4"])).unwrap();
         assert_eq!(
             (f.kernel_n, f.fuzz_slots, f.law_cases),
             (20_000, 10_000, 1_000)
         );
-        assert_eq!(f.offload_slots, 4_000);
+        assert_eq!((f.offload_slots, f.substrate_slots), (4_000, 10_000));
         assert!(f.require_full_coverage);
         assert_eq!(f.jobs, 4);
         let o = ValidateArgs::parse(&s(&["--fuzz", "7", "--offload-fuzz", "11", "--seed", "9"]))
@@ -624,9 +737,11 @@ mod tests {
         assert!(ValidateArgs::parse(&s(&["--fuzz", "0"])).is_err());
         assert!(ValidateArgs::parse(&s(&["--offload-fuzz", "0"])).is_err());
         assert!(ValidateArgs::parse(&s(&["--sample-fuzz", "0"])).is_err());
+        assert!(ValidateArgs::parse(&s(&["--substrate-fuzz", "0"])).is_err());
         assert!(ValidateArgs::parse(&s(&["--kernel-n"])).is_err());
-        let sf = ValidateArgs::parse(&s(&["--sample-fuzz", "33"])).unwrap();
-        assert_eq!(sf.sample_slots, 33);
+        let sf =
+            ValidateArgs::parse(&s(&["--sample-fuzz", "33", "--substrate-fuzz", "21"])).unwrap();
+        assert_eq!((sf.sample_slots, sf.substrate_slots), (33, 21));
     }
 
     #[test]
@@ -638,6 +753,8 @@ mod tests {
         assert!(text.contains("metamorphic laws"), "{text}");
         assert!(text.contains("offload-core conformance"), "{text}");
         assert!(text.contains("sampled-execution differential"), "{text}");
+        assert!(text.contains("substrate conformance"), "{text}");
+        assert!(text.contains("deferred-linearization"), "{text}");
         assert!(text.contains("verdict: PASS"), "{text}");
         assert!(text.contains("mean kernel error:"), "{text}");
     }

@@ -97,7 +97,8 @@ impl ParamGrid {
     /// overrides applied to the default single-point grid. Axes:
     /// `entries`, `xlat`, `prefetch`, `index`, `sampling` (`on`/`off`),
     /// `accel` (`none`/`mallacc`/`offload`/`both`), `qdepth` (offload
-    /// queue depths), `substrate` (`tcmalloc`/`jemalloc`), `workload`
+    /// queue depths), `substrate`
+    /// (`tcmalloc`/`jemalloc`/`rpmalloc`/`percpu`), `workload`
     /// (names, the families `micro`/`macro`/`all`, the `fleet` family,
     /// or individual `fleet:NAME` scenarios), `cores`, `sim` (`full`,
     /// `sampled`, or `sampled:W:D:P[:S]` plans).
@@ -230,31 +231,24 @@ impl ParamGrid {
     /// entries, latency, index, prefetch, sampling, sim mode).
     ///
     /// Combinations the simulator stack cannot express are skipped:
-    /// multi-core points exist only on the TCMalloc substrate and only
-    /// for macro workloads or fleet scenarios (microbenchmarks have no
-    /// multi-threaded trace generator), fleet scenarios — which run on
-    /// the shared multi-core TCMalloc — have no jemalloc variant at any
-    /// core count, and the offload-based accelerator kinds model
-    /// TCMalloc's service paths only. The queue-depth axis is collapsed
-    /// to the default for kinds that have no queue, so a `qdepth` sweep
-    /// does not duplicate `none`/`mallacc` points.
+    /// multi-core microbenchmark points (microbenchmarks have no
+    /// multi-threaded trace generator). Every substrate runs every
+    /// accelerator kind, fleet scenario, and macro multi-core point —
+    /// TCMalloc on the shared-heap multi-core simulator, the other
+    /// substrates as per-core sharded heaps. The queue-depth axis is
+    /// collapsed to the default for kinds that have no queue, so a
+    /// `qdepth` sweep does not duplicate `none`/`mallacc` points.
     pub fn expand(&self) -> Vec<ConfigPoint> {
         let mut points = Vec::new();
         for workload in &self.workloads {
             let is_micro = AnyWorkload::by_name(workload).is_some_and(|w| w.is_micro());
             let is_fleet = workload.starts_with("fleet:");
             for &substrate in &self.substrates {
-                if is_fleet && substrate == Substrate::JeMalloc {
-                    continue;
-                }
                 for &cores in &self.cores {
-                    if cores > 1 && !is_fleet && (substrate == Substrate::JeMalloc || is_micro) {
+                    if cores > 1 && !is_fleet && is_micro {
                         continue;
                     }
                     for &accel in &self.accel {
-                        if accel.uses_queue() && substrate == Substrate::JeMalloc {
-                            continue;
-                        }
                         let default_depth = [DEFAULT_QUEUE_DEPTH];
                         let depths: &[usize] = if accel.uses_queue() {
                             &self.queue_depth
@@ -377,14 +371,18 @@ mod tests {
     }
 
     #[test]
-    fn offload_kinds_skip_the_jemalloc_substrate() {
-        let g = ParamGrid::parse("accel=mallacc,offload;substrate=tcmalloc,jemalloc").unwrap();
+    fn offload_kinds_run_on_every_substrate() {
+        let g =
+            ParamGrid::parse("accel=mallacc,offload;substrate=tcmalloc,jemalloc,rpmalloc,percpu")
+                .unwrap();
         let pts = g.expand();
-        // mallacc×{tcmalloc,jemalloc} + offload×{tcmalloc}.
-        assert_eq!(pts.len(), 3);
-        assert!(pts
-            .iter()
-            .all(|p| !(p.accel.uses_queue() && p.substrate == Substrate::JeMalloc)));
+        // Full cross product: 2 accel kinds × 4 substrates.
+        assert_eq!(pts.len(), 8);
+        for &substrate in &Substrate::ALL {
+            assert!(pts
+                .iter()
+                .any(|p| p.accel.uses_queue() && p.substrate == substrate));
+        }
     }
 
     #[test]
@@ -394,11 +392,12 @@ mod tests {
         )
         .unwrap();
         let pts = g.expand();
-        // tp_small: tcmalloc×{1}, jemalloc×{1}. xalancbmk: tcmalloc×{1,4},
-        // jemalloc×{1}.
-        assert_eq!(pts.len(), 5);
-        assert!(pts.iter().all(|p| p.cores == 1
-            || (p.substrate == Substrate::TcMalloc && p.workload == "483.xalancbmk")));
+        // tp_small (micro): single-core only, both substrates. xalancbmk:
+        // both substrates × both core counts (jemalloc shards per core).
+        assert_eq!(pts.len(), 6);
+        assert!(pts
+            .iter()
+            .all(|p| p.cores == 1 || p.workload == "483.xalancbmk"));
     }
 
     #[test]
@@ -422,18 +421,22 @@ mod tests {
     }
 
     #[test]
-    fn fleet_points_are_multicore_tcmalloc_only() {
+    fn fleet_points_expand_on_every_substrate() {
         let g =
             ParamGrid::parse("workload=fleet:rpc-fanout;substrate=tcmalloc,jemalloc;cores=1,4,16")
                 .unwrap();
         let pts = g.expand();
-        // No jemalloc variant at any core count; every tcmalloc core
-        // count survives, including multi-core.
-        assert_eq!(pts.len(), 3);
-        assert!(pts.iter().all(|p| p.substrate == Substrate::TcMalloc));
-        assert_eq!(
-            pts.iter().map(|p| p.cores).collect::<Vec<_>>(),
-            vec![1, 4, 16]
-        );
+        // Both substrates survive at every core count (jemalloc fleet
+        // points run as per-core sharded heaps).
+        assert_eq!(pts.len(), 6);
+        for &substrate in &[Substrate::TcMalloc, Substrate::JeMalloc] {
+            assert_eq!(
+                pts.iter()
+                    .filter(|p| p.substrate == substrate)
+                    .map(|p| p.cores)
+                    .collect::<Vec<_>>(),
+                vec![1, 4, 16]
+            );
+        }
     }
 }

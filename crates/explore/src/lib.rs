@@ -10,9 +10,10 @@
 //! * [`ParamGrid`] declares value lists per axis — cache entries, lookup
 //!   latency, prefetch / index / sampling toggles, accelerator kind
 //!   (none, mallacc, allocation offload, or both) with offload queue
-//!   depth, allocator substrate (tcmalloc or jemalloc), workload, and
-//!   core count — and expands their cross product into [`ConfigPoint`]s,
-//!   skipping combinations the simulator stack cannot express.
+//!   depth, allocator substrate (tcmalloc, jemalloc, rpmalloc, or the
+//!   per-CPU tcmalloc variant), workload, and core count — and expands
+//!   their cross product into [`ConfigPoint`]s, skipping combinations
+//!   the simulator stack cannot express.
 //! * [`run_sweep`] executes the points on scoped host threads. Results
 //!   are **bit-identical across `--jobs` values**: every point is a
 //!   self-contained simulation seeded from its own configuration, and

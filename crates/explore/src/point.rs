@@ -2,42 +2,22 @@
 //! memoisation key, and its execution on the right simulator stack.
 
 use mallacc::{
-    offload_area_um2, AccelConfig, AreaEstimate, MallocSim, Mode, OffloadConfig, RangeKeying,
-    SimMode, CODE_MODEL_VERSION,
+    offload_area_um2, AccelConfig, AreaEstimate, Mode, OffloadConfig, RangeKeying, SimMode,
+    CODE_MODEL_VERSION,
 };
-use mallacc_jemalloc::JeSim;
 use mallacc_multicore::MulticoreSim;
 use mallacc_stats::Json;
-use mallacc_workloads::{AnyWorkload, MtTrace, SimBackend};
+use mallacc_substrate::{AnySim, ShardedMt};
+use mallacc_workloads::{AnyWorkload, MtTrace};
 
 /// Which allocator model the point runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Substrate {
-    /// The TCMalloc model (the paper's allocator).
-    TcMalloc,
-    /// The jemalloc-style model (allocator-generality mode; the malloc
-    /// cache always runs generic requested-size keying there).
-    JeMalloc,
-}
-
-impl Substrate {
-    /// The substrate's CLI name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Substrate::TcMalloc => "tcmalloc",
-            Substrate::JeMalloc => "jemalloc",
-        }
-    }
-
-    /// Parses a CLI name.
-    pub fn by_name(name: &str) -> Option<Substrate> {
-        match name {
-            "tcmalloc" => Some(Substrate::TcMalloc),
-            "jemalloc" => Some(Substrate::JeMalloc),
-            _ => None,
-        }
-    }
-}
+///
+/// This is [`mallacc_substrate::SubstrateKind`] re-exported under the
+/// sweep engine's historical name: `tcmalloc` (the paper's allocator),
+/// `jemalloc`, `rpmalloc`, and the per-CPU TCMalloc variant `percpu`.
+/// Non-TCMalloc substrates always run the malloc cache with generic
+/// requested-size keying.
+pub use mallacc_substrate::SubstrateKind as Substrate;
 
 /// Which acceleration hardware the point compares against baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -245,25 +225,23 @@ impl ConfigPoint {
     ///
     /// Panics if the workload name does not resolve, or if the point
     /// names a combination [`crate::ParamGrid::expand`] filters out
-    /// (multi-core jemalloc, multi-core microbenchmarks, jemalloc fleet
-    /// scenarios). The engine validates grids before running.
+    /// (multi-core microbenchmarks — they have no multi-threaded trace
+    /// generator). The engine validates grids before running.
+    ///
+    /// TCMalloc multi-core points (including fleet scenarios) run on the
+    /// shared-heap [`MulticoreSim`]; every other substrate runs its cores
+    /// as independent [`ShardedMt`] heaps with cross-core frees routed to
+    /// the owning core (each substrate's own remote-free path prices
+    /// them).
     pub fn run(&self) -> PointResult {
         let accel = self.accel_mode();
         if let Some(name) = self.workload.strip_prefix("fleet:") {
             let scenario = mallacc_fleet::Scenario::by_name(name)
                 .unwrap_or_else(|| panic!("unknown fleet scenario {name}"));
-            assert!(
-                self.substrate == Substrate::TcMalloc,
-                "fleet scenarios run on the tcmalloc substrate"
-            );
             let requests = self.fleet_requests();
             let run = |mode: Mode| {
-                let mut stream = scenario.stream(self.cores, requests, self.seed);
-                let totals = MulticoreSim::new(mode, self.cores)
-                    .with_sim(self.sim)
-                    .run_stream(&mut stream)
-                    .aggregate();
-                (totals.malloc_cycles + totals.free_cycles) as f64
+                let stream = scenario.stream(self.cores, requests, self.seed);
+                self.run_mt_stream(mode, stream)
             };
             let (base_cycles, accel_cycles) = (run(Mode::Baseline), run(accel));
             return self.result_from(base_cycles, accel_cycles);
@@ -274,49 +252,45 @@ impl ConfigPoint {
             let AnyWorkload::Macro(w) = &workload else {
                 panic!("multi-core sweeps need a macro workload");
             };
-            assert!(
-                self.substrate == Substrate::TcMalloc,
-                "multi-core sweeps run on the tcmalloc substrate"
-            );
             let calls_per_core = (self.scale.calls / self.cores).max(40);
             let trace = MtTrace::scaled(w, self.cores, calls_per_core, self.seed);
-            let run = |mode: Mode| {
-                let totals = MulticoreSim::new(mode, self.cores)
-                    .with_sim(self.sim)
-                    .run(&trace)
-                    .aggregate();
-                (totals.malloc_cycles + totals.free_cycles) as f64
-            };
+            let run = |mode: Mode| self.run_mt_stream(mode, trace.ops().iter().copied());
             (run(Mode::Baseline), run(accel))
         } else {
             let warm = workload.trace(self.scale.warmup, self.seed);
             let measure = workload.trace(self.scale.calls, self.seed.wrapping_add(1));
-            let run = |sim: &mut dyn SimBackend| {
-                warm.replay_on(sim);
-                let s = measure.replay_on(sim);
-                s.allocator_cycles()
-            };
             let plan = self.sim.plan();
-            match self.substrate {
-                Substrate::TcMalloc => {
-                    let run_tc = |mode: Mode| {
-                        let mut sim = MallocSim::new(mode);
-                        sim.set_sampling(plan);
-                        run(&mut sim)
-                    };
-                    (run_tc(Mode::Baseline), run_tc(accel))
-                }
-                Substrate::JeMalloc => {
-                    let run_je = |mode: Mode| {
-                        let mut sim = JeSim::new(mode);
-                        sim.set_sampling(plan);
-                        run(&mut sim)
-                    };
-                    (run_je(Mode::Baseline), run_je(accel))
-                }
-            }
+            let run = |mode: Mode| {
+                let mut sim = AnySim::new(self.substrate, mode);
+                sim.set_sampling(plan);
+                warm.replay_on(&mut sim);
+                measure.replay_on(&mut sim).allocator_cycles()
+            };
+            (run(Mode::Baseline), run(accel))
         };
         self.result_from(base_cycles, accel_cycles)
+    }
+
+    /// Runs one multi-core `(core, op)` stream under `mode` and returns
+    /// total allocator cycles. TCMalloc goes through the shared-heap
+    /// multi-core simulator; the other substrates shard per core.
+    fn run_mt_stream(
+        &self,
+        mode: Mode,
+        stream: impl IntoIterator<Item = (usize, mallacc_workloads::MtOp)>,
+    ) -> f64 {
+        if self.substrate == Substrate::TcMalloc {
+            let totals = MulticoreSim::new(mode, self.cores)
+                .with_sim(self.sim)
+                .run_stream(stream)
+                .aggregate();
+            (totals.malloc_cycles + totals.free_cycles) as f64
+        } else {
+            let mut sim = ShardedMt::new(self.substrate, mode, self.cores);
+            sim.set_sampling(self.sim.plan());
+            sim.run_stream(stream);
+            sim.totals().allocator_cycles() as f64
+        }
     }
 
     /// Packs raw cycle totals into a [`PointResult`].

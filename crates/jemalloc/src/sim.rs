@@ -20,6 +20,7 @@
 
 use mallacc::{MallocCache, MallocCacheConfig, Mode, PopResult, RangeKeying};
 use mallacc_cache::{Addr, Hierarchy};
+use mallacc_offload::{service_cycles, OffloadConfig, OffloadQueue, OffloadStats, ServicePath};
 use mallacc_ooo::{CoreConfig, Engine, Reg, Uop};
 
 use crate::allocator::{JeFreePath, JeMalloc, JeMallocOutcome, JeMallocPath};
@@ -95,6 +96,7 @@ pub struct JeSim {
     alloc: JeMalloc,
     cpu: Engine,
     mc: MallocCache,
+    offload: Option<OffloadQueue>,
     totals: JeTotals,
 }
 
@@ -113,11 +115,16 @@ impl JeSim {
                 ..MallocCacheConfig::paper_default()
             },
         };
+        let offload = match mode {
+            Mode::Offload(cfg) => Some(OffloadQueue::new(cfg)),
+            _ => None,
+        };
         Self {
             mode,
             alloc: JeMalloc::new(),
             cpu: Engine::new(CoreConfig::haswell(), Hierarchy::default()),
             mc: MallocCache::new(mc_cfg),
+            offload,
             totals: JeTotals::default(),
         }
     }
@@ -135,9 +142,20 @@ impl JeSim {
         &self.alloc
     }
 
+    /// The out-of-order engine (CPI stacks, execution statistics,
+    /// sampling reports).
+    pub fn engine(&self) -> &Engine {
+        &self.cpu
+    }
+
     /// The malloc cache.
     pub fn malloc_cache(&self) -> &MallocCache {
         &self.mc
+    }
+
+    /// Offload-queue statistics, when running in offload mode.
+    pub fn offload_stats(&self) -> Option<OffloadStats> {
+        self.offload.as_ref().map(OffloadQueue::stats)
     }
 
     /// Accumulated totals.
@@ -201,7 +219,11 @@ impl JeSim {
         let outcome = self.alloc.malloc(size);
         let start = self.cpu.now();
         self.cpu.push(Uop::jump(&[]));
-        let kind = self.emit_malloc(&outcome);
+        let kind = if let Mode::Offload(cfg) = self.mode {
+            self.emit_offload_malloc(&outcome, cfg)
+        } else {
+            self.emit_malloc(&outcome)
+        };
         self.cpu.push(Uop::jump(&[]));
         let cycles = self.cpu.now().saturating_sub(start);
         self.totals.malloc_calls += 1;
@@ -222,12 +244,117 @@ impl JeSim {
         let outcome = self.alloc.free(ptr, sized);
         let start = self.cpu.now();
         self.cpu.push(Uop::jump(&[]));
-        let kind = self.emit_free(&outcome);
+        let kind = if let Mode::Offload(cfg) = self.mode {
+            self.emit_offload_free(&outcome, cfg)
+        } else {
+            self.emit_free(&outcome)
+        };
         self.cpu.push(Uop::jump(&[]));
         let cycles = self.cpu.now().saturating_sub(start);
         self.totals.free_calls += 1;
         self.totals.free_cycles += cycles;
         JeCallRecord { cycles, kind, ptr }
+    }
+
+    // ---- offload ----------------------------------------------------------
+
+    /// The helper-side service path a jemalloc malloc outcome maps to.
+    fn malloc_service_path(outcome: &JeMallocOutcome) -> ServicePath {
+        match &outcome.path {
+            JeMallocPath::TcacheHit { .. } => ServicePath::MallocFast,
+            JeMallocPath::TcacheFill { fill, .. } => {
+                let batch = (fill.batch.len() as u64).max(1);
+                if fill.grew {
+                    ServicePath::MallocOs {
+                        batch,
+                        objects: batch,
+                        pages: u64::from(fill.new_runs.max(1)),
+                    }
+                } else if fill.new_runs > 0 {
+                    ServicePath::MallocSpan {
+                        batch,
+                        objects: batch,
+                        pages: u64::from(fill.new_runs),
+                    }
+                } else {
+                    ServicePath::MallocCentral { batch }
+                }
+            }
+            JeMallocPath::Large { pages, grew } => ServicePath::MallocLarge {
+                pages: *pages,
+                grew_heap: *grew,
+            },
+        }
+    }
+
+    /// The helper-side service path a jemalloc free outcome maps to.
+    fn free_service_path(outcome: &crate::allocator::JeFreeOutcome) -> ServicePath {
+        let unsized_walk = outcome.chunk_map.is_some();
+        match &outcome.path {
+            JeFreePath::TcachePush { flushed, .. } => match flushed {
+                Some(fl) => ServicePath::FreeRelease {
+                    moved: fl.len() as u64,
+                    unsized_walk,
+                },
+                None => ServicePath::FreeFast { unsized_walk },
+            },
+            JeFreePath::Large { pages } => ServicePath::FreeLarge { pages: *pages },
+        }
+    }
+
+    /// Marshals one request onto the offload queue: operand marshal, the
+    /// doorbell write, and any queue-full backpressure as a stall µop.
+    fn emit_offload_request(&mut self, cfg: OffloadConfig, service: u64) -> (u64, u64) {
+        let req = self.cpu.alloc_reg();
+        self.cpu.push(Uop::alu(1, Some(req), &[]));
+        let db = self.cpu.alloc_reg();
+        let t = self
+            .cpu
+            .push(Uop::alu(cfg.enqueue_latency.max(1), Some(db), &[req]));
+        let enq = self
+            .offload
+            .as_mut()
+            .expect("offload mode has a queue")
+            .enqueue(t.complete, service);
+        if enq.stall_cycles > 0 {
+            let stalled = self.cpu.alloc_reg();
+            let wait = u32::try_from(enq.stall_cycles).unwrap_or(u32::MAX);
+            self.cpu.push(Uop::alu(wait.max(1), Some(stalled), &[db]));
+        }
+        (t.complete, enq.response_ready)
+    }
+
+    fn emit_offload_malloc(&mut self, outcome: &JeMallocOutcome, cfg: OffloadConfig) -> JeCallKind {
+        let service = service_cycles(Self::malloc_service_path(outcome), false, &cfg);
+        let (submitted, response_ready) = self.emit_offload_request(cfg, service);
+        let need_at = submitted + u64::from(cfg.speculative_window);
+        let wait = response_ready.saturating_sub(need_at.max(self.cpu.now()));
+        if wait > 0 {
+            let d = self.cpu.alloc_reg();
+            let w = u32::try_from(wait).unwrap_or(u32::MAX);
+            self.cpu.push(Uop::alu(w.max(1), Some(d), &[]));
+        }
+        match &outcome.path {
+            JeMallocPath::TcacheHit { .. } => JeCallKind::MallocFast,
+            JeMallocPath::TcacheFill { .. } => JeCallKind::MallocFill,
+            JeMallocPath::Large { .. } => JeCallKind::MallocLarge,
+        }
+    }
+
+    fn emit_offload_free(
+        &mut self,
+        outcome: &crate::allocator::JeFreeOutcome,
+        cfg: OffloadConfig,
+    ) -> JeCallKind {
+        let service = service_cycles(Self::free_service_path(outcome), false, &cfg);
+        self.emit_offload_request(cfg, service);
+        match &outcome.path {
+            JeFreePath::TcachePush {
+                flushed: Some(_), ..
+            } => JeCallKind::FreeFlush,
+            JeFreePath::TcachePush { .. } => JeCallKind::FreeFast,
+            JeFreePath::Large { .. } => JeCallKind::FreeLarge,
+        }
     }
 
     // ---- µop emission -----------------------------------------------------
@@ -661,6 +788,34 @@ mod tests {
         assert!(r.cycles > 1000);
         let f = sim.free(r.ptr, false);
         assert_eq!(f.kind, JeCallKind::FreeLarge);
+    }
+
+    #[test]
+    fn offload_mode_runs_and_reports_stats() {
+        let mut sim = JeSim::new(Mode::offload_default());
+        warm_rotating(&mut sim, 200);
+        let stats = sim.offload_stats().expect("offload mode");
+        assert!(stats.enqueued >= 400, "enqueued {}", stats.enqueued);
+        assert!(stats.busy_cycles > 0, "helper never ran");
+    }
+
+    #[test]
+    fn offload_heap_is_bit_identical_to_baseline() {
+        let run = |mode: Mode| {
+            let mut sim = JeSim::new(mode);
+            let mut ptrs = Vec::new();
+            for i in 0..300u64 {
+                ptrs.push(sim.malloc(16 + (i % 50) * 24).ptr);
+                if i % 3 == 0 {
+                    if let Some(p) = ptrs.pop() {
+                        sim.free(p, true);
+                    }
+                }
+            }
+            ptrs
+        };
+        assert_eq!(run(Mode::Baseline), run(Mode::offload_default()));
+        assert_eq!(run(Mode::Baseline), run(Mode::offload_both()));
     }
 
     #[test]

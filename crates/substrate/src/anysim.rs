@@ -1,0 +1,302 @@
+//! Mode dispatch over every substrate's timing simulator.
+
+use mallacc::{MallocSim, Mode};
+use mallacc_cache::Addr;
+use mallacc_jemalloc::JeSim;
+use mallacc_offload::OffloadStats;
+use mallacc_ooo::SamplingPlan;
+
+use crate::kind::SubstrateKind;
+use crate::pcsim::PcSim;
+use crate::rpsim::RpSim;
+
+/// One timing simulator of any substrate, under any [`Mode`].
+///
+/// This is what the explore grids and CLIs drive: pick a
+/// [`SubstrateKind`] and an accelerator mode, get a [`SimBackend`]
+/// (`mallacc_workloads::SimBackend`) that replays traces.
+///
+/// # Example
+///
+/// ```
+/// use mallacc::Mode;
+/// use mallacc_substrate::{AnySim, SubstrateKind};
+///
+/// let mut sim = AnySim::new(SubstrateKind::Rpmalloc, Mode::mallacc_default());
+/// let (ptr, _cycles) = sim.malloc(64);
+/// sim.free(ptr, true);
+/// ```
+#[derive(Debug)]
+pub enum AnySim {
+    /// The TCMalloc driver.
+    TcMalloc(Box<MallocSim>),
+    /// The jemalloc driver.
+    JeMalloc(Box<JeSim>),
+    /// The rpmalloc driver.
+    Rpmalloc(Box<RpSim>),
+    /// The per-CPU TCMalloc driver.
+    PerCpu(Box<PcSim>),
+}
+
+impl AnySim {
+    /// Builds the `kind` substrate's simulator under `mode`.
+    pub fn new(kind: SubstrateKind, mode: Mode) -> Self {
+        match kind {
+            SubstrateKind::TcMalloc => AnySim::TcMalloc(Box::new(MallocSim::new(mode))),
+            SubstrateKind::JeMalloc => AnySim::JeMalloc(Box::new(JeSim::new(mode))),
+            SubstrateKind::Rpmalloc => AnySim::Rpmalloc(Box::new(RpSim::new(mode))),
+            SubstrateKind::PerCpu => AnySim::PerCpu(Box::new(PcSim::new(mode))),
+        }
+    }
+
+    /// Which substrate this is.
+    pub fn kind(&self) -> SubstrateKind {
+        match self {
+            AnySim::TcMalloc(_) => SubstrateKind::TcMalloc,
+            AnySim::JeMalloc(_) => SubstrateKind::JeMalloc,
+            AnySim::Rpmalloc(_) => SubstrateKind::Rpmalloc,
+            AnySim::PerCpu(_) => SubstrateKind::PerCpu,
+        }
+    }
+
+    /// Switches the timing engine between detailed and sampled execution.
+    pub fn set_sampling(&mut self, plan: Option<SamplingPlan>) {
+        match self {
+            AnySim::TcMalloc(s) => s.set_sampling(plan),
+            AnySim::JeMalloc(s) => s.set_sampling(plan),
+            AnySim::Rpmalloc(s) => s.set_sampling(plan),
+            AnySim::PerCpu(s) => s.set_sampling(plan),
+        }
+    }
+
+    /// Simulates one malloc; returns `(ptr, cycles)`.
+    pub fn malloc(&mut self, size: u64) -> (Addr, u64) {
+        match self {
+            AnySim::TcMalloc(s) => {
+                let r = s.malloc(size);
+                (r.ptr, r.cycles)
+            }
+            AnySim::JeMalloc(s) => {
+                let r = s.malloc(size);
+                (r.ptr, r.cycles)
+            }
+            AnySim::Rpmalloc(s) => {
+                let r = s.malloc(size);
+                (r.ptr, r.cycles)
+            }
+            AnySim::PerCpu(s) => {
+                let r = s.malloc(size);
+                (r.ptr, r.cycles)
+            }
+        }
+    }
+
+    /// Simulates one free; returns its cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid or double free.
+    pub fn free(&mut self, ptr: Addr, sized: bool) -> u64 {
+        match self {
+            AnySim::TcMalloc(s) => s.free(ptr, sized).cycles,
+            AnySim::JeMalloc(s) => s.free(ptr, sized).cycles,
+            AnySim::Rpmalloc(s) => s.free(ptr, sized).cycles,
+            AnySim::PerCpu(s) => s.free(ptr, sized).cycles,
+        }
+    }
+
+    /// Simulates a free issued by a *different* core/thread than the one
+    /// this simulator models. rpmalloc routes it through the span's
+    /// deferred list; the other substrates absorb it into their local
+    /// caches (their functional models own the block either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid or double free.
+    pub fn free_foreign(&mut self, ptr: Addr, sized: bool) -> u64 {
+        match self {
+            AnySim::Rpmalloc(s) => s.free_remote(ptr, sized).cycles,
+            other => other.free(ptr, sized),
+        }
+    }
+
+    /// malloc + free cycles accumulated so far.
+    pub fn allocator_cycles(&self) -> u64 {
+        match self {
+            AnySim::TcMalloc(s) => s.totals().allocator_cycles(),
+            AnySim::JeMalloc(s) => s.totals().allocator_cycles(),
+            AnySim::Rpmalloc(s) => s.totals().allocator_cycles(),
+            AnySim::PerCpu(s) => s.totals().allocator_cycles(),
+        }
+    }
+
+    /// malloc and free call counts accumulated so far.
+    pub fn call_counts(&self) -> (u64, u64) {
+        match self {
+            AnySim::TcMalloc(s) => {
+                let t = s.totals();
+                (t.malloc_calls, t.free_calls)
+            }
+            AnySim::JeMalloc(s) => {
+                let t = s.totals();
+                (t.malloc_calls, t.free_calls)
+            }
+            AnySim::Rpmalloc(s) => {
+                let t = s.totals();
+                (t.malloc_calls, t.free_calls)
+            }
+            AnySim::PerCpu(s) => {
+                let t = s.totals();
+                (t.malloc_calls, t.free_calls)
+            }
+        }
+    }
+
+    /// The out-of-order engine (CPI stacks, execution statistics,
+    /// sampling reports).
+    pub fn engine(&self) -> &mallacc_ooo::Engine {
+        match self {
+            AnySim::TcMalloc(s) => s.engine(),
+            AnySim::JeMalloc(s) => s.engine(),
+            AnySim::Rpmalloc(s) => s.engine(),
+            AnySim::PerCpu(s) => s.engine(),
+        }
+    }
+
+    /// Resets totals (post-warm-up).
+    pub fn reset_totals(&mut self) {
+        match self {
+            AnySim::TcMalloc(s) => s.reset_totals(),
+            AnySim::JeMalloc(s) => s.reset_totals(),
+            AnySim::Rpmalloc(s) => s.reset_totals(),
+            AnySim::PerCpu(s) => s.reset_totals(),
+        }
+    }
+
+    /// Offload-queue statistics, when running in offload mode.
+    pub fn offload_stats(&self) -> Option<OffloadStats> {
+        match self {
+            AnySim::TcMalloc(s) => s.offload_stats(),
+            AnySim::JeMalloc(s) => s.offload_stats(),
+            AnySim::Rpmalloc(s) => s.offload_stats(),
+            AnySim::PerCpu(s) => s.offload_stats(),
+        }
+    }
+
+    /// The paper's antagonist hook.
+    pub fn antagonize(&mut self, fraction: f64) {
+        match self {
+            AnySim::TcMalloc(s) => s.antagonize(fraction),
+            AnySim::JeMalloc(s) => s.antagonize(fraction),
+            AnySim::Rpmalloc(s) => s.antagonize(fraction),
+            AnySim::PerCpu(s) => s.antagonize(fraction),
+        }
+    }
+
+    /// Models a context switch.
+    pub fn context_switch(&mut self, quantum_cycles: u64) {
+        match self {
+            AnySim::TcMalloc(s) => s.context_switch(quantum_cycles),
+            AnySim::JeMalloc(s) => s.context_switch(quantum_cycles),
+            AnySim::Rpmalloc(s) => s.context_switch(quantum_cycles),
+            AnySim::PerCpu(s) => s.context_switch(quantum_cycles),
+        }
+    }
+
+    /// Application compute between allocator calls.
+    pub fn app_run(&mut self, cycles: u64) {
+        match self {
+            AnySim::TcMalloc(s) => s.app_run(cycles),
+            AnySim::JeMalloc(s) => s.app_run(cycles),
+            AnySim::Rpmalloc(s) => s.app_run(cycles),
+            AnySim::PerCpu(s) => s.app_run(cycles),
+        }
+    }
+
+    /// Application memory traffic: one load per address.
+    pub fn app_touch(&mut self, addrs: &[Addr]) {
+        match self {
+            AnySim::TcMalloc(s) => s.app_touch(addrs),
+            AnySim::JeMalloc(s) => s.app_touch(addrs),
+            AnySim::Rpmalloc(s) => s.app_touch(addrs),
+            AnySim::PerCpu(s) => s.app_touch(addrs),
+        }
+    }
+}
+
+impl mallacc_workloads::SimBackend for AnySim {
+    fn backend_malloc(&mut self, size: u64) -> (u64, u64) {
+        self.malloc(size)
+    }
+    fn backend_free(&mut self, ptr: u64, sized: bool) -> u64 {
+        self.free(ptr, sized)
+    }
+    fn backend_antagonize(&mut self, fraction: f64) {
+        self.antagonize(fraction);
+    }
+    fn backend_context_switch(&mut self, quantum: u64) {
+        self.context_switch(quantum);
+    }
+    fn backend_app_run(&mut self, cycles: u64) {
+        self.app_run(cycles);
+    }
+    fn backend_app_touch(&mut self, addrs: &[Addr]) {
+        self.app_touch(addrs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_substrate_runs_every_mode() {
+        for kind in SubstrateKind::ALL {
+            for mode in [
+                Mode::Baseline,
+                Mode::mallacc_default(),
+                Mode::offload_default(),
+                Mode::offload_both(),
+            ] {
+                let mut sim = AnySim::new(kind, mode);
+                let mut ptrs = Vec::new();
+                for i in 0..200u64 {
+                    ptrs.push(sim.malloc(16 + (i % 30) * 16).0);
+                    if i % 2 == 1 {
+                        let p = ptrs.remove(0);
+                        sim.free(p, i % 4 == 1);
+                    }
+                }
+                for p in ptrs {
+                    sim.free(p, false);
+                }
+                assert!(
+                    sim.allocator_cycles() > 0,
+                    "{kind:?}/{mode:?} recorded no cycles"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mode_changes_cycles_but_not_heap() {
+        for kind in SubstrateKind::ALL {
+            let run = |mode: Mode| {
+                let mut sim = AnySim::new(kind, mode);
+                let mut ptrs = Vec::new();
+                for i in 0..300u64 {
+                    ptrs.push(sim.malloc(16 + (i % 40) * 24).0);
+                    if i % 3 == 2 {
+                        let p = ptrs.pop().unwrap();
+                        sim.free(p, true);
+                    }
+                }
+                ptrs
+            };
+            let base = run(Mode::Baseline);
+            for mode in [Mode::mallacc_default(), Mode::offload_default()] {
+                assert_eq!(base, run(mode), "{kind:?}: heap diverges under {mode:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The canonical substrate axis.
+
+/// Which allocator model a run uses. This is the `substrate=` axis of the
+/// explore grids, the `--substrate` flag of the CLIs, and the unit the
+/// conformance suites fuzz pairwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubstrateKind {
+    /// The TCMalloc model (the paper's allocator).
+    TcMalloc,
+    /// The jemalloc-style model (allocator-generality mode; the malloc
+    /// cache always runs generic requested-size keying there).
+    JeMalloc,
+    /// The rpmalloc-style model: lock-free single-ownership spans,
+    /// address-mask metadata lookup, deferred cross-thread free lists.
+    Rpmalloc,
+    /// The TCMalloc-per-CPU variant: rseq-style restartable-sequence
+    /// per-CPU array caches over TCMalloc's size classes.
+    PerCpu,
+}
+
+impl SubstrateKind {
+    /// Every substrate, in canonical sweep order.
+    pub const ALL: [SubstrateKind; 4] = [
+        SubstrateKind::TcMalloc,
+        SubstrateKind::JeMalloc,
+        SubstrateKind::Rpmalloc,
+        SubstrateKind::PerCpu,
+    ];
+
+    /// The substrate's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubstrateKind::TcMalloc => "tcmalloc",
+            SubstrateKind::JeMalloc => "jemalloc",
+            SubstrateKind::Rpmalloc => "rpmalloc",
+            SubstrateKind::PerCpu => "percpu",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn by_name(name: &str) -> Option<SubstrateKind> {
+        SubstrateKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in SubstrateKind::ALL {
+            assert_eq!(SubstrateKind::by_name(k.name()), Some(k));
+        }
+        assert_eq!(SubstrateKind::by_name("dlmalloc"), None);
+    }
+}

@@ -1,0 +1,288 @@
+//! The functional substrate trait.
+//!
+//! Every allocator model in the repo — TCMalloc, jemalloc, rpmalloc,
+//! per-CPU — answers the same two questions: *where does this request
+//! land* and *which path served it*. [`Allocator`] is that common
+//! surface, reduced to what cross-substrate consumers (the differential
+//! suites, the conformance fuzzer, generic drivers) actually need. The
+//! substrate-specific outcome types stay on the concrete models; this
+//! trait flattens them into [`GenericAlloc`]/[`GenericFree`].
+
+use mallacc_cache::Addr;
+use mallacc_jemalloc::{JeFreePath, JeMalloc, JeMallocPath};
+use mallacc_tcmalloc::{FreePath, MallocPath, TcMalloc};
+
+use crate::kind::SubstrateKind;
+use crate::percpu::{PcFreePath, PcMallocPath, PerCpuMalloc};
+use crate::rpmalloc::{RpFreePath, RpMalloc, RpMallocPath};
+
+/// Substrate-agnostic view of one allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenericAlloc {
+    /// The address handed out.
+    pub ptr: Addr,
+    /// Requested size.
+    pub requested: u64,
+    /// Rounded size actually reserved.
+    pub alloc_size: u64,
+    /// The request was served by the substrate's fast path (its
+    /// per-thread/per-CPU/per-span cache), with no central or OS work.
+    pub fast: bool,
+    /// The request forced a fresh OS reservation.
+    pub grew: bool,
+}
+
+/// Substrate-agnostic view of one free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenericFree {
+    /// The freed address.
+    pub ptr: Addr,
+    /// Rounded size of the block.
+    pub alloc_size: u64,
+    /// The free stayed on the substrate's fast path.
+    pub fast: bool,
+}
+
+/// The functional substrate contract.
+///
+/// Implementations are deterministic: the same call sequence on a fresh
+/// instance produces the same addresses and paths. `dealloc` panics on
+/// invalid or double frees — the conformance suites rely on that.
+pub trait Allocator {
+    /// Which substrate this is.
+    fn kind(&self) -> SubstrateKind;
+
+    /// Serves one allocation of `size` bytes.
+    fn alloc(&mut self, size: u64) -> GenericAlloc;
+
+    /// Frees `ptr`; `sized` marks a sized delete.
+    fn dealloc(&mut self, ptr: Addr, sized: bool) -> GenericFree;
+
+    /// Live (allocated, unfreed) block count.
+    fn live_blocks(&self) -> usize;
+}
+
+impl Allocator for TcMalloc {
+    fn kind(&self) -> SubstrateKind {
+        SubstrateKind::TcMalloc
+    }
+
+    fn alloc(&mut self, size: u64) -> GenericAlloc {
+        let o = self.malloc(size);
+        let (fast, grew) = match &o.path {
+            MallocPath::ThreadCacheHit { .. } => (true, false),
+            MallocPath::CentralRefill { populate, .. } => {
+                (false, populate.as_ref().is_some_and(|p| p.span.grew_heap))
+            }
+            MallocPath::Large { grew_heap, .. } => (false, *grew_heap),
+        };
+        GenericAlloc {
+            ptr: o.ptr,
+            requested: o.requested,
+            alloc_size: o.alloc_size,
+            fast,
+            grew,
+        }
+    }
+
+    fn dealloc(&mut self, ptr: Addr, sized: bool) -> GenericFree {
+        let o = self.free(ptr, sized);
+        let fast = matches!(&o.path, FreePath::ThreadCachePush { released: None, .. });
+        GenericFree {
+            ptr: o.ptr,
+            alloc_size: o.alloc_size,
+            fast,
+        }
+    }
+
+    fn live_blocks(&self) -> usize {
+        TcMalloc::live_blocks(self)
+    }
+}
+
+impl Allocator for JeMalloc {
+    fn kind(&self) -> SubstrateKind {
+        SubstrateKind::JeMalloc
+    }
+
+    fn alloc(&mut self, size: u64) -> GenericAlloc {
+        let o = self.malloc(size);
+        let (fast, grew) = match &o.path {
+            JeMallocPath::TcacheHit { .. } => (true, false),
+            JeMallocPath::TcacheFill { fill, .. } => (false, fill.grew),
+            JeMallocPath::Large { grew, .. } => (false, *grew),
+        };
+        GenericAlloc {
+            ptr: o.ptr,
+            requested: o.requested,
+            alloc_size: o.alloc_size,
+            fast,
+            grew,
+        }
+    }
+
+    fn dealloc(&mut self, ptr: Addr, sized: bool) -> GenericFree {
+        let o = self.free(ptr, sized);
+        let fast = matches!(&o.path, JeFreePath::TcachePush { flushed: None, .. });
+        GenericFree {
+            ptr: o.ptr,
+            alloc_size: o.alloc_size,
+            fast,
+        }
+    }
+
+    fn live_blocks(&self) -> usize {
+        JeMalloc::live_blocks(self)
+    }
+}
+
+impl Allocator for RpMalloc {
+    fn kind(&self) -> SubstrateKind {
+        SubstrateKind::Rpmalloc
+    }
+
+    fn alloc(&mut self, size: u64) -> GenericAlloc {
+        let o = self.malloc(size);
+        let (fast, grew) = match &o.path {
+            RpMallocPath::LocalHit { .. } | RpMallocPath::Carve { .. } => (true, false),
+            RpMallocPath::DeferredAdopt { .. } => (false, false),
+            RpMallocPath::NewSpan { grew, .. } => (false, *grew),
+            RpMallocPath::Large { grew, .. } => (false, *grew),
+        };
+        GenericAlloc {
+            ptr: o.ptr,
+            requested: o.requested,
+            alloc_size: o.alloc_size,
+            fast,
+            grew,
+        }
+    }
+
+    fn dealloc(&mut self, ptr: Addr, sized: bool) -> GenericFree {
+        let o = self.free(ptr, sized);
+        let fast = matches!(&o.path, RpFreePath::Local { .. });
+        GenericFree {
+            ptr: o.ptr,
+            alloc_size: o.alloc_size,
+            fast,
+        }
+    }
+
+    fn live_blocks(&self) -> usize {
+        RpMalloc::live_blocks(self)
+    }
+}
+
+impl Allocator for PerCpuMalloc {
+    fn kind(&self) -> SubstrateKind {
+        SubstrateKind::PerCpu
+    }
+
+    fn alloc(&mut self, size: u64) -> GenericAlloc {
+        let o = self.malloc(size);
+        let (fast, grew) = match &o.path {
+            PcMallocPath::SlabHit { .. } => (true, false),
+            PcMallocPath::SlabRefill { grew, .. } => (false, *grew),
+            PcMallocPath::Large { grew, .. } => (false, *grew),
+        };
+        GenericAlloc {
+            ptr: o.ptr,
+            requested: o.requested,
+            alloc_size: o.alloc_size,
+            fast,
+            grew,
+        }
+    }
+
+    fn dealloc(&mut self, ptr: Addr, sized: bool) -> GenericFree {
+        let o = self.free(ptr, sized);
+        let fast = matches!(&o.path, PcFreePath::SlabPush { .. });
+        GenericFree {
+            ptr: o.ptr,
+            alloc_size: o.alloc_size,
+            fast,
+        }
+    }
+
+    fn live_blocks(&self) -> usize {
+        PerCpuMalloc::live_blocks(self)
+    }
+}
+
+/// A boxed functional model of any substrate.
+pub struct AnyAllocator(Box<dyn Allocator>);
+
+impl AnyAllocator {
+    /// Builds a cold heap of the given substrate.
+    pub fn new(kind: SubstrateKind) -> Self {
+        AnyAllocator(match kind {
+            SubstrateKind::TcMalloc => Box::new(TcMalloc::default()),
+            SubstrateKind::JeMalloc => Box::new(JeMalloc::new()),
+            SubstrateKind::Rpmalloc => Box::new(RpMalloc::new(1)),
+            SubstrateKind::PerCpu => Box::new(PerCpuMalloc::new(1)),
+        })
+    }
+}
+
+impl Allocator for AnyAllocator {
+    fn kind(&self) -> SubstrateKind {
+        self.0.kind()
+    }
+
+    fn alloc(&mut self, size: u64) -> GenericAlloc {
+        self.0.alloc(size)
+    }
+
+    fn dealloc(&mut self, ptr: Addr, sized: bool) -> GenericFree {
+        self.0.dealloc(ptr, sized)
+    }
+
+    fn live_blocks(&self) -> usize {
+        self.0.live_blocks()
+    }
+}
+
+impl std::fmt::Debug for AnyAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AnyAllocator").field(&self.kind()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_substrate_round_trips_through_the_trait() {
+        for kind in SubstrateKind::ALL {
+            let mut a = AnyAllocator::new(kind);
+            assert_eq!(a.kind(), kind);
+            let cold = a.alloc(100);
+            assert!(cold.alloc_size >= 100, "{kind:?} under-allocates");
+            assert!(!cold.fast, "{kind:?} cold alloc cannot be fast");
+            let f = a.dealloc(cold.ptr, true);
+            assert_eq!(f.ptr, cold.ptr);
+            assert_eq!(f.alloc_size, cold.alloc_size);
+            let warm = a.alloc(100);
+            assert_eq!(warm.ptr, cold.ptr, "{kind:?} LIFO reuse");
+            assert!(warm.fast, "{kind:?} warm alloc must be fast");
+            a.dealloc(warm.ptr, false);
+            assert_eq!(a.live_blocks(), 0, "{kind:?} leaks");
+        }
+    }
+
+    #[test]
+    fn rounding_never_shrinks_anywhere() {
+        for kind in SubstrateKind::ALL {
+            let mut a = AnyAllocator::new(kind);
+            for size in [1u64, 8, 100, 1024, 4096, 32 * 1024, 600_000] {
+                let o = a.alloc(size);
+                assert!(
+                    o.alloc_size >= size,
+                    "{kind:?}: {size} rounded down to {}",
+                    o.alloc_size
+                );
+            }
+        }
+    }
+}

@@ -110,7 +110,7 @@ pub fn arb_config_point() -> impl Strategy<Value = ConfigPoint> {
             any::<bool>(),
             any::<bool>(),
             any::<bool>(),
-            any::<bool>(),
+            0usize..4,
             0usize..14,
             1usize..=8,
             any::<u64>(),
@@ -125,7 +125,17 @@ pub fn arb_config_point() -> impl Strategy<Value = ConfigPoint> {
     )
         .prop_map(
             |(
-                (entries, extra_latency, prefetch, index_opt, sampling, je, workload, cores, seed),
+                (
+                    entries,
+                    extra_latency,
+                    prefetch,
+                    index_opt,
+                    sampling,
+                    substrate,
+                    workload,
+                    cores,
+                    seed,
+                ),
                 accel,
                 queue_depth,
                 sim,
@@ -138,11 +148,7 @@ pub fn arb_config_point() -> impl Strategy<Value = ConfigPoint> {
                     sampling,
                     accel: AccelKind::ALL[accel],
                     queue_depth,
-                    substrate: if je {
-                        Substrate::JeMalloc
-                    } else {
-                        Substrate::TcMalloc
-                    },
+                    substrate: Substrate::ALL[substrate],
                     workload: mallacc_workloads::AnyWorkload::all_names()[workload].to_string(),
                     cores,
                     seed,
@@ -186,6 +192,99 @@ pub fn arb_fleet_params() -> impl Strategy<Value = FleetParams> {
     })
 }
 
+/// A naive reference heap interpreter: the malloc contract with no
+/// allocator structure at all.
+///
+/// The differential suites replay every substrate's
+/// [`GenericAlloc`](mallacc_substrate::GenericAlloc)/[`GenericFree`](mallacc_substrate::GenericFree)
+/// outcomes through one of these. It knows nothing about size classes,
+/// spans, or caches — just the laws any correct allocator must obey:
+/// every block is rounded up (never down), live blocks never overlap,
+/// and every free names a live block and recalls its exact rounded
+/// size. Violations return `Err` with the offending addresses so a
+/// shrunk proptest case reads like a bug report.
+#[derive(Debug, Default)]
+pub struct RefHeap {
+    /// ptr → (requested, alloc_size) for every live block.
+    live: std::collections::BTreeMap<u64, (u64, u64)>,
+    /// Live pointers in allocation order. `pick` indexes this rather
+    /// than the address-sorted map so that the same `DiffOp::Free`
+    /// selector names the same *logical* block on every substrate —
+    /// address layouts differ across allocators, allocation order
+    /// does not.
+    order: Vec<u64>,
+}
+
+impl RefHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks and records one allocation outcome.
+    pub fn on_alloc(&mut self, a: &mallacc_substrate::GenericAlloc) -> Result<(), String> {
+        if a.ptr == 0 {
+            return Err("allocator returned null".to_string());
+        }
+        if a.alloc_size < a.requested {
+            return Err(format!(
+                "under-allocation: requested {} got {}",
+                a.requested, a.alloc_size
+            ));
+        }
+        if let Some((&p, &(_, s))) = self.live.range(..=a.ptr).next_back() {
+            if p + s > a.ptr {
+                return Err(format!(
+                    "overlap: new [{:#x},+{}) collides with live [{p:#x},+{s})",
+                    a.ptr, a.alloc_size
+                ));
+            }
+        }
+        if let Some((&p, &(_, s))) = self.live.range(a.ptr..a.ptr + a.alloc_size).next() {
+            return Err(format!(
+                "overlap: new [{:#x},+{}) collides with live [{p:#x},+{s})",
+                a.ptr, a.alloc_size
+            ));
+        }
+        self.live.insert(a.ptr, (a.requested, a.alloc_size));
+        self.order.push(a.ptr);
+        Ok(())
+    }
+
+    /// Checks and records one free outcome.
+    pub fn on_free(&mut self, f: &mallacc_substrate::GenericFree) -> Result<(), String> {
+        self.order.retain(|&p| p != f.ptr);
+        match self.live.remove(&f.ptr) {
+            None => Err(format!("free of unknown block {:#x}", f.ptr)),
+            Some((req, size)) if size != f.alloc_size => Err(format!(
+                "size amnesia at {:#x}: allocated {size} (for request {req}), freed {}",
+                f.ptr, f.alloc_size
+            )),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Live blocks currently tracked.
+    pub fn live_blocks(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Sum of rounded sizes of live blocks.
+    pub fn bytes_in_use(&self) -> u64 {
+        self.live.values().map(|&(_, s)| s).sum()
+    }
+
+    /// The `selector % live`-th live pointer *in allocation order*,
+    /// for replaying [`DiffOp::Free`] selectors; `None` when empty.
+    pub fn pick(&self, selector: u64) -> Option<u64> {
+        if self.order.is_empty() {
+            return None;
+        }
+        let i = (selector % self.order.len() as u64) as usize;
+        self.order.get(i).copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +309,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ref_heap_catches_contract_violations() {
+        use mallacc_substrate::{GenericAlloc, GenericFree};
+        let a = |ptr: u64, requested: u64, alloc_size: u64| GenericAlloc {
+            ptr,
+            requested,
+            alloc_size,
+            fast: true,
+            grew: false,
+        };
+        let mut h = RefHeap::new();
+        h.on_alloc(&a(0x1000, 30, 32)).unwrap();
+        assert!(h.on_alloc(&a(0, 8, 8)).is_err(), "null");
+        assert!(h.on_alloc(&a(0x2000, 64, 48)).is_err(), "under-allocation");
+        assert!(h.on_alloc(&a(0x1010, 16, 16)).is_err(), "overlap above");
+        assert!(h.on_alloc(&a(0xff8, 16, 16)).is_err(), "overlap below");
+        h.on_alloc(&a(0x1020, 16, 16)).unwrap();
+        assert_eq!((h.live_blocks(), h.bytes_in_use()), (2, 48));
+        assert_eq!(h.pick(3), Some(0x1020));
+        let f = |ptr: u64, alloc_size: u64| GenericFree {
+            ptr,
+            alloc_size,
+            fast: true,
+        };
+        assert!(h.on_free(&f(0x3000, 8)).is_err(), "unknown block");
+        assert!(h.on_free(&f(0x1000, 16)).is_err(), "size amnesia");
+        // The failed size-amnesia free still removed the block (it
+        // reported the divergence); the second free must now be unknown.
+        assert!(h.on_free(&f(0x1000, 32)).is_err(), "double free");
+        h.on_free(&f(0x1020, 16)).unwrap();
+        assert_eq!(h.live_blocks(), 0);
     }
 
     #[test]

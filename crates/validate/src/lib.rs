@@ -25,6 +25,10 @@
 //!   interpreter ([`mallacc_offload::RefOffloadQueue`]), with conservation
 //!   laws on the queue counters and a heap-identity obligation proving the
 //!   offload driver modes never change what the allocator returns;
+//! * [`substrate`] — **substrate conformance**: executable allocator laws
+//!   (span ownership, per-CPU token conservation, deferred-free
+//!   linearization) fuzzed over the rpmalloc-style and per-CPU substrate
+//!   models via their introspection hooks;
 //! * [`laws`] — a **metamorphic law suite**: properties that must hold
 //!   across *pairs* of runs (more entries never hurts on canonical traces,
 //!   removing prefetches never helps the hit rate, independent ops
@@ -44,6 +48,7 @@ pub mod oracle;
 pub mod program;
 pub mod refspec;
 pub mod sample;
+pub mod substrate;
 
 pub use laws::{LawId, LawReport, LawViolation};
 pub use offload::{offload_fuzz_slot, OffloadDivergence, OffloadFuzzReport};
@@ -54,3 +59,4 @@ pub use sample::{
     sample_fuzz_slot, sampled_kernel_outcomes, SampleDivergence, SampleFuzzReport,
     SampledKernelOutcome,
 };
+pub use substrate::{substrate_fuzz_slot, SubstrateDivergence, SubstrateFuzzReport};

@@ -1,19 +1,49 @@
-//! Differential testing of the two functional allocator models: replay
-//! identical seeded op streams through mallacc-tcmalloc and
-//! mallacc-jemalloc and assert they agree on everything the malloc
-//! contract pins down, while their implementation-defined details (size
-//! rounding, address layout) stay within documented slack.
+//! Differential testing of the functional allocator models: replay
+//! identical seeded op streams through all four substrates — TCMalloc,
+//! jemalloc, rpmalloc, and the per-CPU TCMalloc variant — and assert
+//! they agree on everything the malloc contract pins down, while their
+//! implementation-defined details (size rounding, address layout) stay
+//! within documented slack.
+//!
+//! Three layers:
+//!
+//! 1. The original TCMalloc/jemalloc pairwise test, which checks the
+//!    details the two table-driven allocators can be held to jointly
+//!    (bin classification, rounding ceilings).
+//! 2. A four-way sweep through the [`mallacc_substrate::Allocator`]
+//!    trait: every substrate's outcome stream is replayed through the
+//!    naive [`RefHeap`] reference interpreter (rounding, overlap,
+//!    free-size recall), and all four must agree exactly on live-block
+//!    counts with bytes-in-use inside the documented slack.
+//! 3. Heap-identity replay: the same program on two fresh instances of
+//!    the same substrate must produce byte-identical outcome streams —
+//!    the determinism law every timing simulator above the functional
+//!    models relies on.
 //!
 //! The point of the exercise: the Mallacc generality claim (§6.3 — the
-//! malloc cache also accelerates jemalloc) only means something if both
-//! models implement the *same* allocator semantics.
+//! malloc cache also accelerates other allocators) only means something
+//! if all models implement the *same* allocator semantics.
+//!
+//! CI runs 64 cases per property; `DIFF_CASES=2500 cargo test --test
+//! allocator_diff` raises that (2 500 cases × 4 substrates ≈ 10k fuzzed
+//! programs per substrate pair for the full-scale differential gate).
 
 use proptest::prelude::*;
 
 use mallacc_jemalloc::JeMalloc;
 use mallacc_stats::tol::{BYTES_IN_USE_SLACK, ROUNDING_SLACK};
+use mallacc_substrate::{Allocator, AnyAllocator, SubstrateKind};
 use mallacc_tcmalloc::TcMalloc;
-use mallacc_test_support::{arb_diff_stream, DiffOp};
+use mallacc_test_support::{arb_diff_stream, DiffOp, RefHeap};
+
+/// Cases per property: 64 in CI, overridable via `DIFF_CASES` for the
+/// full-scale fuzzing gate.
+fn diff_cases() -> u32 {
+    std::env::var("DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
 
 /// A live allocation as seen by both allocators.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +66,7 @@ fn check_disjoint(live: &[LivePair], ptr: u64, size: u64, pick: fn(&LivePair) ->
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(diff_cases()))]
 
     /// Functional agreement on identical streams: both allocators satisfy
     /// every request, never overlap live blocks, round every request up,
@@ -144,6 +174,118 @@ proptest! {
             prop_assert!(j1 >= prev_je, "jemalloc rounding not monotone at {size}");
             prev_tc = t1;
             prev_je = j1;
+        }
+    }
+
+    /// Four-way differential against the reference interpreter: every
+    /// substrate's outcome stream satisfies the naive malloc contract
+    /// (rounding, overlap-freedom, free-size recall), all four agree
+    /// exactly on live-block counts at every step, and their bytes in
+    /// use stay within the documented cross-allocator slack.
+    #[test]
+    fn all_substrates_obey_the_reference_interpreter(ops in arb_diff_stream(120)) {
+        let mut subs: Vec<(AnyAllocator, RefHeap)> = SubstrateKind::ALL
+            .iter()
+            .map(|&k| (AnyAllocator::new(k), RefHeap::new()))
+            .collect();
+
+        for op in ops {
+            match op {
+                DiffOp::Malloc { size } => {
+                    for (alloc, heap) in &mut subs {
+                        let kind = alloc.kind();
+                        let a = alloc.alloc(size);
+                        prop_assert_eq!(a.requested, size, "{:?} mislabeled the request", kind);
+                        if let Err(e) = heap.on_alloc(&a) {
+                            return Err(TestCaseError::fail(format!("{kind:?}: {e}")));
+                        }
+                        prop_assert_eq!(
+                            alloc.live_blocks(),
+                            heap.live_blocks(),
+                            "{:?} live-block count diverged from its own stream", kind
+                        );
+                    }
+                }
+                DiffOp::Free { index, sized } => {
+                    // All four heaps hold the same number of live blocks,
+                    // so the selector picks the i-th block of each — the
+                    // same logical victim everywhere.
+                    for (alloc, heap) in &mut subs {
+                        let kind = alloc.kind();
+                        let Some(victim) = heap.pick(index) else { continue };
+                        let f = alloc.dealloc(victim, sized);
+                        prop_assert_eq!(f.ptr, victim, "{:?} freed the wrong block", kind);
+                        if let Err(e) = heap.on_free(&f) {
+                            return Err(TestCaseError::fail(format!("{kind:?}: {e}")));
+                        }
+                    }
+                }
+            }
+
+            // Cross-substrate agreement after every op.
+            let counts: Vec<usize> = subs.iter().map(|(_, h)| h.live_blocks()).collect();
+            prop_assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "live-block counts diverged: {counts:?}"
+            );
+            let bytes: Vec<u64> = subs.iter().map(|(_, h)| h.bytes_in_use()).collect();
+            let (min, max) = (
+                *bytes.iter().min().expect("four substrates"),
+                *bytes.iter().max().expect("four substrates"),
+            );
+            if max >= 1024 {
+                let ratio = max as f64 / min.max(1) as f64;
+                prop_assert!(
+                    ratio <= BYTES_IN_USE_SLACK,
+                    "bytes-in-use diverged across substrates: {bytes:?}"
+                );
+            }
+        }
+
+        // Drain everything: all four must return to empty.
+        for (alloc, heap) in &mut subs {
+            while let Some(victim) = heap.pick(0) {
+                let f = alloc.dealloc(victim, true);
+                if let Err(e) = heap.on_free(&f) {
+                    return Err(TestCaseError::fail(format!("{:?}: {e}", alloc.kind())));
+                }
+            }
+            prop_assert_eq!(alloc.live_blocks(), 0, "{:?} leaked blocks", alloc.kind());
+        }
+    }
+
+    /// Heap-identity replay: the same program on two fresh instances of
+    /// the same substrate produces byte-identical outcome streams. The
+    /// timing simulators replay warm-up and measurement traces on the
+    /// assumption that the functional heap underneath is a pure function
+    /// of the op stream; this is that assumption, stated as a law.
+    #[test]
+    fn substrate_replay_is_heap_identical(ops in arb_diff_stream(120)) {
+        for kind in SubstrateKind::ALL {
+            let mut first = AnyAllocator::new(kind);
+            let mut second = AnyAllocator::new(kind);
+            let mut heap = RefHeap::new();
+            for &op in &ops {
+                match op {
+                    DiffOp::Malloc { size } => {
+                        let a1 = first.alloc(size);
+                        let a2 = second.alloc(size);
+                        prop_assert_eq!(a1, a2, "{:?} alloc diverged on replay", kind);
+                        if let Err(e) = heap.on_alloc(&a1) {
+                            return Err(TestCaseError::fail(format!("{kind:?}: {e}")));
+                        }
+                    }
+                    DiffOp::Free { index, sized } => {
+                        let Some(victim) = heap.pick(index) else { continue };
+                        let f1 = first.dealloc(victim, sized);
+                        let f2 = second.dealloc(victim, sized);
+                        prop_assert_eq!(f1, f2, "{:?} free diverged on replay", kind);
+                        if let Err(e) = heap.on_free(&f1) {
+                            return Err(TestCaseError::fail(format!("{kind:?}: {e}")));
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -82,9 +82,13 @@ proptest! {
             ConfigPoint { index_opt: !point.index_opt, ..point.clone() },
             ConfigPoint { sampling: !point.sampling, ..point.clone() },
             ConfigPoint {
-                substrate: match point.substrate {
-                    Substrate::TcMalloc => Substrate::JeMalloc,
-                    Substrate::JeMalloc => Substrate::TcMalloc,
+                substrate: {
+                    // Rotate to the next substrate in canonical order.
+                    let i = Substrate::ALL
+                        .iter()
+                        .position(|&s| s == point.substrate)
+                        .expect("drawn substrate is canonical");
+                    Substrate::ALL[(i + 1) % Substrate::ALL.len()]
                 },
                 ..point.clone()
             },
@@ -116,6 +120,7 @@ proptest! {
 fn tiny_grid() -> ParamGrid {
     ParamGrid {
         entries: vec![4, 16],
+        substrates: Substrate::ALL.to_vec(),
         workloads: vec!["tp_small".to_string(), "xapian.pages".to_string()],
         scale: RunScale {
             calls: 240,

@@ -58,6 +58,21 @@ fn smoke_report_matches_snapshot_and_passes() {
 }
 
 #[test]
+fn substrate_table_matches_snapshot() {
+    // The substrate-conformance section gets its own snapshot so drift
+    // in the allocator-law corpus is visible independently of the
+    // (much larger) full report.
+    let (code, text) = validate_report(&smoke_args(1));
+    assert_eq!(code, 0, "{text}");
+    let section: String = text
+        .split("== ")
+        .find(|s| s.starts_with("substrate conformance"))
+        .map(|s| format!("== {s}"))
+        .expect("report has a substrate section");
+    assert_golden("validate_substrate_table.txt", &section);
+}
+
+#[test]
 fn jobs_value_does_not_change_a_byte() {
     let (c1, seq) = validate_report(&smoke_args(1));
     let (c4, par) = validate_report(&smoke_args(4));
